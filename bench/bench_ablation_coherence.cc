@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: unidirectional cache coherence (Section III-D, point 2).
+ *
+ * HyperTEE omits CS-snooping hardware on the EMS side and instead
+ * has the EMS software-flush the management data it updates (PTEs,
+ * bitmap words, control-structure lines) so the CS reads fresh
+ * values. This bench quantifies that software-flush cost per
+ * primitive and compares it against the primitive's service time —
+ * showing why dropping the coherence hardware is nearly free.
+ */
+
+#include "bench/bench_util.hh"
+#include "ems/cost_model.hh"
+
+using namespace hypertee;
+
+namespace
+{
+
+/** Cache lines of management state a primitive dirties. */
+std::uint64_t
+linesTouched(PrimitiveOp op, std::size_t pages)
+{
+    switch (op) {
+      case PrimitiveOp::ECreate:
+        // PTEs for stack+heap (8 per line) + bitmap words + control.
+        return pages / 8 + pages / 512 + 4;
+      case PrimitiveOp::EAlloc:
+      case PrimitiveOp::EFree:
+        return pages / 8 + 2;
+      case PrimitiveOp::EEnter:
+      case PrimitiveOp::EExit:
+        return 2; // control structure only
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Ablation: unidirectional coherence flush cost",
+                "explicit EMS software flush vs primitive service "
+                "time (the cost of omitting snoop hardware)");
+
+    const Tick flush_per_line = 80'000; // 80 ns clean+invalidate
+    EmsCostModel cost(emsMediumCost());
+
+    struct Row
+    {
+        PrimitiveOp op;
+        std::size_t pages;
+    };
+    Row rows[] = {
+        {PrimitiveOp::ECreate, 80},
+        {PrimitiveOp::EAlloc, 4},
+        {PrimitiveOp::EAlloc, 512},
+        {PrimitiveOp::EFree, 4},
+        {PrimitiveOp::EEnter, 0},
+        {PrimitiveOp::EExit, 0},
+    };
+
+    printRow({"primitive", "pages", "service(us)", "flush(us)",
+              "flush-share"},
+             14);
+    for (const Row &r : rows) {
+        Tick service =
+            cost.instTime(EmsCostModel::baseInsts(r.op)) +
+            cost.perPageZeroTime(r.pages) +
+            cost.perPageMapTime(r.pages);
+        Tick flush = linesTouched(r.op, r.pages) * flush_per_line;
+        printRow({primitiveName(r.op), std::to_string(r.pages),
+                  num(service / 1e6, 1), num(flush / 1e6, 2),
+                  pct(double(flush) / (service + flush), 1)},
+                 14);
+    }
+    std::printf("\nexpected: the explicit flush stays a small share "
+                "of every primitive, validating the paper's choice "
+                "to drop EMS-side snoop hardware.\n");
+    return 0;
+}

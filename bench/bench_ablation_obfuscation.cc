@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: EMS timing-channel defenses (Section III-C).
+ *
+ * Sweeps the two mechanisms independently: EMS core concurrency
+ * (primitive-granularity multi-core service) and EMCall polling
+ * jitter. Reports the attacker's classification accuracy for a
+ * large (10 us) and a small (60 ns) secret-dependent service delta.
+ */
+
+#include "attack/controlled_channel.hh"
+#include "bench/bench_util.hh"
+
+using namespace hypertee;
+
+int
+main()
+{
+    benchHeader("Ablation: timing-channel obfuscation",
+                "attacker accuracy vs EMS cores and polling jitter");
+
+    printRow({"cores", "jitter", "10us delta", "60ns delta"}, 14);
+    for (unsigned cores : {1u, 2u, 4u}) {
+        for (bool jitter : {false, true}) {
+            double big =
+                timingChannelAccuracy(cores, jitter, 10'000'000, 96,
+                                      5);
+            double small =
+                timingChannelAccuracy(cores, jitter, 60'000, 96, 6);
+            printRow({std::to_string(cores), jitter ? "on" : "off",
+                      pct(big, 0), pct(small, 0)},
+                     14);
+        }
+    }
+    std::printf("\nexpected: a single serialized core without jitter "
+                "leaks both deltas; jitter alone drowns sub-jitter "
+                "deltas; >=2 cores remove the serialization signal "
+                "entirely (the HyperTEE configuration).\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: the enclave memory pool (Section IV-A).
+ *
+ * Runs the allocation-based controlled-channel attack against a
+ * HyperTEE system with (a) the normal warm pool and (b) a degenerate
+ * pool that forwards every allocation to the OS — i.e. HyperTEE
+ * minus the concealment mechanism. Also reports the EALLOC latency
+ * impact of the warm pool.
+ */
+
+#include "attack/controlled_channel.hh"
+#include "bench/bench_util.hh"
+
+using namespace hypertee;
+
+namespace
+{
+
+struct PoolResult
+{
+    double attackAccuracy;
+    double avgAllocUs;
+    std::uint64_t osGrants;
+};
+
+PoolResult
+runWithPool(bool warm)
+{
+    SystemParams p;
+    p.csMemSize = 256ULL * 1024 * 1024;
+    p.csCoreCount = 1;
+    if (warm) {
+        p.ems.pool.initialPages = 8192;
+        p.ems.pool.refillBatch = 2048;
+    } else {
+        // Degenerate pool: every draw goes to the OS.
+        p.ems.pool.initialPages = 0;
+        p.ems.pool.refillBatch = 1;
+        p.ems.pool.minThreshold = 0;
+        p.ems.pool.maxThreshold = 0;
+    }
+    HyperTeeSystem sys(p);
+    EnclaveHandle victim(sys, 0, EnclaveConfig{});
+    victim.addImage(Bytes(pageSize, 0x42), EnclaveLayout::codeBase,
+                    PteRead | PteExec);
+    victim.measure();
+
+    std::vector<bool> secret = randomSecret(128, 77);
+    std::uint64_t grants_before = sys.osPoolGrants();
+    AttackOutcome out =
+        allocationAttackHyperTee(sys, victim, secret, 78);
+
+    // Latency probe.
+    victim.enter();
+    Tick total = 0;
+    const int reps = 64;
+    for (int i = 0; i < reps; ++i) {
+        Addr va = victim.alloc(4);
+        total += victim.lastLatency();
+        victim.free(va, 4);
+    }
+    victim.exit();
+
+    return {out.accuracy(secret), total / 1e6 / reps,
+            sys.osPoolGrants() - grants_before};
+}
+
+} // namespace
+
+int
+main()
+{
+    logging_detail::setVerbose(false);
+    benchHeader("Ablation: enclave memory pool",
+                "allocation-channel leakage and EALLOC latency with "
+                "and without the warm pool");
+
+    printRow({"pool", "attack-acc", "ealloc(us)", "os-grants"}, 16);
+    PoolResult warm = runWithPool(true);
+    PoolResult cold = runWithPool(false);
+    printRow({"warm (HyperTEE)", pct(warm.attackAccuracy, 0),
+              num(warm.avgAllocUs, 1), std::to_string(warm.osGrants)},
+             16);
+    printRow({"pass-through", pct(cold.attackAccuracy, 0),
+              num(cold.avgAllocUs, 1), std::to_string(cold.osGrants)},
+             16);
+
+    std::printf("\nexpected: pass-through leaks every bit (~100%%) "
+                "and pays an OS grant per allocation; the warm pool "
+                "hides both signal and latency.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 11: TLB-flush overhead on enclaves at increasing context-
+ * switch frequency (100 Hz baseline to 4x) and miniz working sets of
+ * 2-32 MB.
+ *
+ * Paper: at most 1.81% overhead (32 MB at 400 Hz). Flushes from
+ * bitmap updates are rare (16.72 per billion instructions), so the
+ * switch-driven flushes dominate and still barely matter.
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+using namespace hypertee;
+
+namespace
+{
+
+/** Run miniz in an enclave, context-switching at @p hz. */
+Tick
+runWithSwitchRate(HyperTeeSystem &sys, const WorkloadProfile &profile,
+                  double hz)
+{
+    EnclaveConfig cfg;
+    cfg.heapPages = pagesFor(profile.workingSetBytes);
+    EnclaveHandle enclave(sys, 0, cfg, /*charge_core=*/false);
+    enclave.addImage(Bytes(profile.imageBytes, 0x3c),
+                     EnclaveLayout::codeBase, PteRead | PteExec);
+    enclave.measure();
+    enclave.enter();
+
+    SyntheticWorkload stream(profile, EnclaveLayout::heapBase, 0, 1);
+    Core &core = sys.core(0);
+
+    RunStats total;
+    if (hz <= 0) {
+        total = core.run(stream);
+        return total.ticks;
+    }
+
+    // Convert the wall-clock switch rate into an instruction quantum
+    // using the measured execution rate, then run quantum-by-quantum.
+    // Each switch models an AEX + later ERESUME: the EMCall flushes
+    // the TLB, the other context pollutes the L1, and the ERESUME
+    // primitive round trip stalls the core.
+    enclave.setChargeCore(true);
+    const std::uint64_t probe = 500'000;
+    RunStats head = core.run(stream, probe);
+    total.add(head);
+    double ticks_per_inst = double(head.ticks) / head.instructions;
+    double insts_per_second = ticksPerSecond / ticks_per_inst;
+    std::uint64_t quantum =
+        static_cast<std::uint64_t>(insts_per_second / hz);
+
+    while (true) {
+        core.mmu().flushTlbs();
+        core.hierarchy().l1().invalidateAll();
+        enclave.resume();
+        RunStats chunk = core.run(stream, quantum);
+        if (chunk.instructions == 0)
+            break;
+        total.add(chunk);
+    }
+    return total.ticks;
+}
+
+} // namespace
+
+int
+main()
+{
+    logging_detail::setVerbose(false);
+    benchHeader("Figure 11: TLB-flush overhead vs switch frequency",
+                "miniz in enclave, 2-32MB working sets, 100-400Hz "
+                "context-switch rates");
+
+    printRow({"size", "100Hz", "150Hz", "200Hz", "400Hz"});
+
+    for (Addr mb : {2u, 8u, 32u}) {
+        WorkloadProfile profile = minizProfile(Addr(mb) << 20);
+        profile.instructions = 8'000'000;
+
+        auto fresh_ticks = [&](double hz) {
+            SystemParams p = evalSystem(true);
+            p.csMemSize = 1024ULL << 20;
+            p.ems.pool.initialPages = 40000;
+            HyperTeeSystem sys(p);
+            return runWithSwitchRate(sys, profile, hz);
+        };
+
+        Tick base = fresh_ticks(0);
+        std::vector<std::string> row = {std::to_string(mb) + "MB"};
+        for (double hz : {100.0, 150.0, 200.0, 400.0}) {
+            Tick t = fresh_ticks(hz);
+            row.push_back(pct(double(t) / base - 1.0, 2));
+        }
+        printRow(row);
+    }
+    std::printf("\npaper: <=1.81%% (32MB at 400Hz); overhead grows "
+                "with both size and switch rate but stays marginal\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 7: enclave performance overhead under the three EMS core
+ * configurations of Table III.
+ *
+ * Paper: weak 5.7%, medium 2.0%, strong 1.9% average overhead on
+ * RV8 + wolfSSL (medium beats weak by 3.7%, strong adds only 0.1%).
+ */
+
+#include "bench/bench_util.hh"
+#include "ems/cost_model.hh"
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+using namespace hypertee;
+
+namespace
+{
+
+double
+overheadFor(const WorkloadProfile &profile, const EmsCostParams &cost)
+{
+    SystemParams host_params = evalSystem(true);
+    HyperTeeSystem host_sys(host_params);
+    makeHostNative(host_sys);
+    WorkloadRunner host_runner(host_sys);
+    RunStats host = host_runner.runHost(profile);
+
+    SystemParams enc_params = evalSystem(true);
+    enc_params.ems.cost = cost;
+    HyperTeeSystem enc_sys(enc_params);
+    WorkloadRunner enc_runner(enc_sys);
+    EnclaveRunResult r = enc_runner.runEnclave(profile);
+
+    return double(r.stats.ticks) / host.ticks - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    logging_detail::setVerbose(false);
+    benchHeader("Figure 7: overhead per EMS core configuration",
+                "enclave runtime vs Host-Native for weak / medium / "
+                "strong EMS cores");
+
+    printRow({"benchmark", "weak", "medium", "strong"});
+
+    struct ConfigRow
+    {
+        const char *name;
+        EmsCostParams cost;
+        double sum = 0;
+    };
+    ConfigRow configs[3] = {{"weak", emsWeakCost()},
+                            {"medium", emsMediumCost()},
+                            {"strong", emsStrongCost()}};
+
+    auto suite = rv8Profiles();
+    for (const auto &profile : suite) {
+        std::vector<std::string> row = {profile.name};
+        for (auto &cfg : configs) {
+            double ov = overheadFor(profile, cfg.cost);
+            cfg.sum += ov;
+            row.push_back(pct(ov, 1));
+        }
+        printRow(row);
+    }
+    printRow({"Average", pct(configs[0].sum / suite.size(), 1),
+              pct(configs[1].sum / suite.size(), 1),
+              pct(configs[2].sum / suite.size(), 1)});
+    std::printf("\npaper: weak 5.7%%, medium 2.0%%, strong 1.9%%\n");
+    return 0;
+}

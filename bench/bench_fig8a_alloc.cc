@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 8(a): latency of enclave EALLOC vs host malloc for
+ * allocation sizes from 128 KB to 2 MB, 1000 repetitions each.
+ *
+ * Paper: enclave allocation costs 6.3%-49.7% more than host malloc,
+ * dominated by the CS->EMS primitive round trip and the weaker EMS
+ * core.
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/runner.hh"
+
+using namespace hypertee;
+
+int
+main()
+{
+    logging_detail::setVerbose(false);
+    benchHeader("Figure 8(a): enclave memory allocation latency",
+                "EALLOC vs host malloc, 128KB-2MB x1000");
+
+    SystemParams params = evalSystem(true);
+    params.ems.pool.initialPages = 80000; // keep refills rare
+    params.ems.pool.refillBatch = 16384;
+    params.csMemSize = 1024ULL * 1024 * 1024;
+    HyperTeeSystem sys(params);
+
+    EnclaveConfig cfg;
+    cfg.heapPages = 16;
+    EnclaveHandle enclave(sys, 0, cfg);
+    enclave.setChargeCore(false);
+    enclave.addImage(Bytes(pageSize, 1), EnclaveLayout::codeBase,
+                     PteRead | PteExec);
+    enclave.measure();
+    enclave.enter();
+
+    printRow({"size", "malloc(us)", "ealloc(us)", "overhead"});
+
+    const int reps = 1000;
+    for (Addr kb : {128u, 256u, 512u, 1024u, 2048u}) {
+        Addr pages = (kb * 1024) >> pageShift;
+
+        // Host malloc model: per-page OS fault+zero+map work,
+        // measured for the same page count.
+        Tick host_total = 0;
+        for (int i = 0; i < reps; ++i)
+            host_total += Tick(pages) * hostMallocCyclesPerPage * 400;
+
+        Tick enclave_total = 0;
+        const Addr region = EnclaveLayout::heapBase + (8 << 20);
+        for (int i = 0; i < reps; ++i) {
+            Addr va = enclave.allocAt(region, pages);
+            fatalIf(va == 0, "EALLOC failed");
+            enclave_total += enclave.lastLatency();
+            enclave.free(va, pages);
+        }
+
+        double host_us = host_total / 1e6 / reps;
+        double enc_us = enclave_total / 1e6 / reps;
+        printRow({std::to_string(kb) + "KB", num(host_us, 1),
+                  num(enc_us, 1), pct(enc_us / host_us - 1.0, 1)});
+    }
+    std::printf("\npaper: 6.3%% (2MB) .. 49.7%% (128KB) overhead; "
+                "fixed round-trip cost amortizes with size\n");
+    return 0;
+}

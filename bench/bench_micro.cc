@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the building blocks: crypto
+ * primitives (host-execution speed of the functional models),
+ * mailbox operations, TLB/cache/page-table structures, and full
+ * primitive round trips through a live system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sdk.hh"
+#include "crypto/aes128.hh"
+#include "crypto/ed25519.hh"
+#include "crypto/sha256.hh"
+#include "crypto/sha3.hh"
+#include "crypto/x25519.hh"
+#include "mem/mmu.hh"
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    Bytes data(state.range(0), 0xab);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::digest(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_Sha3_256(benchmark::State &state)
+{
+    Bytes data(state.range(0), 0xcd);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sha3_256(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha3_256)->Arg(4096);
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    Aes128 aes(Bytes(16, 0x11));
+    Bytes data(state.range(0), 0x22);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aes.ctrTransform(data, 7, 0));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096);
+
+void
+BM_Ed25519Sign(benchmark::State &state)
+{
+    Bytes seed(32, 0x42);
+    Bytes msg(64, 0x24);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ed25519Sign(seed, msg));
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void
+BM_X25519(benchmark::State &state)
+{
+    Bytes scalar(32, 0x55);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(x25519Base(scalar));
+}
+BENCHMARK(BM_X25519);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb(32, 4);
+    for (Addr i = 0; i < 32; ++i)
+        tlb.insert(i << pageShift, (i + 100) << pageShift, PteRead, 0,
+                   false);
+    Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(va));
+        va = (va + pageSize) % (32 * pageSize);
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(64 * 1024, 8);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr = (addr + 64) % (128 * 1024);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    PhysicalMemory mem(0x8000'0000, 64 * 1024 * 1024);
+    Addr cursor = 0x8000'0000;
+    PageTable pt(&mem, [&] {
+        Addr f = cursor;
+        cursor += pageSize;
+        return f;
+    });
+    for (Addr i = 0; i < 64; ++i)
+        pt.map(0x4000'0000 + i * pageSize, 0x8010'0000 + i * pageSize,
+               PteRead);
+    Addr va = 0x4000'0000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(va));
+        va = 0x4000'0000 + ((va + pageSize) & (63 * pageSize));
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_PrimitiveRoundTrip(benchmark::State &state)
+{
+    logging_detail::setVerbose(false);
+    SystemParams p;
+    p.csMemSize = 256ULL * 1024 * 1024;
+    p.csCoreCount = 1;
+    p.ems.pool.initialPages = 16384;
+    HyperTeeSystem sys(p);
+    EnclaveHandle enclave(sys, 0, EnclaveConfig{});
+    enclave.setChargeCore(false);
+    enclave.addImage(Bytes(pageSize, 1), EnclaveLayout::codeBase,
+                     PteRead | PteExec);
+    enclave.measure();
+    enclave.enter();
+    for (auto _ : state) {
+        Addr va = enclave.alloc(1);
+        enclave.free(va, 1);
+    }
+}
+BENCHMARK(BM_PrimitiveRoundTrip);
+
+void
+BM_EnclaveWorkloadSimRate(benchmark::State &state)
+{
+    logging_detail::setVerbose(false);
+    SystemParams p;
+    p.csMemSize = 256ULL * 1024 * 1024;
+    p.csCoreCount = 1;
+    HyperTeeSystem sys(p);
+    WorkloadRunner runner(sys);
+    WorkloadProfile profile = profileByName("aes");
+    profile.instructions = 200'000;
+    for (auto _ : state)
+        runner.runHost(profile);
+    state.SetItemsProcessed(state.iterations() *
+                            profile.instructions);
+}
+BENCHMARK(BM_EnclaveWorkloadSimRate);
+
+} // namespace
+} // namespace hypertee
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table IV: execution time of enclave primitives as a percentage of
+ * Host-Native execution, with and without the crypto engine.
+ *
+ * Paper values (Enclave-Noncrypto / Enclave-Crypto):
+ *   average All Primitives 10.4% -> 2.5%, EMEAS 7.8% -> 0.10%.
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+using namespace hypertee;
+
+int
+main()
+{
+    logging_detail::setVerbose(false);
+    benchHeader("Table IV: enclave primitive execution time",
+                "primitive latency vs Host-Native runtime, "
+                "Enclave-Noncrypto vs Enclave-Crypto");
+
+    printRow({"benchmark", "noncrypto", "nc-EMEAS", "crypto",
+              "c-EMEAS"});
+
+    double sum_nc = 0, sum_nc_meas = 0, sum_c = 0, sum_c_meas = 0;
+    auto suite = rv8Profiles();
+    for (const auto &profile : suite) {
+        // Host-Native baseline.
+        HyperTeeSystem host_sys(evalSystem(true));
+        makeHostNative(host_sys);
+        WorkloadRunner host_runner(host_sys);
+        RunStats host = host_runner.runHost(profile);
+
+        auto enclave_frac = [&](bool engine, double &all,
+                                double &meas) {
+            HyperTeeSystem sys(evalSystem(engine));
+            WorkloadRunner runner(sys);
+            EnclaveRunResult r =
+                runner.runEnclave(profile, 1,
+                                  /*charge_primitives=*/false);
+            all = double(r.totalPrimitiveLatency()) / host.ticks;
+            meas = double(r.measLatency) / host.ticks;
+        };
+
+        double nc_all, nc_meas, c_all, c_meas;
+        enclave_frac(false, nc_all, nc_meas);
+        enclave_frac(true, c_all, c_meas);
+
+        printRow({profile.name, pct(nc_all, 1), pct(nc_meas, 1),
+                  pct(c_all, 1), pct(c_meas, 2)});
+        sum_nc += nc_all;
+        sum_nc_meas += nc_meas;
+        sum_c += c_all;
+        sum_c_meas += c_meas;
+    }
+    double n = double(suite.size());
+    printRow({"Average", pct(sum_nc / n, 1), pct(sum_nc_meas / n, 1),
+              pct(sum_c / n, 1), pct(sum_c_meas / n, 2)});
+    std::printf("\npaper: Average 10.4%% / 7.8%% -> 2.5%% / 0.10%%\n");
+    return 0;
+}

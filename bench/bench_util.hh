@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: fixed-width table
+ * rendering and common system configurations.
+ *
+ * Every bench prints the rows/series of one paper table or figure;
+ * EXPERIMENTS.md records paper-vs-measured for each.
+ */
+
+#ifndef HYPERTEE_BENCH_BENCH_UTIL_HH
+#define HYPERTEE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+/**
+ * Cost of the host-kernel anonymous-page fault path (allocate, zero,
+ * map) per page, in CS cycles: the "malloc" baseline of Figures 6
+ * and 8(a).
+ */
+constexpr Cycles hostMallocCyclesPerPage = 3000;
+
+inline void
+benchHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+pct(double fraction, int decimals = 2)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+inline std::string
+num(double v, int decimals = 2)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+/**
+ * Configure a system's core as the Host-Native baseline: no bitmap
+ * checking, no protection accounting (the "none of the security
+ * mechanisms" scenario every overhead is measured against).
+ */
+inline void
+makeHostNative(HyperTeeSystem &sys, unsigned core = 0)
+{
+    sys.core(core).mmu().setBitmapCheckEnabled(false);
+    sys.core(core).hierarchy().setProtectionEnabled(false);
+}
+
+/** Standard single-core evaluation system. */
+inline SystemParams
+evalSystem(bool crypto_engine = true)
+{
+    SystemParams p;
+    p.csMemSize = 512ULL * 1024 * 1024;
+    p.csCoreCount = 1;
+    p.ems.cryptoEnginePresent = crypto_engine;
+    p.ems.pool.initialPages = 16384; // 64 MiB warm pool
+    p.ems.pool.refillBatch = 4096;
+    return p;
+}
+
+} // namespace hypertee
+
+#endif // HYPERTEE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Controlled-channel attack simulators (Introduction, Attack Type 2).
+ *
+ * Three attacks from the literature the paper cites:
+ *   - allocation-based: watch on-demand allocation events [32]
+ *   - page-table-based: clear and re-read A/D bits [25]-[31]
+ *   - swapping-based: evict chosen pages, watch swap-ins [32], [33]
+ *
+ * Each attack runs a victim whose secret bit-string drives its
+ * memory behaviour, then lets the attacker observe whatever the
+ * TEE's management plane exposes, and finally scores how many secret
+ * bits the attacker recovered. Against a baseline SGX-class manager
+ * the recovery is exact; against HyperTEE the observations carry no
+ * signal and accuracy collapses to coin-flipping.
+ */
+
+#ifndef HYPERTEE_ATTACK_CONTROLLED_CHANNEL_HH
+#define HYPERTEE_ATTACK_CONTROLLED_CHANNEL_HH
+
+#include <vector>
+
+#include "baseline/os_manager.hh"
+#include "core/sdk.hh"
+
+namespace hypertee
+{
+
+struct AttackOutcome
+{
+    std::vector<bool> recovered;
+    std::uint64_t blockedObservations = 0; ///< faults/denials hit
+
+    /** Fraction of secret bits recovered correctly. */
+    double accuracy(const std::vector<bool> &secret) const;
+};
+
+/** Generate a pseudorandom secret of @p bits bits. */
+std::vector<bool> randomSecret(std::size_t bits, std::uint64_t seed);
+
+// ---- attacks against a baseline (Table VI row) management plane ----
+
+AttackOutcome allocationAttack(BaselineOsManager &mgr,
+                               const std::vector<bool> &secret,
+                               std::uint64_t seed);
+
+AttackOutcome pageTableAttack(BaselineOsManager &mgr,
+                              const std::vector<bool> &secret,
+                              std::uint64_t seed);
+
+AttackOutcome swapAttack(BaselineOsManager &mgr,
+                         const std::vector<bool> &secret,
+                         std::uint64_t seed);
+
+// ---- the same attacks against a live HyperTEE system ----
+
+/**
+ * The victim enclave EALLOCs on 1-bits; the attacker-OS watches
+ * pool-grant events (all it can see).
+ */
+AttackOutcome allocationAttackHyperTee(HyperTeeSystem &sys,
+                                       EnclaveHandle &victim,
+                                       const std::vector<bool> &secret,
+                                       std::uint64_t seed);
+
+/**
+ * The attacker-OS maps the victim's page-table frames into the host
+ * address space and tries to read A/D bits; every dereference hits
+ * the bitmap check.
+ */
+AttackOutcome pageTableAttackHyperTee(HyperTeeSystem &sys,
+                                      EnclaveHandle &victim,
+                                      const std::vector<bool> &secret,
+                                      std::uint64_t seed);
+
+/**
+ * The attacker-OS invokes EWB hoping to evict the victim's
+ * secret-accessed pages; the EMS hands back random pool pages, so
+ * no victim fault ever correlates with the secret.
+ */
+AttackOutcome swapAttackHyperTee(HyperTeeSystem &sys,
+                                 EnclaveHandle &victim,
+                                 const std::vector<bool> &secret,
+                                 std::uint64_t seed);
+
+/**
+ * EMS timing channel (Section III-C): the attacker issues a probe
+ * primitive concurrently with each victim primitive and tries to
+ * classify the victim's secret from its own observed latency.
+ * Two defenses are modelled: multi-core EMS service (concurrent
+ * handling removes the serialization signal) and EMCall jitter
+ * obfuscation (drowns sub-jitter service differences).
+ *
+ * @param service_delta victim service-time difference between a
+ *        0-bit and a 1-bit request.
+ * @return classification accuracy in [0,1].
+ */
+double timingChannelAccuracy(unsigned ems_cores, bool obfuscation,
+                             Tick service_delta, std::size_t bits,
+                             std::uint64_t seed);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_ATTACK_CONTROLLED_CHANNEL_HH

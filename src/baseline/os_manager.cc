@@ -1,0 +1,80 @@
+#include "baseline/os_manager.hh"
+
+namespace hypertee
+{
+
+BaselineOsManager::BaselineOsManager(TeeModel model, std::uint64_t seed)
+    : _model(model), _exposure(exposureOf(model)), _rng(seed)
+{
+}
+
+void
+BaselineOsManager::victimAllocate(Addr va)
+{
+    Addr page = pageAlign(va);
+    _resident.insert(page);
+    _accessed[page] = false;
+    if (_exposure.allocationEventsVisible)
+        _allocationEvents.push_back(page);
+}
+
+void
+BaselineOsManager::victimTouch(Addr va, bool write)
+{
+    (void)write;
+    Addr page = pageAlign(va);
+    if (!_resident.count(page)) {
+        // Page fault: swap-in, visible to the OS that owns paging.
+        _resident.insert(page);
+        if (_exposure.swapVictimsAttackerChosen)
+            _faultEvents.push_back(page);
+    }
+    _accessed[page] = true;
+}
+
+std::vector<Addr>
+BaselineOsManager::drainAllocationEvents()
+{
+    std::vector<Addr> out;
+    out.swap(_allocationEvents);
+    return out;
+}
+
+bool
+BaselineOsManager::readAccessedBit(Addr va, bool &value)
+{
+    if (!_exposure.pageTablesAttackerManaged)
+        return false; // tables are enclave/module-private
+    auto it = _accessed.find(pageAlign(va));
+    value = (it != _accessed.end()) && it->second;
+    return true;
+}
+
+bool
+BaselineOsManager::clearAccessedBits()
+{
+    if (!_exposure.pageTablesAttackerManaged)
+        return false;
+    for (auto &[page, bit] : _accessed)
+        bit = false;
+    return true;
+}
+
+bool
+BaselineOsManager::evictPage(Addr va)
+{
+    if (!_exposure.swapVictimsAttackerChosen)
+        return false; // EMS (or enclave) chooses swap pages instead
+    _resident.erase(pageAlign(va));
+    return true;
+}
+
+std::vector<Addr>
+BaselineOsManager::drainFaultEvents()
+{
+    std::vector<Addr> out;
+    out.swap(_faultEvents);
+    return out;
+}
+
+} // namespace hypertee

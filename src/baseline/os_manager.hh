@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Executable baseline enclave-memory manager.
+ *
+ * Models the management plane of conventional TEEs (SGX/SEV-class):
+ * the untrusted OS performs on-demand allocation, owns the enclave
+ * page tables (A/D bits included), and picks swap victims. The
+ * attack simulators exercise a victim "enclave" through this manager
+ * and read back exactly what the ManagementExposure of the chosen
+ * TEE model grants them.
+ */
+
+#ifndef HYPERTEE_BASELINE_OS_MANAGER_HH
+#define HYPERTEE_BASELINE_OS_MANAGER_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baseline/tee_models.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+class BaselineOsManager
+{
+  public:
+    BaselineOsManager(TeeModel model, std::uint64_t seed = 7);
+
+    TeeModel model() const { return _model; }
+    const ManagementExposure &exposure() const { return _exposure; }
+
+    // ---- victim-side operations (enclave runtime actions) ----
+
+    /** On-demand allocation of the page backing @p va. */
+    void victimAllocate(Addr va);
+
+    /** Victim touches @p va (drives A/D bits, residency faults). */
+    void victimTouch(Addr va, bool write);
+
+    // ---- attacker-side observations, gated by the exposure ----
+
+    /** Allocation events since the last drain (VA visible!). */
+    std::vector<Addr> drainAllocationEvents();
+
+    /** Read the accessed bit; false when the model hides tables. */
+    bool readAccessedBit(Addr va, bool &value);
+
+    /** Clear A/D bits (attack setup); false when not permitted. */
+    bool clearAccessedBits();
+
+    /** Swap out exactly @p va; false when victims are EMS-chosen. */
+    bool evictPage(Addr va);
+
+    /** Residency probe: faults on next victim touch are visible. */
+    std::vector<Addr> drainFaultEvents();
+
+  private:
+    TeeModel _model;
+    ManagementExposure _exposure;
+    Random _rng;
+
+    std::set<Addr> _resident;             ///< resident victim pages
+    std::map<Addr, bool> _accessed;       ///< A bits per page
+    std::vector<Addr> _allocationEvents;  ///< attacker-visible log
+    std::vector<Addr> _faultEvents;       ///< swap-in log
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_BASELINE_OS_MANAGER_HH

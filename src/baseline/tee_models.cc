@@ -1,0 +1,96 @@
+#include "baseline/tee_models.hh"
+
+namespace hypertee
+{
+
+ManagementExposure
+exposureOf(TeeModel model)
+{
+    ManagementExposure e;
+    switch (model) {
+      case TeeModel::Sgx:
+        // Untrusted OS performs all management (Table VI row 1).
+        break;
+      case TeeModel::Sev:
+        // Hypervisor manages nested page tables; PSP handles only
+        // crypto/attestation. Communication partially protected by
+        // ASID key separation.
+        e.communicationUnmanaged = true;
+        e.mgmtPartiallyIsolated = true; // PSP holds keys off-core
+        break;
+      case TeeModel::Tdx:
+        // TDX module owns the secure EPT: page-table attacks are
+        // defeated, but allocation and swapping remain hypervisor-
+        // visible, and the module shares the cores.
+        e.pageTablesAttackerManaged = false;
+        break;
+      case TeeModel::Cca:
+        // RMM owns stage-2 tables; delegation events stay visible.
+        e.pageTablesAttackerManaged = false;
+        break;
+      case TeeModel::TrustZone:
+        // Static carve-out: no paging at all, so no paging channels;
+        // no managed sharing, and the secure world shares the cores.
+        e.allocationEventsVisible = false;
+        e.pageTablesAttackerManaged = false;
+        e.swapVictimsAttackerChosen = false;
+        e.mgmtPartiallyIsolated = true;
+        break;
+      case TeeModel::Keystone:
+        // Enclave self-paging inside a static PMP region: paging
+        // channels closed, communication unmanaged.
+        e.allocationEventsVisible = false;
+        e.pageTablesAttackerManaged = false;
+        e.swapVictimsAttackerChosen = false;
+        e.mgmtPartiallyIsolated = true; // SM in M-mode, same core
+        break;
+      case TeeModel::Penglai:
+        // Guarded page tables defeat PT attacks; the host still
+        // observes allocation/swapping of the page pool.
+        e.pageTablesAttackerManaged = false;
+        e.mgmtPartiallyIsolated = true;
+        break;
+      case TeeModel::Cure:
+        e.pageTablesAttackerManaged = false;
+        e.mgmtPartiallyIsolated = true;
+        break;
+      case TeeModel::HyperTee:
+        e.allocationEventsVisible = false;
+        e.pageTablesAttackerManaged = false;
+        e.swapVictimsAttackerChosen = false;
+        e.communicationUnmanaged = false;
+        e.mgmtSharesMicroarchitecture = false;
+        break;
+    }
+    if (model == TeeModel::HyperTee)
+        e.mgmtSharesMicroarchitecture = false;
+    return e;
+}
+
+const char *
+teeName(TeeModel model)
+{
+    switch (model) {
+      case TeeModel::Sgx: return "SGX";
+      case TeeModel::Sev: return "SEV";
+      case TeeModel::Tdx: return "TDX";
+      case TeeModel::Cca: return "CCA";
+      case TeeModel::TrustZone: return "TrustZone";
+      case TeeModel::Keystone: return "Keystone";
+      case TeeModel::Penglai: return "Penglai";
+      case TeeModel::Cure: return "CURE";
+      case TeeModel::HyperTee: return "HyperTEE";
+    }
+    return "?";
+}
+
+std::vector<TeeModel>
+allTeeModels()
+{
+    return {TeeModel::Sgx,      TeeModel::Sev,     TeeModel::Tdx,
+            TeeModel::Cca,      TeeModel::TrustZone,
+            TeeModel::Keystone, TeeModel::Penglai, TeeModel::Cure,
+            TeeModel::HyperTee};
+}
+
+} // namespace hypertee

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Comparison TEE management models (Table VI).
+ *
+ * Each TEE is summarized by what its enclave-management plane
+ * exposes to a privileged software attacker. These flags are not
+ * mere documentation: the attack simulators (src/attack) key off
+ * them to decide which observations the attacker is granted, and the
+ * Table VI bench derives the defend/not-defend matrix by *running*
+ * the attacks against each model.
+ */
+
+#ifndef HYPERTEE_BASELINE_TEE_MODELS_HH
+#define HYPERTEE_BASELINE_TEE_MODELS_HH
+
+#include <string>
+#include <vector>
+
+namespace hypertee
+{
+
+enum class TeeModel
+{
+    Sgx,
+    Sev,
+    Tdx,
+    Cca,
+    TrustZone,
+    Keystone,
+    Penglai,
+    Cure,
+    HyperTee,
+};
+
+/** What the management plane leaks to a privileged attacker. */
+struct ManagementExposure
+{
+    /** OS observes per-request enclave page allocations. */
+    bool allocationEventsVisible = true;
+    /** OS reads/clears A/D bits in enclave page tables. */
+    bool pageTablesAttackerManaged = true;
+    /** OS selects exactly which enclave pages get swapped out. */
+    bool swapVictimsAttackerChosen = true;
+    /** Shared-memory communication lacks managed keys/ACLs. */
+    bool communicationUnmanaged = true;
+    /** Management tasks share the attacker's microarchitecture. */
+    bool mgmtSharesMicroarchitecture = true;
+    /** Partial microarchitectural separation (TrustZone worlds). */
+    bool mgmtPartiallyIsolated = false;
+};
+
+ManagementExposure exposureOf(TeeModel model);
+const char *teeName(TeeModel model);
+std::vector<TeeModel> allTeeModels();
+
+} // namespace hypertee
+
+#endif // HYPERTEE_BASELINE_TEE_MODELS_HH

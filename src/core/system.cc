@@ -1,0 +1,220 @@
+#include "core/system.hh"
+
+#include "crypto/sha256.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+HyperTeeSystem::HyperTeeSystem(const SystemParams &params) : _p(params)
+{
+    _csMem = std::make_unique<PhysicalMemory>(_p.csMemBase, _p.csMemSize);
+    _emsMem =
+        std::make_unique<PhysicalMemory>(_p.emsMemBase, _p.emsMemSize);
+
+    // The chip initialization logic reserves the bitmap region at the
+    // base of CS memory; the OS frame allocator starts above it.
+    _bitmap = std::make_unique<EnclaveBitmap>(_csMem.get(), _p.csMemBase);
+    _frameCursor = _p.csMemBase + _bitmap->regionSize();
+
+    _encEngine =
+        std::make_unique<MemoryEncryptionEngine>(_p.encryptionKeySlots);
+    Random key_rng(_p.seed ^ 0x1eaf);
+    Bytes integ_key(16);
+    for (auto &b : integ_key)
+        b = static_cast<std::uint8_t>(key_rng.next());
+    _integEngine = std::make_unique<MemoryIntegrityEngine>(integ_key);
+
+    _ihub = std::make_unique<IHub>(_csMem.get(), _emsMem.get(),
+                                   _bitmap.get(), _encEngine.get());
+
+    // eFuse keys burnt at manufacturing: deterministic from the seed
+    // so experiments replay exactly.
+    EFuse efuse;
+    efuse.endorsementSeed.resize(32);
+    efuse.sealedKey.resize(32);
+    for (auto &b : efuse.endorsementSeed)
+        b = static_cast<std::uint8_t>(key_rng.next());
+    for (auto &b : efuse.sealedKey)
+        b = static_cast<std::uint8_t>(key_rng.next());
+    _km = std::make_unique<KeyManager>(efuse);
+    _ekPublic = _km->endorsementPublicKey();
+
+    // EMS runtime, fed by the OS frame allocator.
+    EmsPort &port = _ihub->emsPort();
+    auto os_alloc = [this](std::size_t n) {
+        std::vector<Addr> out;
+        for (std::size_t i = 0; i < n; ++i) {
+            Addr pa = osAllocFrame();
+            if (pa == 0)
+                break;
+            out.push_back(pageNumber(pa));
+        }
+        ++_osPoolGrants;
+        return out;
+    };
+    auto os_release = [this](const std::vector<Addr> &ppns) {
+        osFreeFrames(ppns);
+    };
+    _ems = std::make_unique<EmsRuntime>(&port, _csMem.get(), *_km,
+                                        _p.ems, os_alloc, os_release);
+
+    // Secure boot: EEPROM hashes match the shipped images.
+    Bytes runtime_image = bytesFromString("hypertee-ems-runtime-v1");
+    Bytes cs_firmware = bytesFromString("hypertee-emcall-firmware-v1");
+    bool boot_ok = _ems->secureBoot(runtime_image,
+                                    Sha256::digest(runtime_image),
+                                    cs_firmware,
+                                    Sha256::digest(cs_firmware));
+    panicIf(!boot_ok, "secure boot failed with matching hashes");
+    _ems->connectMailbox();
+
+    // Host page table (the OS's own address space management).
+    _hostPt = std::make_unique<PageTable>(_csMem.get(), [this] {
+        Addr pa = osAllocFrame();
+        fatalIf(pa == 0, "OS out of frames for host page tables");
+        return pa;
+    });
+
+    // CS cores + one EMCall gate per core, with context hooks.
+    for (unsigned i = 0; i < _p.csCoreCount; ++i) {
+        auto core = std::make_unique<Core>(_p.csCore, _bitmap.get());
+        core->hierarchy().attachEngines(_encEngine.get(),
+                                        _integEngine.get());
+        core->hierarchy().setProtectionEnabled(_p.protectedMemory);
+        core->mmu().setPageTable(_hostPt.get());
+
+        EmCallParams ep = _p.emcall;
+        ep.csFreqHz = _p.csCore.freqHz;
+        ep.reqIdBase = std::uint64_t(i) << 48;
+        auto gate = std::make_unique<EmCall>(&_ihub->mailbox(), ep,
+                                             _p.seed ^ (0xca11 + i));
+
+        Core *core_ptr = core.get();
+        EmCallHooks hooks;
+        hooks.switchContext = [this, core_ptr](EnclaveId enclave,
+                                               bool enclave_mode) {
+            const PageTable *pt =
+                enclave_mode ? _ems->enclavePageTable(enclave)
+                             : _hostPt.get();
+            panicIf(pt == nullptr, "context switch to unknown enclave ",
+                    enclave);
+            core_ptr->mmu().setPageTable(pt);
+            core_ptr->mmu().setEnclaveMode(enclave_mode);
+            core_ptr->mmu().flushTlbs();
+        };
+        hooks.flushTlb = [core_ptr] { core_ptr->mmu().flushTlbs(); };
+        gate->setHooks(std::move(hooks));
+
+        _cores.push_back(std::move(core));
+        _emCalls.push_back(std::move(gate));
+    }
+}
+
+const Bytes &
+HyperTeeSystem::platformMeasurement() const
+{
+    return _ems->platformMeasurement();
+}
+
+Addr
+HyperTeeSystem::osAllocFrame()
+{
+    if (!_freeFrames.empty()) {
+        Addr ppn = _freeFrames.back();
+        _freeFrames.pop_back();
+        return ppn << pageShift;
+    }
+    if (_frameCursor + pageSize > _p.csMemBase + _p.csMemSize)
+        return 0;
+    Addr pa = _frameCursor;
+    _frameCursor += pageSize;
+    return pa;
+}
+
+void
+HyperTeeSystem::osFreeFrames(const std::vector<Addr> &ppns)
+{
+    for (Addr ppn : ppns)
+        _freeFrames.push_back(ppn);
+}
+
+void
+HyperTeeSystem::dumpStats(std::ostream &os) const
+{
+    auto line = [&os](const std::string &name, double value) {
+        os << name << ' ' << value << '\n';
+    };
+
+    for (std::size_t i = 0; i < _cores.size(); ++i) {
+        const std::string prefix = "system.cs.core" + std::to_string(i);
+        Core &core = *_cores[i];
+        line(prefix + ".dtlb.hits", double(core.mmu().tlb().hits()));
+        line(prefix + ".dtlb.misses",
+             double(core.mmu().tlb().misses()));
+        line(prefix + ".dtlb.flushes",
+             double(core.mmu().tlb().flushes()));
+        if (core.mmu().hasStlb()) {
+            line(prefix + ".stlb.hits", double(core.mmu().stlbHits()));
+        }
+        line(prefix + ".bitmap.retrievals",
+             double(core.mmu().bitmapRetrievals()));
+        line(prefix + ".bitmap.violations",
+             double(core.mmu().bitmapViolations()));
+        line(prefix + ".l1d.hits",
+             double(core.hierarchy().l1().hits()));
+        line(prefix + ".l1d.misses",
+             double(core.hierarchy().l1().misses()));
+        line(prefix + ".l2.hits", double(core.hierarchy().l2().hits()));
+        line(prefix + ".l2.misses",
+             double(core.hierarchy().l2().misses()));
+        line(prefix + ".dram.accesses",
+             double(core.hierarchy().dramAccesses()));
+        line(prefix + ".bp.lookups",
+             double(core.predictor().lookups()));
+        line(prefix + ".bp.mispredicts",
+             double(core.predictor().mispredicts()));
+        line(prefix + ".emcall.issued",
+             double(_emCalls[i]->requestsIssued()));
+        line(prefix + ".emcall.blockedCrossPriv",
+             double(_emCalls[i]->blockedCrossPrivilege()));
+    }
+
+    line("system.ihub.blockedCsAccesses",
+         double(_ihub->blockedCsAccesses()));
+    line("system.ihub.mailbox.rejected",
+         double(_ihub->mailbox().requestsRejected()));
+    line("system.ihub.dma.discarded",
+         double(_ihub->dmaWhitelist().discarded()));
+    line("system.ems.pool.freePages", double(_ems->pool().freePages()));
+    line("system.ems.pool.osRequests",
+         double(_ems->pool().osRequests()));
+    line("system.ems.sanityRejections",
+         double(_ems->sanityRejections()));
+    line("system.ems.shmGuessRejections",
+         double(_ems->shmGuessRejections()));
+    line("system.ems.ownership.pages",
+         double(_ems->ownership().size()));
+    line("system.ems.ownership.conflicts",
+         double(_ems->ownership().conflicts()));
+    line("system.bitmap.enclavePages",
+         double(_bitmap->enclavePageCount()));
+    line("system.bitmap.updates", double(_bitmap->updates()));
+    line("system.encEngine.usedSlots",
+         double(_encEngine->usedSlots()));
+    line("system.integEngine.violations",
+         double(_integEngine->violations()));
+    line("system.os.poolGrants", double(_osPoolGrants));
+}
+
+void
+HyperTeeSystem::osMapRange(Addr va, Addr bytes, std::uint64_t perms)
+{
+    for (Addr off = 0; off < bytes; off += pageSize) {
+        Addr pa = osAllocFrame();
+        fatalIf(pa == 0, "OS out of physical frames");
+        _hostPt->map(va + off, pa, perms | PteUser);
+    }
+}
+
+} // namespace hypertee

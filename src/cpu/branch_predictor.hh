@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Branch direction predictors: GShare (the weak EMS core) and a
+ * TAGE-style tagged-geometric predictor (medium/strong EMS and the
+ * CS core), per Table III.
+ */
+
+#ifndef HYPERTEE_CPU_BRANCH_PREDICTOR_HH
+#define HYPERTEE_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hypertee
+{
+
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the actual outcome (called after predict). */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Drop all learned state (context-switch invalidation). */
+    virtual void reset() = 0;
+
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t mispredicts() const { return _mispredicts; }
+
+    double
+    mispredictRate() const
+    {
+        return _lookups ? static_cast<double>(_mispredicts) / _lookups
+                        : 0.0;
+    }
+
+  protected:
+    void
+    record(bool correct)
+    {
+        ++_lookups;
+        if (!correct)
+            ++_mispredicts;
+    }
+
+  private:
+    std::uint64_t _lookups = 0;
+    std::uint64_t _mispredicts = 0;
+};
+
+/** Classic gshare: global history XOR pc indexes 2-bit counters. */
+class GshareBp : public BranchPredictor
+{
+  public:
+    explicit GshareBp(std::size_t entries, int history_bits = 9);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> _counters;
+    std::uint64_t _history = 0;
+    std::uint64_t _historyMask;
+    bool _lastPrediction = false;
+};
+
+/**
+ * Reduced TAGE: a bimodal base table plus tagged components with
+ * geometrically growing history lengths. Captures the long-history
+ * advantage over gshare that Table III's TAGE/GShare split implies.
+ */
+class TageBp : public BranchPredictor
+{
+  public:
+    /** @param entries total budget split across components. */
+    explicit TageBp(std::size_t entries);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t counter = 0; ///< -4..3; >=0 means taken
+        std::uint8_t useful = 0;
+    };
+
+    static constexpr int numTables = 4;
+
+    std::size_t tableIndex(int table, std::uint64_t pc) const;
+    std::uint16_t tableTag(int table, std::uint64_t pc) const;
+    std::uint64_t foldedHistory(int bits) const;
+
+    std::vector<std::uint8_t> _bimodal;
+    std::vector<std::vector<TaggedEntry>> _tables;
+    int _historyLen[numTables];
+    std::uint64_t _history = 0; // newest bit is LSB
+
+    // State carried from predict() to update().
+    int _providerTable = -1;
+    std::size_t _providerIndex = 0;
+    bool _providerPred = false;
+    bool _altPred = false;
+};
+
+/** Factory from a Table III "BHT" description. */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &kind,
+                                               std::size_t entries);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CPU_BRANCH_PREDICTOR_HH

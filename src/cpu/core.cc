@@ -1,0 +1,132 @@
+#include "cpu/core.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Core::Core(const CoreParams &params, const EnclaveBitmap *bitmap)
+    : _p(params), _clock(params.freqHz)
+{
+    HierarchyParams hp;
+    hp.l1Size = _p.l1dSize;
+    hp.l1Ways = _p.l1dWays;
+    hp.l2Size = _p.l2Size;
+    hp.l2Ways = _p.l2Ways;
+    // Express hit latencies in this core's cycles.
+    hp.l1HitLatency = _clock.toTicks(4);
+    hp.l2HitLatency = _clock.toTicks(14);
+    _hierarchy = std::make_unique<MemHierarchy>(hp);
+    _mmu = std::make_unique<Mmu>(_p.dtlbEntries, _p.dtlbWays, bitmap,
+                                 _hierarchy.get(), _p.stlbEntries,
+                                 _p.stlbWays);
+    _bp = makePredictor(_p.bpKind, _p.bpEntries);
+}
+
+void
+Core::setFaultHandler(FaultHandler handler)
+{
+    _faultHandler = std::move(handler);
+}
+
+double
+Core::issueCost(OpType type) const
+{
+    switch (type) {
+      case OpType::IntAlu:
+        return 1.0 / std::min(_p.decodeWidth, _p.intAlus);
+      case OpType::FpAlu:
+        return 1.0 / std::min(_p.decodeWidth, _p.fpAlus);
+      case OpType::Load:
+      case OpType::Store:
+        return 1.0 / std::min(_p.decodeWidth, _p.memPorts);
+      case OpType::Branch:
+        return 1.0 / _p.decodeWidth;
+    }
+    return 1.0;
+}
+
+RunStats
+Core::run(InstStream &stream, std::uint64_t max_insts)
+{
+    RunStats stats;
+    double cycles = 0.0;
+    const Tick l1_hit = _clock.toTicks(4);
+    const double overlap = _p.outOfOrder ? _p.memOverlap : 0.0;
+
+    MicroOp op;
+    while (stats.instructions < max_insts && stream.next(op)) {
+        ++stats.instructions;
+        cycles += issueCost(op.type);
+
+        if (_pendingStall > 0) {
+            cycles += static_cast<double>(_clock.toCycles(_pendingStall));
+            _pendingStall = 0;
+        }
+
+        switch (op.type) {
+          case OpType::Branch: {
+            ++stats.branches;
+            bool pred = _bp->predict(op.pc);
+            _bp->update(op.pc, op.taken);
+            if (pred != op.taken) {
+                ++stats.mispredicts;
+                cycles += _p.mispredictPenalty;
+            }
+            break;
+          }
+          case OpType::Load:
+          case OpType::Store: {
+            bool write = (op.type == OpType::Store);
+            if (write)
+                ++stats.stores;
+            else
+                ++stats.loads;
+
+            TranslateResult tr = _mmu->translate(op.addr, write, false);
+            int attempts = 0;
+            while (tr.fault != MemFault::None && attempts < 2) {
+                ++stats.faults;
+                FaultOutcome outcome;
+                if (_faultHandler)
+                    outcome = _faultHandler(op.addr, tr.fault, write);
+                cycles +=
+                    static_cast<double>(_clock.toCycles(outcome.latency));
+                if (!outcome.resolved)
+                    break;
+                ++attempts;
+                tr = _mmu->translate(op.addr, write, false);
+            }
+            if (tr.fault != MemFault::None)
+                break; // access dropped (killed enclave / SIGSEGV)
+
+            if (!tr.tlbHit)
+                ++stats.tlbMisses;
+
+            Tick mem_lat = _hierarchy->access(tr.pa, write, tr.keyId);
+            // Translation is on the critical path of the access: a
+            // PTW (and its bitmap retrieval) cannot be hidden by the
+            // window, the dependent access waits for it.
+            cycles += static_cast<double>(_clock.toCycles(tr.latency));
+            // The pipelined L1 hit is already covered by issue cost;
+            // anything beyond it is a stall the window may hide.
+            Tick stall = mem_lat > l1_hit ? mem_lat - l1_hit : 0;
+            double stall_cycles =
+                static_cast<double>(_clock.toCycles(stall));
+            cycles += stall_cycles * (1.0 - overlap);
+            break;
+          }
+          case OpType::IntAlu:
+          case OpType::FpAlu:
+            break;
+        }
+    }
+
+    stats.cycles = static_cast<std::uint64_t>(std::ceil(cycles));
+    stats.ticks = _clock.toTicks(stats.cycles);
+    return stats;
+}
+
+} // namespace hypertee

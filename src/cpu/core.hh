@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Approximate superscalar core timing model.
+ *
+ * Instructions from an InstStream are charged issue bandwidth by
+ * type, branches run through a real direction predictor, and memory
+ * operations walk the real TLB / page table / cache hierarchy. An
+ * out-of-order core hides a CoreParams::memOverlap fraction of each
+ * memory stall (modelling the ROB/LDQ window); an in-order core
+ * stalls for the full latency. This is the fidelity class the
+ * reproduction targets: stall *events* are structurally exact, the
+ * overlap factor is calibrated.
+ */
+
+#ifndef HYPERTEE_CPU_CORE_HH
+#define HYPERTEE_CPU_CORE_HH
+
+#include <functional>
+#include <memory>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/core_params.hh"
+#include "cpu/micro_op.hh"
+#include "mem/mmu.hh"
+#include "sim/clock_domain.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** Aggregate results of a run() call. */
+struct RunStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    Tick ticks = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t faults = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    /** Merge another chunk's counters into this one. */
+    void
+    add(const RunStats &o)
+    {
+        instructions += o.instructions;
+        cycles += o.cycles;
+        ticks += o.ticks;
+        loads += o.loads;
+        stores += o.stores;
+        branches += o.branches;
+        mispredicts += o.mispredicts;
+        tlbMisses += o.tlbMisses;
+        faults += o.faults;
+    }
+};
+
+/** How a fault handler disposed of a memory fault. */
+struct FaultOutcome
+{
+    bool resolved = false; ///< retry the access
+    Tick latency = 0;      ///< handling time charged to the core
+};
+
+class Core
+{
+  public:
+    using FaultHandler =
+        std::function<FaultOutcome(Addr va, MemFault fault, bool write)>;
+
+    Core(const CoreParams &params, const EnclaveBitmap *bitmap);
+
+    const CoreParams &params() const { return _p; }
+    Mmu &mmu() { return *_mmu; }
+    MemHierarchy &hierarchy() { return *_hierarchy; }
+    BranchPredictor &predictor() { return *_bp; }
+    const ClockDomain &clock() const { return _clock; }
+
+    /** Install the page-fault / bitmap-fault handler (EMCall path). */
+    void setFaultHandler(FaultHandler handler);
+
+    /**
+     * Execute up to @p max_insts from @p stream.
+     * Unresolved faults abort the op (counted in RunStats::faults).
+     */
+    RunStats run(InstStream &stream, std::uint64_t max_insts = ~0ULL);
+
+    /** Charge an externally imposed stall (primitive round trips). */
+    void chargeStall(Tick t) { _pendingStall += t; }
+
+  private:
+    double issueCost(OpType type) const;
+
+    CoreParams _p;
+    ClockDomain _clock;
+    std::unique_ptr<MemHierarchy> _hierarchy;
+    std::unique_ptr<Mmu> _mmu;
+    std::unique_ptr<BranchPredictor> _bp;
+    FaultHandler _faultHandler;
+    Tick _pendingStall = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CPU_CORE_HH

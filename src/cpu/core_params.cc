@@ -1,0 +1,98 @@
+#include "cpu/core_params.hh"
+
+namespace hypertee
+{
+
+CoreParams
+csCoreParams()
+{
+    CoreParams p;
+    p.name = "cs";
+    p.outOfOrder = true;
+    p.fetchWidth = 8;
+    p.decodeWidth = 4;
+    p.memPorts = 2;
+    p.intAlus = 3;
+    p.fpAlus = 1;
+    p.robSize = 128;
+    p.ldqSize = 32;
+    p.stqSize = 32;
+    p.bpKind = "tage";
+    p.bpEntries = 2048;
+    p.mispredictPenalty = 14;
+    p.dtlbEntries = 32;
+    p.stlbEntries = 1024;
+    p.l1dSize = 64 * 1024;
+    p.l2Size = 1024 * 1024;
+    p.freqHz = 2'500'000'000ULL;
+    p.memOverlap = 0.75;
+    return p;
+}
+
+CoreParams
+emsWeakParams()
+{
+    CoreParams p;
+    p.name = "ems-weak";
+    p.outOfOrder = false;
+    p.fetchWidth = 1;
+    p.decodeWidth = 1;
+    p.memPorts = 1;
+    p.intAlus = 1;
+    p.fpAlus = 1;
+    p.robSize = 0;
+    p.ldqSize = 0;
+    p.stqSize = 0;
+    p.bpKind = "gshare";
+    p.bpEntries = 512;
+    p.mispredictPenalty = 4;
+    p.dtlbEntries = 8;
+    p.dtlbWays = 2;
+    p.stlbEntries = 0;
+    p.l1dSize = 16 * 1024;
+    p.l1dWays = 4;
+    p.l2Size = 256 * 1024;
+    p.freqHz = 750'000'000ULL;
+    p.memOverlap = 0.0;
+    return p;
+}
+
+CoreParams
+emsMediumParams()
+{
+    CoreParams p;
+    p.name = "ems-medium";
+    p.outOfOrder = true;
+    p.fetchWidth = 4;
+    p.decodeWidth = 2;
+    p.memPorts = 1;
+    p.intAlus = 2;
+    p.fpAlus = 1;
+    p.robSize = 96;
+    p.ldqSize = 16;
+    p.stqSize = 16;
+    p.bpKind = "tage";
+    p.bpEntries = 1024;
+    p.mispredictPenalty = 12;
+    p.dtlbEntries = 16;
+    p.dtlbWays = 4;
+    p.stlbEntries = 0;
+    p.l1dSize = 32 * 1024;
+    p.l1dWays = 8;
+    p.l2Size = 512 * 1024;
+    p.freqHz = 750'000'000ULL;
+    p.memOverlap = 0.6;
+    return p;
+}
+
+CoreParams
+emsStrongParams()
+{
+    CoreParams p = csCoreParams();
+    p.name = "ems-strong";
+    p.l2Size = 512 * 1024;
+    p.freqHz = 750'000'000ULL;
+    return p;
+}
+
+} // namespace hypertee

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Core configurations from Table III of the paper.
+ *
+ * | Parameter      | CS core | EMS weak | EMS medium | EMS strong |
+ * | pipeline       | OoO     | in-order | OoO        | OoO        |
+ * | fetch/decode   | 8/4     | 1/1      | 4/2        | 8/4        |
+ * | mem/int/fp     | 2/3/1   | 1/1/1    | 1/2/1      | 2/3/1      |
+ * | BHT            | TAGE 2k | GShare512| TAGE 1k    | TAGE 2k    |
+ * | ROB/STQ/LDQ    | 128/32/32| none    | 96/16/16   | 128/32/32  |
+ * | I/D TLB        | 32/32   | 8/8      | 16/16      | 32/32      |
+ * | L1 I/D         | 64/64KB | 16/16KB  | 32/32KB    | 64/64KB    |
+ * | L2             | 1MB     | 256KB    | 512KB      | 512KB      |
+ *
+ * CS cores run at 2.5 GHz, EMS cores at 750 MHz (Section VII-E).
+ */
+
+#ifndef HYPERTEE_CPU_CORE_PARAMS_HH
+#define HYPERTEE_CPU_CORE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hypertee
+{
+
+struct CoreParams
+{
+    std::string name = "core";
+    bool outOfOrder = true;
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 4;
+    unsigned memPorts = 2;
+    unsigned intAlus = 3;
+    unsigned fpAlus = 1;
+    unsigned robSize = 128;
+    unsigned ldqSize = 32;
+    unsigned stqSize = 32;
+
+    std::string bpKind = "tage";
+    std::size_t bpEntries = 2048;
+    unsigned mispredictPenalty = 14; ///< cycles (front-end refill)
+
+    std::size_t dtlbEntries = 32;
+    std::size_t dtlbWays = 4;
+    std::size_t stlbEntries = 1024; ///< unified L2 TLB; 0 = absent
+    std::size_t stlbWays = 8;
+    std::size_t l1dSize = 64 * 1024;
+    std::size_t l1dWays = 8;
+    std::size_t l2Size = 1024 * 1024;
+    std::size_t l2Ways = 8;
+
+    std::uint64_t freqHz = 2'500'000'000ULL;
+
+    /**
+     * Fraction of a memory access's miss latency the out-of-order
+     * window hides (derived from ROB/LDQ depth). In-order cores hide
+     * nothing.
+     */
+    double memOverlap = 0.75;
+};
+
+/** The BOOM-class computing-subsystem core. */
+CoreParams csCoreParams();
+
+/** EMS "weak": single-issue in-order Rocket-class core. */
+CoreParams emsWeakParams();
+
+/** EMS "medium": 2-wide OoO. */
+CoreParams emsMediumParams();
+
+/** EMS "strong": CS-class OoO at EMS frequency. */
+CoreParams emsStrongParams();
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CPU_CORE_PARAMS_HH

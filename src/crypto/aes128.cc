@@ -1,0 +1,236 @@
+#include "crypto/aes128.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+/** Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1. */
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+std::uint8_t
+rotl8(std::uint8_t x, int n)
+{
+    return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+}
+
+struct SboxTables
+{
+    std::uint8_t sbox[256];
+    std::uint8_t inv[256];
+
+    SboxTables()
+    {
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t x = static_cast<std::uint8_t>(i);
+            // Multiplicative inverse: x^254 (0 maps to 0).
+            std::uint8_t y = x;
+            if (x != 0) {
+                // x^254 via addition-chain of squarings/multiplies.
+                std::uint8_t acc = 1;
+                std::uint8_t base = x;
+                int e = 254;
+                while (e) {
+                    if (e & 1)
+                        acc = gfMul(acc, base);
+                    base = gfMul(base, base);
+                    e >>= 1;
+                }
+                y = acc;
+            } else {
+                y = 0;
+            }
+            std::uint8_t s = static_cast<std::uint8_t>(
+                y ^ rotl8(y, 1) ^ rotl8(y, 2) ^ rotl8(y, 3) ^ rotl8(y, 4) ^
+                0x63);
+            sbox[i] = s;
+        }
+        for (int i = 0; i < 256; ++i)
+            inv[sbox[i]] = static_cast<std::uint8_t>(i);
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+} // namespace
+
+Aes128::Aes128(const Bytes &key)
+{
+    fatalIf(key.size() != keySize, "AES-128 requires a 16-byte key");
+    const auto &t = tables();
+
+    std::memcpy(_roundKeys.data(), key.data(), keySize);
+    std::uint8_t rcon = 1;
+    for (int i = 4; i < 44; ++i) {
+        std::uint8_t temp[4];
+        std::memcpy(temp, &_roundKeys[4 * (i - 1)], 4);
+        if (i % 4 == 0) {
+            // RotWord + SubWord + Rcon
+            std::uint8_t first = temp[0];
+            temp[0] = static_cast<std::uint8_t>(t.sbox[temp[1]] ^ rcon);
+            temp[1] = t.sbox[temp[2]];
+            temp[2] = t.sbox[temp[3]];
+            temp[3] = t.sbox[first];
+            rcon = gfMul(rcon, 2);
+        }
+        for (int j = 0; j < 4; ++j) {
+            _roundKeys[4 * i + j] =
+                static_cast<std::uint8_t>(_roundKeys[4 * (i - 4) + j] ^
+                                          temp[j]);
+        }
+    }
+}
+
+void
+Aes128::encryptBlock(std::uint8_t block[blockSize]) const
+{
+    const auto &t = tables();
+    std::uint8_t s[16];
+    std::memcpy(s, block, 16);
+
+    auto add_round_key = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            s[i] ^= _roundKeys[16 * round + i];
+    };
+    auto sub_bytes = [&]() {
+        for (auto &b : s)
+            b = t.sbox[b];
+    };
+    auto shift_rows = [&]() {
+        // State is column-major: s[4*col + row].
+        for (int row = 1; row < 4; ++row) {
+            std::uint8_t tmp[4];
+            for (int col = 0; col < 4; ++col)
+                tmp[col] = s[4 * ((col + row) % 4) + row];
+            for (int col = 0; col < 4; ++col)
+                s[4 * col + row] = tmp[col];
+        }
+    };
+    auto mix_columns = [&]() {
+        for (int col = 0; col < 4; ++col) {
+            std::uint8_t *c = &s[4 * col];
+            std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+            c[0] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+            c[1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+            c[2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+            c[3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+        }
+    };
+
+    add_round_key(0);
+    for (int round = 1; round < 10; ++round) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+
+    std::memcpy(block, s, 16);
+}
+
+void
+Aes128::decryptBlock(std::uint8_t block[blockSize]) const
+{
+    const auto &t = tables();
+    std::uint8_t s[16];
+    std::memcpy(s, block, 16);
+
+    auto add_round_key = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            s[i] ^= _roundKeys[16 * round + i];
+    };
+    auto inv_sub_bytes = [&]() {
+        for (auto &b : s)
+            b = t.inv[b];
+    };
+    auto inv_shift_rows = [&]() {
+        for (int row = 1; row < 4; ++row) {
+            std::uint8_t tmp[4];
+            for (int col = 0; col < 4; ++col)
+                tmp[col] = s[4 * ((col + 4 - row) % 4) + row];
+            for (int col = 0; col < 4; ++col)
+                s[4 * col + row] = tmp[col];
+        }
+    };
+    auto inv_mix_columns = [&]() {
+        for (int col = 0; col < 4; ++col) {
+            std::uint8_t *c = &s[4 * col];
+            std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+            c[0] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^
+                   gfMul(a3, 9);
+            c[1] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^
+                   gfMul(a3, 13);
+            c[2] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^
+                   gfMul(a3, 11);
+            c[3] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^
+                   gfMul(a3, 14);
+        }
+    };
+
+    add_round_key(10);
+    for (int round = 9; round >= 1; --round) {
+        inv_shift_rows();
+        inv_sub_bytes();
+        add_round_key(round);
+        inv_mix_columns();
+    }
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(0);
+
+    std::memcpy(block, s, 16);
+}
+
+Bytes
+Aes128::ctrTransform(const Bytes &data, std::uint64_t nonce,
+                     std::uint64_t initial_counter) const
+{
+    Bytes out(data.size());
+    std::uint64_t counter = initial_counter;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        std::uint8_t block[16];
+        for (int i = 0; i < 8; ++i)
+            block[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+        for (int i = 0; i < 8; ++i) {
+            block[8 + i] =
+                static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+        }
+        encryptBlock(block);
+        std::size_t n = std::min<std::size_t>(16, data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = data[off + i] ^ block[i];
+        off += n;
+        ++counter;
+    }
+    return out;
+}
+
+} // namespace hypertee

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AES-128 (FIPS 197) block cipher with CTR mode.
+ *
+ * Models the per-enclave MKTME-style memory encryption functionally
+ * and implements data sealing and shared-memory encryption. The S-box
+ * is derived at initialization from the GF(2^8) inverse + affine map
+ * definition rather than a hard-coded table.
+ */
+
+#ifndef HYPERTEE_CRYPTO_AES128_HH
+#define HYPERTEE_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+class Aes128
+{
+  public:
+    static constexpr std::size_t blockSize = 16;
+    static constexpr std::size_t keySize = 16;
+
+    /** @param key 16-byte cipher key. */
+    explicit Aes128(const Bytes &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[blockSize]) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(std::uint8_t block[blockSize]) const;
+
+    /**
+     * CTR-mode keystream transform (encrypt == decrypt). The counter
+     * block is nonce (8 bytes) || big-endian 64-bit block counter.
+     */
+    Bytes ctrTransform(const Bytes &data, std::uint64_t nonce,
+                       std::uint64_t initial_counter = 0) const;
+
+  private:
+    std::array<std::uint8_t, 176> _roundKeys; // 11 round keys
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_AES128_HH

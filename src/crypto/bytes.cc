@@ -1,0 +1,89 @@
+#include "crypto/bytes.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+std::string
+toHex(const std::uint8_t *data, std::size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+toHex(const Bytes &data)
+{
+    return toHex(data.data(), data.size());
+}
+
+namespace
+{
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+Bytes
+fromHex(const std::string &hex)
+{
+    fatalIf(hex.size() % 2 != 0, "odd-length hex string");
+    Bytes out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        int hi = hexDigit(hex[2 * i]);
+        int lo = hexDigit(hex[2 * i + 1]);
+        fatalIf(hi < 0 || lo < 0, "malformed hex string: ", hex);
+        out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    return out;
+}
+
+bool
+ctEqual(const std::uint8_t *a, const std::uint8_t *b, std::size_t len)
+{
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < len; ++i)
+        acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+bool
+ctEqual(const Bytes &a, const Bytes &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return ctEqual(a.data(), b.data(), a.size());
+}
+
+Bytes
+bytesFromString(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+void
+xorInto(Bytes &a, const Bytes &b)
+{
+    panicIf(a.size() != b.size(), "xorInto size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] ^= b[i];
+}
+
+} // namespace hypertee

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Byte-buffer conveniences shared by the crypto primitives.
+ */
+
+#ifndef HYPERTEE_CRYPTO_BYTES_HH
+#define HYPERTEE_CRYPTO_BYTES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hypertee
+{
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Render a buffer as lowercase hex. */
+std::string toHex(const std::uint8_t *data, std::size_t len);
+std::string toHex(const Bytes &data);
+
+/** Parse lowercase/uppercase hex; fatal() on malformed input. */
+Bytes fromHex(const std::string &hex);
+
+/**
+ * Constant-time equality: the comparison examines every byte
+ * regardless of where the first mismatch occurs, so MAC and
+ * measurement checks do not leak the mismatch position.
+ */
+bool ctEqual(const std::uint8_t *a, const std::uint8_t *b, std::size_t len);
+bool ctEqual(const Bytes &a, const Bytes &b);
+
+/** Bytes from a string literal's characters. */
+Bytes bytesFromString(const std::string &s);
+
+/** XOR b into a (sizes must match). */
+void xorInto(Bytes &a, const Bytes &b);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_BYTES_HH

@@ -1,0 +1,66 @@
+#include "crypto/crypto_engine.hh"
+
+#include <cmath>
+
+namespace hypertee
+{
+
+Tick
+CryptoEngine::cyclesToTicks(double cycles) const
+{
+    double seconds = cycles / static_cast<double>(_p.coreFreqHz);
+    return static_cast<Tick>(std::llround(seconds * ticksPerSecond));
+}
+
+Tick
+CryptoEngine::bulkTime(std::uint64_t bytes, double engine_bps,
+                       double sw_cycles_per_byte) const
+{
+    if (_present) {
+        double seconds = (bytes * 8.0) / engine_bps;
+        return _p.engineSetupTicks +
+               static_cast<Tick>(std::llround(seconds * ticksPerSecond));
+    }
+    return cyclesToTicks(bytes * sw_cycles_per_byte);
+}
+
+Tick
+CryptoEngine::shaTime(std::uint64_t bytes) const
+{
+    return bulkTime(bytes, _p.engineShaBps, _p.softwareShaCyclesPerByte);
+}
+
+Tick
+CryptoEngine::aesTime(std::uint64_t bytes) const
+{
+    return bulkTime(bytes, _p.engineAesBps, _p.softwareAesCyclesPerByte);
+}
+
+Tick
+CryptoEngine::signTime() const
+{
+    if (_present) {
+        return _p.engineSetupTicks +
+               static_cast<Tick>(ticksPerSecond / _p.engineSignOpsPerSec);
+    }
+    return cyclesToTicks(_p.softwareSignCycles);
+}
+
+Tick
+CryptoEngine::verifyTime() const
+{
+    if (_present) {
+        return _p.engineSetupTicks +
+               static_cast<Tick>(ticksPerSecond /
+                                 _p.engineVerifyOpsPerSec);
+    }
+    return cyclesToTicks(_p.softwareVerifyCycles);
+}
+
+Tick
+CryptoEngine::ecdhTime() const
+{
+    return cyclesToTicks(_p.softwareEcdhCycles);
+}
+
+} // namespace hypertee

@@ -1,0 +1,287 @@
+#include "crypto/fe25519.hh"
+
+#include <cstring>
+
+namespace hypertee
+{
+
+namespace
+{
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 mask51 = (u64(1) << 51) - 1;
+
+/** One pass of base-2^51 carry propagation with the mod-p fold. */
+void
+carryPass(Fe &h)
+{
+    u64 c;
+    c = h[0] >> 51; h[0] &= mask51; h[1] += c;
+    c = h[1] >> 51; h[1] &= mask51; h[2] += c;
+    c = h[2] >> 51; h[2] &= mask51; h[3] += c;
+    c = h[3] >> 51; h[3] &= mask51; h[4] += c;
+    c = h[4] >> 51; h[4] &= mask51; h[0] += 19 * c;
+}
+
+} // namespace
+
+Fe
+feZero()
+{
+    return {0, 0, 0, 0, 0};
+}
+
+Fe
+feOne()
+{
+    return {1, 0, 0, 0, 0};
+}
+
+Fe
+feFromUint(u64 v)
+{
+    Fe f{v & mask51, (v >> 51) & mask51, 0, 0, 0};
+    return f;
+}
+
+Fe
+feFromBytes(const std::uint8_t bytes[32])
+{
+    auto load64 = [&](int off) {
+        u64 v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | bytes[off + i];
+        return v;
+    };
+    u64 w0 = load64(0);
+    u64 w1 = load64(8);
+    u64 w2 = load64(16);
+    u64 w3 = load64(24);
+
+    Fe f;
+    f[0] = w0 & mask51;
+    f[1] = ((w0 >> 51) | (w1 << 13)) & mask51;
+    f[2] = ((w1 >> 38) | (w2 << 26)) & mask51;
+    f[3] = ((w2 >> 25) | (w3 << 39)) & mask51;
+    // The mask drops bit 255 of the encoding, as required.
+    f[4] = (w3 >> 12) & mask51;
+    return f;
+}
+
+void
+feToBytes(std::uint8_t out[32], const Fe &f)
+{
+    Fe h = f;
+    carryPass(h);
+    carryPass(h);
+    carryPass(h);
+
+    // h now < 2^255 + small; reduce mod p exactly.
+    // Compute h + 19 and use the carry out of bit 255 to decide
+    // whether h >= p (standard trick).
+    Fe t = h;
+    t[0] += 19;
+    u64 c;
+    c = t[0] >> 51; t[0] &= mask51; t[1] += c;
+    c = t[1] >> 51; t[1] &= mask51; t[2] += c;
+    c = t[2] >> 51; t[2] &= mask51; t[3] += c;
+    c = t[3] >> 51; t[3] &= mask51; t[4] += c;
+    u64 ge_p = t[4] >> 51; // 1 iff h + 19 >= 2^255, i.e. h >= p
+
+    if (ge_p) {
+        // h - p = (h + 19) - 2^255
+        t[4] &= mask51;
+        h = t;
+    }
+
+    u64 w0 = h[0] | (h[1] << 51);
+    u64 w1 = (h[1] >> 13) | (h[2] << 38);
+    u64 w2 = (h[2] >> 26) | (h[3] << 25);
+    u64 w3 = (h[3] >> 39) | (h[4] << 12);
+
+    auto store64 = [&](int off, u64 v) {
+        for (int i = 0; i < 8; ++i)
+            out[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    store64(0, w0);
+    store64(8, w1);
+    store64(16, w2);
+    store64(24, w3);
+}
+
+Fe
+feAdd(const Fe &a, const Fe &b)
+{
+    Fe h;
+    for (int i = 0; i < 5; ++i)
+        h[i] = a[i] + b[i];
+    carryPass(h);
+    return h;
+}
+
+Fe
+feSub(const Fe &a, const Fe &b)
+{
+    // Add 2p before subtracting so limbs never underflow.
+    static constexpr u64 two_p0 = 0xfffffffffffdaULL; // 2*(2^51-19)
+    static constexpr u64 two_pi = 0xffffffffffffeULL; // 2*(2^51-1)
+    Fe h;
+    h[0] = a[0] + two_p0 - b[0];
+    h[1] = a[1] + two_pi - b[1];
+    h[2] = a[2] + two_pi - b[2];
+    h[3] = a[3] + two_pi - b[3];
+    h[4] = a[4] + two_pi - b[4];
+    carryPass(h);
+    return h;
+}
+
+Fe
+feNeg(const Fe &a)
+{
+    return feSub(feZero(), a);
+}
+
+Fe
+feMul(const Fe &a, const Fe &b)
+{
+    const u64 a0 = a[0], a1 = a[1], a2 = a[2], a3 = a[3], a4 = a[4];
+    const u64 b0 = b[0], b1 = b[1], b2 = b[2], b3 = b[3], b4 = b[4];
+
+    u128 r0 = (u128)a0 * b0 +
+              (u128)19 * ((u128)a1 * b4 + (u128)a2 * b3 + (u128)a3 * b2 +
+                          (u128)a4 * b1);
+    u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 +
+              (u128)19 * ((u128)a2 * b4 + (u128)a3 * b3 + (u128)a4 * b2);
+    u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+              (u128)19 * ((u128)a3 * b4 + (u128)a4 * b3);
+    u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 +
+              (u128)a3 * b0 + (u128)19 * ((u128)a4 * b4);
+    u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 +
+              (u128)a3 * b1 + (u128)a4 * b0;
+
+    Fe h;
+    u128 c;
+    c = r0 >> 51; r1 += c; h[0] = (u64)r0 & mask51;
+    c = r1 >> 51; r2 += c; h[1] = (u64)r1 & mask51;
+    c = r2 >> 51; r3 += c; h[2] = (u64)r2 & mask51;
+    c = r3 >> 51; r4 += c; h[3] = (u64)r3 & mask51;
+    c = r4 >> 51; h[4] = (u64)r4 & mask51;
+    h[0] += 19 * (u64)c;
+    carryPass(h);
+    return h;
+}
+
+Fe
+feSq(const Fe &a)
+{
+    return feMul(a, a);
+}
+
+Fe
+feMulSmall(const Fe &a, u64 s)
+{
+    u128 c = 0;
+    Fe h;
+    for (int i = 0; i < 5; ++i) {
+        u128 v = (u128)a[i] * s + c;
+        h[i] = (u64)v & mask51;
+        c = v >> 51;
+    }
+    h[0] += 19 * (u64)c;
+    carryPass(h);
+    return h;
+}
+
+Fe
+fePow(const Fe &a, const std::uint8_t exp_be[32])
+{
+    Fe result = feOne();
+    bool started = false;
+    for (int byte = 0; byte < 32; ++byte) {
+        for (int bit = 7; bit >= 0; --bit) {
+            if (started)
+                result = feSq(result);
+            if ((exp_be[byte] >> bit) & 1) {
+                result = feMul(result, a);
+                started = true;
+            }
+        }
+    }
+    return result;
+}
+
+Fe
+feInvert(const Fe &a)
+{
+    // p - 2 = 2^255 - 21 = 0x7fff...ffeb (big endian)
+    std::uint8_t e[32];
+    std::memset(e, 0xff, sizeof(e));
+    e[0] = 0x7f;
+    e[31] = 0xeb;
+    return fePow(a, e);
+}
+
+Fe
+fePow2523(const Fe &a)
+{
+    // (p - 5) / 8 = 2^252 - 3 = 0x0fff...fffd (big endian)
+    std::uint8_t e[32];
+    std::memset(e, 0xff, sizeof(e));
+    e[0] = 0x0f;
+    e[31] = 0xfd;
+    return fePow(a, e);
+}
+
+bool
+feIsZero(const Fe &a)
+{
+    std::uint8_t b[32];
+    feToBytes(b, a);
+    std::uint8_t acc = 0;
+    for (auto v : b)
+        acc |= v;
+    return acc == 0;
+}
+
+bool
+feIsNegative(const Fe &a)
+{
+    std::uint8_t b[32];
+    feToBytes(b, a);
+    return b[0] & 1;
+}
+
+bool
+feEqual(const Fe &a, const Fe &b)
+{
+    std::uint8_t ba[32], bb[32];
+    feToBytes(ba, a);
+    feToBytes(bb, b);
+    return std::memcmp(ba, bb, 32) == 0;
+}
+
+void
+feCswap(Fe &a, Fe &b, bool swap)
+{
+    const u64 m = swap ? ~u64(0) : 0;
+    for (int i = 0; i < 5; ++i) {
+        u64 t = m & (a[i] ^ b[i]);
+        a[i] ^= t;
+        b[i] ^= t;
+    }
+}
+
+Fe
+feSqrtM1()
+{
+    // sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5 = 0x1fff...fffb.
+    std::uint8_t e[32];
+    std::memset(e, 0xff, sizeof(e));
+    e[0] = 0x1f;
+    e[31] = 0xfb;
+    return fePow(feFromUint(2), e);
+}
+
+} // namespace hypertee

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Arithmetic in GF(2^255 - 19) with 5x51-bit limbs (donna layout).
+ * Shared by the X25519 key agreement (local/remote attestation DH)
+ * and the Ed25519 signatures (attestation certificates).
+ */
+
+#ifndef HYPERTEE_CRYPTO_FE25519_HH
+#define HYPERTEE_CRYPTO_FE25519_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hypertee
+{
+
+/** A field element; limb i carries bits [51*i, 51*i+51). */
+using Fe = std::array<std::uint64_t, 5>;
+
+Fe feZero();
+Fe feOne();
+Fe feFromUint(std::uint64_t v);
+
+/** Load 32 little-endian bytes, masking the top bit. */
+Fe feFromBytes(const std::uint8_t bytes[32]);
+
+/** Store fully reduced, 32 little-endian bytes. */
+void feToBytes(std::uint8_t out[32], const Fe &f);
+
+Fe feAdd(const Fe &a, const Fe &b);
+Fe feSub(const Fe &a, const Fe &b);
+Fe feMul(const Fe &a, const Fe &b);
+Fe feSq(const Fe &a);
+Fe feNeg(const Fe &a);
+Fe feMulSmall(const Fe &a, std::uint64_t s);
+
+/** a^e where e is given as 32 big-endian bytes. */
+Fe fePow(const Fe &a, const std::uint8_t exp_be[32]);
+
+/** Multiplicative inverse (a^(p-2)); inverse of 0 is 0. */
+Fe feInvert(const Fe &a);
+
+/** a^((p-5)/8), the core of the square-root computation. */
+Fe fePow2523(const Fe &a);
+
+/** True when the canonical encoding is all zero. */
+bool feIsZero(const Fe &a);
+
+/** Sign bit: lowest bit of the canonical encoding. */
+bool feIsNegative(const Fe &a);
+
+/** True when canonical encodings match. */
+bool feEqual(const Fe &a, const Fe &b);
+
+/** Conditional swap (data-independent addressing). */
+void feCswap(Fe &a, Fe &b, bool swap);
+
+/** sqrt(-1) in the field. */
+Fe feSqrtM1();
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_FE25519_HH

@@ -1,0 +1,69 @@
+#include "crypto/hmac.hh"
+
+#include "crypto/sha256.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Bytes
+hmacSha256(const Bytes &key, const Bytes &message)
+{
+    Bytes k = key;
+    if (k.size() > Sha256::blockSize)
+        k = Sha256::digest(k);
+    k.resize(Sha256::blockSize, 0);
+
+    Bytes ipad(Sha256::blockSize), opad(Sha256::blockSize);
+    for (std::size_t i = 0; i < Sha256::blockSize; ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    auto inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest.data(), inner_digest.size());
+    auto tag = outer.finish();
+    return Bytes(tag.begin(), tag.end());
+}
+
+Bytes
+hkdfExtract(const Bytes &salt, const Bytes &ikm)
+{
+    Bytes s = salt;
+    if (s.empty())
+        s.assign(Sha256::digestSize, 0);
+    return hmacSha256(s, ikm);
+}
+
+Bytes
+hkdfExpand(const Bytes &prk, const Bytes &info, std::size_t length)
+{
+    fatalIf(length > 255 * Sha256::digestSize, "HKDF output too long");
+    Bytes okm;
+    Bytes t;
+    std::uint8_t counter = 1;
+    while (okm.size() < length) {
+        Bytes block = t;
+        block.insert(block.end(), info.begin(), info.end());
+        block.push_back(counter++);
+        t = hmacSha256(prk, block);
+        okm.insert(okm.end(), t.begin(), t.end());
+    }
+    okm.resize(length);
+    return okm;
+}
+
+Bytes
+hkdf(const Bytes &ikm, const Bytes &salt, const Bytes &info,
+     std::size_t length)
+{
+    return hkdfExpand(hkdfExtract(salt, ikm), info, length);
+}
+
+} // namespace hypertee

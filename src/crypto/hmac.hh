@@ -1,0 +1,33 @@
+/**
+ * @file
+ * HMAC-SHA256 and HKDF (RFC 2104 / RFC 5869).
+ *
+ * All EMS key derivations (attestation key from SK + salt, sealing
+ * key from SK + measurement, shared-memory key from EnclaveID +
+ * ShmID) are HKDF expansions rooted in the eFuse keys (Section VI).
+ */
+
+#ifndef HYPERTEE_CRYPTO_HMAC_HH
+#define HYPERTEE_CRYPTO_HMAC_HH
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+/** HMAC-SHA256; returns a 32-byte tag. */
+Bytes hmacSha256(const Bytes &key, const Bytes &message);
+
+/** HKDF-Extract: PRK = HMAC(salt, ikm). */
+Bytes hkdfExtract(const Bytes &salt, const Bytes &ikm);
+
+/** HKDF-Expand to @p length bytes (length <= 255*32). */
+Bytes hkdfExpand(const Bytes &prk, const Bytes &info, std::size_t length);
+
+/** Extract-then-expand convenience. */
+Bytes hkdf(const Bytes &ikm, const Bytes &salt, const Bytes &info,
+           std::size_t length);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_HMAC_HH

@@ -1,0 +1,91 @@
+#include "crypto/merkle.hh"
+
+#include "crypto/sha256.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Bytes
+MerkleTree::hashLeaf(const Bytes &data)
+{
+    Bytes msg;
+    msg.reserve(data.size() + 1);
+    msg.push_back(0x00); // domain separation: leaf
+    msg.insert(msg.end(), data.begin(), data.end());
+    return Sha256::digest(msg);
+}
+
+Bytes
+MerkleTree::hashNode(const Bytes &left, const Bytes &right)
+{
+    Bytes msg;
+    msg.reserve(left.size() + right.size() + 1);
+    msg.push_back(0x01); // domain separation: interior
+    msg.insert(msg.end(), left.begin(), left.end());
+    msg.insert(msg.end(), right.begin(), right.end());
+    return Sha256::digest(msg);
+}
+
+std::size_t
+MerkleTree::paddedSize(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes> &leaves)
+    : _leafCount(leaves.size()), _padded(paddedSize(leaves.size()))
+{
+    fatalIf(leaves.empty(), "Merkle tree needs at least one leaf");
+    _nodes.assign(2 * _padded, Bytes(32, 0));
+    for (std::size_t i = 0; i < _padded; ++i) {
+        _nodes[_padded + i] = i < _leafCount
+                                  ? hashLeaf(leaves[i])
+                                  : Bytes(32, 0); // empty-slot leaf
+    }
+    for (std::size_t i = _padded - 1; i >= 1; --i)
+        _nodes[i] = hashNode(_nodes[2 * i], _nodes[2 * i + 1]);
+}
+
+void
+MerkleTree::updateLeaf(std::size_t index, const Bytes &data)
+{
+    panicIf(index >= _leafCount, "leaf index out of range");
+    std::size_t node = _padded + index;
+    _nodes[node] = hashLeaf(data);
+    for (node /= 2; node >= 1; node /= 2)
+        _nodes[node] = hashNode(_nodes[2 * node], _nodes[2 * node + 1]);
+}
+
+std::vector<Bytes>
+MerkleTree::prove(std::size_t index) const
+{
+    panicIf(index >= _leafCount, "leaf index out of range");
+    std::vector<Bytes> proof;
+    for (std::size_t node = _padded + index; node > 1; node /= 2)
+        proof.push_back(_nodes[node ^ 1]);
+    return proof;
+}
+
+bool
+MerkleTree::verify(const Bytes &root, std::size_t index,
+                   std::size_t leaf_count, const Bytes &data,
+                   const std::vector<Bytes> &proof)
+{
+    if (index >= leaf_count)
+        return false;
+    std::size_t padded = paddedSize(leaf_count);
+    Bytes hash = hashLeaf(data);
+    std::size_t node = padded + index;
+    for (const Bytes &sibling : proof) {
+        hash = (node & 1) ? hashNode(sibling, hash)
+                          : hashNode(hash, sibling);
+        node /= 2;
+    }
+    return node == 1 && ctEqual(hash, root);
+}
+
+} // namespace hypertee

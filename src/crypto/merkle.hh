@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 Merkle tree.
+ *
+ * Section IX: CVM snapshot/restore protects confidential-VM memory
+ * with AES encryption plus a Merkle tree whose root lives in EMS
+ * private memory. The tree supports incremental leaf updates (dirty
+ * page tracking between snapshots) and membership proofs (verified
+ * restore of individual pages).
+ */
+
+#ifndef HYPERTEE_CRYPTO_MERKLE_HH
+#define HYPERTEE_CRYPTO_MERKLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+class MerkleTree
+{
+  public:
+    /** Build over @p leaves (each hashed with a leaf prefix). */
+    explicit MerkleTree(const std::vector<Bytes> &leaves);
+
+    /** Root hash (32 bytes). */
+    const Bytes &root() const { return _nodes.at(1); }
+
+    std::size_t leafCount() const { return _leafCount; }
+
+    /** Recompute the path after replacing leaf @p index. */
+    void updateLeaf(std::size_t index, const Bytes &data);
+
+    /** Sibling path for leaf @p index, bottom-up. */
+    std::vector<Bytes> prove(std::size_t index) const;
+
+    /**
+     * Verify a membership proof against a known root.
+     * @param index leaf position, @param data leaf content.
+     */
+    static bool verify(const Bytes &root, std::size_t index,
+                       std::size_t leaf_count, const Bytes &data,
+                       const std::vector<Bytes> &proof);
+
+  private:
+    static Bytes hashLeaf(const Bytes &data);
+    static Bytes hashNode(const Bytes &left, const Bytes &right);
+    static std::size_t paddedSize(std::size_t n);
+
+    std::size_t _leafCount;
+    std::size_t _padded;
+    /** Heap layout: node i has children 2i and 2i+1; leaves at
+     *  [_padded, 2*_padded). */
+    std::vector<Bytes> _nodes;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_MERKLE_HH

@@ -1,0 +1,191 @@
+#include "crypto/sha3.hh"
+
+#include <cstring>
+
+namespace hypertee
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int n)
+{
+    n &= 63;
+    if (n == 0)
+        return x;
+    return (x << n) | (x >> (64 - n));
+}
+
+/** FIPS 202 rc(t): bit t of the degree-8 LFSR output stream. */
+bool
+lfsrRc(int t)
+{
+    if (t % 255 == 0)
+        return true;
+    std::uint8_t r = 1;
+    for (int i = 1; i <= t % 255; ++i) {
+        bool r8 = r & 0x80;
+        r <<= 1;
+        if (r8)
+            r ^= 0x71; // x^8 = x^6 + x^5 + x^4 + 1 feedback
+    }
+    return r & 1;
+}
+
+struct KeccakTables
+{
+    std::uint64_t rc[24];
+    int rho[5][5];
+    int piX[5][5]; // destination coordinates of the pi step
+    int piY[5][5];
+
+    KeccakTables()
+    {
+        for (int ir = 0; ir < 24; ++ir) {
+            std::uint64_t v = 0;
+            for (int j = 0; j <= 6; ++j) {
+                if (lfsrRc(j + 7 * ir))
+                    v |= 1ULL << ((1 << j) - 1);
+            }
+            rc[ir] = v;
+        }
+
+        // rho offsets: walk (x,y) -> (y, 2x+3y) from (1,0).
+        for (auto &row : rho)
+            std::memset(row, 0, sizeof(row));
+        int x = 1, y = 0;
+        for (int t = 0; t < 24; ++t) {
+            rho[x][y] = ((t + 1) * (t + 2) / 2) % 64;
+            int nx = y;
+            int ny = (2 * x + 3 * y) % 5;
+            x = nx;
+            y = ny;
+        }
+
+        // pi: A'[y][2x+3y] = A[x][y].
+        for (int px = 0; px < 5; ++px) {
+            for (int py = 0; py < 5; ++py) {
+                piX[px][py] = py;
+                piY[px][py] = (2 * px + 3 * py) % 5;
+            }
+        }
+    }
+};
+
+const KeccakTables &
+tables()
+{
+    static const KeccakTables t;
+    return t;
+}
+
+/** The Keccak-f[1600] permutation over a 5x5 lane state. */
+void
+keccakF(std::uint64_t a[5][5])
+{
+    const KeccakTables &t = tables();
+    for (int round = 0; round < 24; ++round) {
+        // theta
+        std::uint64_t c[5], d[5];
+        for (int x = 0; x < 5; ++x)
+            c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        for (int x = 0; x < 5; ++x)
+            d[x] = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
+        for (int x = 0; x < 5; ++x)
+            for (int y = 0; y < 5; ++y)
+                a[x][y] ^= d[x];
+
+        // rho + pi
+        std::uint64_t b[5][5];
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                b[t.piX[x][y]][t.piY[x][y]] = rotl(a[x][y], t.rho[x][y]);
+            }
+        }
+
+        // chi
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                a[x][y] =
+                    b[x][y] ^ (~b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+
+        // iota
+        a[0][0] ^= t.rc[round];
+    }
+}
+
+/** Sponge with rate 136 bytes (SHA3-256), domain pad 0x06. */
+void
+sponge256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
+{
+    constexpr std::size_t rate = 136;
+    std::uint64_t state[5][5];
+    std::memset(state, 0, sizeof(state));
+
+    auto absorb_block = [&](const std::uint8_t *block) {
+        for (std::size_t i = 0; i < rate / 8; ++i) {
+            std::uint64_t lane = 0;
+            for (int j = 7; j >= 0; --j)
+                lane = (lane << 8) | block[8 * i + j];
+            state[i % 5][i / 5] ^= lane;
+        }
+        keccakF(state);
+    };
+
+    while (len >= rate) {
+        absorb_block(data);
+        data += rate;
+        len -= rate;
+    }
+
+    std::uint8_t last[rate];
+    std::memset(last, 0, sizeof(last));
+    std::memcpy(last, data, len);
+    last[len] ^= 0x06;
+    last[rate - 1] ^= 0x80;
+    absorb_block(last);
+
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t lane = state[i % 5][i / 5];
+        for (int j = 0; j < 8; ++j)
+            out[8 * i + j] = static_cast<std::uint8_t>(lane >> (8 * j));
+    }
+}
+
+} // namespace
+
+Bytes
+sha3_256(const std::uint8_t *data, std::size_t len)
+{
+    Bytes out(32);
+    sponge256(data, len, out.data());
+    return out;
+}
+
+Bytes
+sha3_256(const Bytes &data)
+{
+    return sha3_256(data.data(), data.size());
+}
+
+std::uint32_t
+sha3Mac28(const Bytes &key, std::uint64_t address, const std::uint8_t *line,
+          std::size_t len)
+{
+    Bytes msg;
+    msg.reserve(key.size() + 8 + len);
+    msg.insert(msg.end(), key.begin(), key.end());
+    for (int i = 0; i < 8; ++i)
+        msg.push_back(static_cast<std::uint8_t>(address >> (8 * i)));
+    msg.insert(msg.end(), line, line + len);
+    Bytes d = sha3_256(msg);
+    std::uint32_t mac = std::uint32_t(d[0]) | (std::uint32_t(d[1]) << 8) |
+                        (std::uint32_t(d[2]) << 16) |
+                        (std::uint32_t(d[3]) << 24);
+    return mac & 0x0fffffff;
+}
+
+} // namespace hypertee

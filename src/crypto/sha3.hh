@@ -1,0 +1,34 @@
+/**
+ * @file
+ * SHA3-256 / Keccak-f[1600] (FIPS 202).
+ *
+ * The paper's memory-integrity engine uses a SHA-3 based 28-bit MAC
+ * (Section IV-C); sha3Mac28() provides that truncated keyed MAC.
+ * Round constants and rotation offsets are derived from the FIPS 202
+ * LFSR and pi-walk definitions rather than hard-coded tables.
+ */
+
+#ifndef HYPERTEE_CRYPTO_SHA3_HH
+#define HYPERTEE_CRYPTO_SHA3_HH
+
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+/** One-shot SHA3-256 digest (32 bytes). */
+Bytes sha3_256(const std::uint8_t *data, std::size_t len);
+Bytes sha3_256(const Bytes &data);
+
+/**
+ * The 28-bit keyed MAC the memory integrity engine stores per cache
+ * line: SHA3-256(key || address || line) truncated to 28 bits.
+ */
+std::uint32_t sha3Mac28(const Bytes &key, std::uint64_t address,
+                        const std::uint8_t *line, std::size_t len);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_SHA3_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SHA-512 (FIPS 180-4). Required by the Ed25519 signatures used for
+ * attestation certificates.
+ */
+
+#ifndef HYPERTEE_CRYPTO_SHA512_HH
+#define HYPERTEE_CRYPTO_SHA512_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+class Sha512
+{
+  public:
+    static constexpr std::size_t digestSize = 64;
+    static constexpr std::size_t blockSize = 128;
+
+    Sha512();
+
+    void update(const std::uint8_t *data, std::size_t len);
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    std::array<std::uint8_t, digestSize> finish();
+
+    static Bytes digest(const Bytes &data);
+    static Bytes digest(const std::uint8_t *data, std::size_t len);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint64_t _state[8];
+    std::uint64_t _bitLen = 0;
+    std::uint8_t _buffer[blockSize];
+    std::size_t _bufLen = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_SHA512_HH

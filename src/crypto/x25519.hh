@@ -1,0 +1,23 @@
+/**
+ * @file
+ * X25519 Diffie-Hellman (RFC 7748), the ECDH used by HyperTEE local
+ * attestation and the SIGMA remote-attestation key agreement.
+ */
+
+#ifndef HYPERTEE_CRYPTO_X25519_HH
+#define HYPERTEE_CRYPTO_X25519_HH
+
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+
+/** scalar * point, both 32 bytes; returns the 32-byte shared u. */
+Bytes x25519(const Bytes &scalar, const Bytes &point);
+
+/** scalar * basepoint(9): derive a public key. */
+Bytes x25519Base(const Bytes &scalar);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_CRYPTO_X25519_HH

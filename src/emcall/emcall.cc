@@ -1,0 +1,152 @@
+#include "emcall/emcall.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+EmCall::EmCall(Mailbox *mailbox, const EmCallParams &params,
+               std::uint64_t jitter_seed)
+    : _mailbox(mailbox), _p(params), _rng(jitter_seed),
+      _nextReqId(params.reqIdBase + 1)
+{
+    panicIf(mailbox == nullptr, "EMCall needs the mailbox");
+}
+
+Tick
+EmCall::cyclesToTicks(Cycles c) const
+{
+    return c * (ticksPerSecond / _p.csFreqHz);
+}
+
+InvokeResult
+EmCall::invoke(PrimitiveOp op, PrivMode mode,
+               std::vector<std::uint64_t> args, Bytes payload)
+{
+    InvokeResult result;
+    result.latency = cyclesToTicks(_p.gateEntryCycles);
+
+    // Protection 1: cross-privilege requests are blocked at the gate.
+    if (mode != requiredPrivilege(op) && mode != PrivMode::Machine) {
+        ++_blockedPriv;
+        result.accepted = false;
+        result.response.status = PrimStatus::PermissionDenied;
+        return result;
+    }
+
+    // Protection 2: the gate encapsulates the *tracked* identity.
+    PrimitiveRequest req;
+    req.reqId = _nextReqId++;
+    req.op = op;
+    req.caller = _currentEnclave;
+    req.mode = mode;
+    req.args = std::move(args);
+    req.payload = std::move(payload);
+
+    // Scheduling obfuscation: requests leave the Tx queue with a
+    // randomized dispatch slot.
+    if (_obfuscate)
+        result.latency += _rng.below(_p.pollJitterMax);
+
+    result.latency += _mailbox->transferLatency();
+    if (!_mailbox->pushRequest(req)) {
+        result.accepted = false;
+        result.response.status = PrimStatus::Busy;
+        return result;
+    }
+    ++_issued;
+
+    // Protection 3: poll only our own response id. The doorbell-fed
+    // EMS runtime services the queue; in the functional model the
+    // response is available after the doorbell returns, and the
+    // serviceTime recorded by the EMS is added to the round trip.
+    PrimitiveResponse resp;
+    int polls = 1;
+    while (!_mailbox->pollResponse(req.reqId, resp)) {
+        ++polls;
+        panicIf(polls > 1'000'000, "EMS never answered request ",
+                req.reqId, " (", primitiveName(op), ")");
+    }
+    result.latency += Tick(polls) * _p.pollInterval;
+    if (_obfuscate)
+        result.latency += _rng.below(_p.pollJitterMax);
+    result.latency += resp.completedAt; // EMS-side service time
+    result.latency += _mailbox->transferLatency();
+    result.latency += cyclesToTicks(_p.gateExitCycles);
+
+    // Protection 4: atomic CS register updates on context switches.
+    if (resp.status == PrimStatus::Ok) {
+        if ((resp.flags & kFlagEnterEnclave) && !resp.results.empty()) {
+            EnclaveId target = static_cast<EnclaveId>(resp.results[0]);
+            _currentEnclave = target;
+            _inEnclave = true;
+            if (_hooks.switchContext)
+                _hooks.switchContext(target, true);
+        } else if (resp.flags & kFlagExitEnclave) {
+            _currentEnclave = invalidEnclaveId;
+            _inEnclave = false;
+            if (_hooks.switchContext)
+                _hooks.switchContext(invalidEnclaveId, false);
+        }
+        if ((resp.flags & kFlagFlushTlb) && _hooks.flushTlb)
+            _hooks.flushTlb();
+    }
+
+    result.accepted = true;
+    result.response = std::move(resp);
+    return result;
+}
+
+ExcRoute
+EmCall::asyncExit(ExcCause cause, std::uint64_t pc)
+{
+    ExcRoute r = route(cause);
+    if (!_inEnclave)
+        return r; // nothing enclave-side to park
+    if (r == ExcRoute::ToCsOs) {
+        // Park the enclave: record the resume point, restore the
+        // host context atomically, and let the CS OS handle the
+        // interrupt. Enclave registers would be scrubbed here.
+        _aexEnclave = _currentEnclave;
+        _aexPc = pc;
+        _currentEnclave = invalidEnclaveId;
+        _inEnclave = false;
+        if (_hooks.switchContext)
+            _hooks.switchContext(invalidEnclaveId, false);
+    }
+    // ToEms: the gate itself forwards the fault (e.g. the EALLOC
+    // page-fault path); the enclave context stays live.
+    return r;
+}
+
+bool
+EmCall::resumeFromAex()
+{
+    if (_aexEnclave == invalidEnclaveId)
+        return false;
+    EnclaveId target = _aexEnclave;
+    InvokeResult r = invoke(PrimitiveOp::EResume, PrivMode::User,
+                            {target});
+    if (!r.accepted || r.response.status != PrimStatus::Ok)
+        return false;
+    _aexEnclave = invalidEnclaveId;
+    _aexPc = 0;
+    return true;
+}
+
+ExcRoute
+EmCall::route(ExcCause cause)
+{
+    switch (cause) {
+      case ExcCause::PageFault:
+      case ExcCause::MisalignedAccess:
+        return ExcRoute::ToEms;
+      case ExcCause::IllegalInstruction:
+      case ExcCause::TimerInterrupt:
+      case ExcCause::ExternalInterrupt:
+        return ExcRoute::ToCsOs;
+    }
+    return ExcRoute::ToCsOs;
+}
+
+} // namespace hypertee

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Attestation and sealing protocols (Section VI).
+ *
+ * Remote attestation follows the SIGMA pattern: an X25519 key
+ * agreement authenticated by Ed25519 certificates over the platform
+ * (EK) and enclave (AK) measurements. Local attestation uses X25519
+ * plus symmetric report-key certificates that only the same-device
+ * EMS can mint and verify. Sealing binds data to measurement + SK.
+ */
+
+#ifndef HYPERTEE_EMS_ATTESTATION_HH
+#define HYPERTEE_EMS_ATTESTATION_HH
+
+#include "crypto/bytes.hh"
+#include "ems/key_manager.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** Signed evidence the EMS emits for EATTEST. */
+struct AttestationQuote
+{
+    Bytes platformMeasurement; ///< software-TCB hash from secure boot
+    Bytes enclaveMeasurement;
+    Bytes akSalt;              ///< salt that derived the AK
+    Bytes akPublicKey;
+    Bytes dhPublic;            ///< enclave's X25519 ephemeral share
+    Bytes platformSig;         ///< EK over (platformMeasurement||akPub)
+    Bytes enclaveSig;          ///< AK over (enclaveMeasurement||dh...)
+    Bytes verifierNonce;       ///< anti-replay, echoed from verifier
+
+    Bytes serialize() const;
+    static bool deserialize(const Bytes &data, AttestationQuote &out);
+};
+
+/** EMS side: build a quote for an enclave. */
+AttestationQuote buildQuote(const KeyManager &km,
+                            const Bytes &platform_measurement,
+                            const Bytes &enclave_measurement,
+                            const Bytes &ak_salt, const Bytes &dh_public,
+                            const Bytes &verifier_nonce);
+
+/**
+ * Remote-user side: verify a quote against the vendor-certified EK
+ * public key and the expected enclave measurement.
+ */
+bool verifyQuote(const AttestationQuote &quote, const Bytes &ek_public,
+                 const Bytes &expected_enclave_measurement,
+                 const Bytes &expected_nonce);
+
+/** Local-attestation certificate: report-key HMAC over measurement. */
+Bytes localReportCertificate(const KeyManager &km,
+                             const Bytes &challenger_measurement,
+                             const Bytes &verifier_measurement);
+
+bool verifyLocalReport(const KeyManager &km,
+                       const Bytes &challenger_measurement,
+                       const Bytes &verifier_measurement,
+                       const Bytes &certificate);
+
+/** Sealed blob: AES-CTR ciphertext + HMAC tag + nonce. */
+struct SealedBlob
+{
+    Bytes nonce;      ///< 8-byte CTR nonce
+    Bytes ciphertext;
+    Bytes tag;        ///< HMAC-SHA256 over nonce || ciphertext
+
+    Bytes serialize() const;
+    static bool deserialize(const Bytes &data, SealedBlob &out);
+};
+
+SealedBlob seal(const KeyManager &km, const Bytes &measurement,
+                const Bytes &plaintext, std::uint64_t nonce);
+
+/** Returns false (and leaves @p out empty) on tamper/key mismatch. */
+bool unseal(const KeyManager &km, const Bytes &measurement,
+            const SealedBlob &blob, Bytes &out);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_ATTESTATION_HH

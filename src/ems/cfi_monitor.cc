@@ -1,0 +1,56 @@
+#include "ems/cfi_monitor.hh"
+
+namespace hypertee
+{
+
+CfiTransferBuffer::CfiTransferBuffer(std::size_t capacity)
+    : _capacity(capacity)
+{
+    _entries.reserve(capacity);
+}
+
+bool
+CfiTransferBuffer::record(Addr source, Addr target)
+{
+    if (_entries.size() < _capacity)
+        _entries.push_back({source, target});
+    return !full();
+}
+
+std::vector<CfiTransfer>
+CfiTransferBuffer::drain()
+{
+    std::vector<CfiTransfer> out;
+    out.swap(_entries);
+    return out;
+}
+
+void
+CfiMonitor::allowEdge(Addr source, Addr target)
+{
+    _edges.insert({source, target});
+}
+
+void
+CfiMonitor::allowTarget(Addr target)
+{
+    _anyTargets.insert(target);
+}
+
+bool
+CfiMonitor::validate(const std::vector<CfiTransfer> &transfers)
+{
+    for (const CfiTransfer &t : transfers) {
+        ++_checked;
+        if (_edges.count({t.source, t.target}))
+            continue;
+        if (_anyTargets.count(t.target))
+            continue;
+        ++_violations;
+        _lastViolation = t;
+        return false;
+    }
+    return true;
+}
+
+} // namespace hypertee

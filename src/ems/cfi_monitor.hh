@@ -1,0 +1,92 @@
+/**
+ * @file
+ * EMS-side control-flow-integrity monitor (Section IX).
+ *
+ * The paper's third CFI option: CS hardware records the enclave's
+ * control-flow transfers into a buffer inside the enclave's private
+ * memory; a monitoring task on the EMS — which can read all CS
+ * memory — validates the transfers against the enclave's control-
+ * flow graph and terminates the enclave on a violation. Because the
+ * monitor's cache activity relates only to its own task, it leaks
+ * nothing about other management work.
+ */
+
+#ifndef HYPERTEE_EMS_CFI_MONITOR_HH
+#define HYPERTEE_EMS_CFI_MONITOR_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** One recorded control-flow transfer. */
+struct CfiTransfer
+{
+    Addr source = 0;
+    Addr target = 0;
+};
+
+/**
+ * Hardware transfer buffer: a bounded ring the CS core appends to.
+ * Overflow raises a flag that forces a synchronous monitor pass
+ * before the enclave may continue (no silent loss).
+ */
+class CfiTransferBuffer
+{
+  public:
+    explicit CfiTransferBuffer(std::size_t capacity = 256);
+
+    /** Record a transfer; false when the buffer just filled up. */
+    bool record(Addr source, Addr target);
+
+    bool full() const { return _entries.size() >= _capacity; }
+    std::size_t size() const { return _entries.size(); }
+
+    /** Monitor side: drain everything. */
+    std::vector<CfiTransfer> drain();
+
+  private:
+    std::size_t _capacity;
+    std::vector<CfiTransfer> _entries;
+};
+
+/**
+ * The whitelist CFG + verdict logic running on the EMS.
+ */
+class CfiMonitor
+{
+  public:
+    /** Declare a legal edge (from the enclave's compiled CFG). */
+    void allowEdge(Addr source, Addr target);
+
+    /** Declare a legal call target reachable from any site
+     *  (forward-edge coarse class, e.g. function entry points). */
+    void allowTarget(Addr target);
+
+    /**
+     * Validate a batch of transfers. Returns false on the first
+     * illegal edge (the enclave must be terminated).
+     */
+    bool validate(const std::vector<CfiTransfer> &transfers);
+
+    std::uint64_t checkedTransfers() const { return _checked; }
+    std::uint64_t violations() const { return _violations; }
+
+    /** First offending transfer of the last failed validate(). */
+    const CfiTransfer &lastViolation() const { return _lastViolation; }
+
+  private:
+    std::set<std::pair<Addr, Addr>> _edges;
+    std::set<Addr> _anyTargets;
+    std::uint64_t _checked = 0;
+    std::uint64_t _violations = 0;
+    CfiTransfer _lastViolation;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_CFI_MONITOR_HH

@@ -1,0 +1,230 @@
+#include "ems/cvm.hh"
+
+#include "crypto/aes128.hh"
+#include "crypto/ed25519.hh"
+#include "crypto/hmac.hh"
+#include "crypto/x25519.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+/** Per-page CTR nonce derived from the page index. */
+Bytes
+transformPage(const Bytes &key, std::size_t index, const Bytes &data)
+{
+    Aes128 aes(key);
+    return aes.ctrTransform(data, 0xC0DE0000ULL + index, 0);
+}
+
+Bytes
+quoteBody(const Bytes &platform_meas, const Bytes &dh_public)
+{
+    Bytes body = platform_meas;
+    body.insert(body.end(), dh_public.begin(), dh_public.end());
+    return body;
+}
+
+} // namespace
+
+CvmManager::CvmManager(const KeyManager *km,
+                       const Bytes &platform_measurement,
+                       std::uint64_t seed)
+    : _km(km), _platformMeas(platform_measurement), _rng(seed)
+{
+    panicIf(km == nullptr, "CVM manager needs the key manager");
+}
+
+CvmId
+CvmManager::create(const std::vector<Bytes> &pages)
+{
+    if (pages.empty())
+        return 0;
+    CvmControl ctl;
+    ctl.id = _next++;
+    ctl.pages = pages;
+    for (auto &page : ctl.pages)
+        page.resize(pageSize, 0);
+    ctl.key.resize(16);
+    for (auto &b : ctl.key)
+        b = static_cast<std::uint8_t>(_rng.next());
+    ctl.tree = std::make_unique<MerkleTree>(ctl.pages);
+    CvmId id = ctl.id;
+    _cvms.emplace(id, std::move(ctl));
+    return id;
+}
+
+std::size_t
+CvmManager::pageCount(CvmId id) const
+{
+    auto it = _cvms.find(id);
+    return it == _cvms.end() ? 0 : it->second.pages.size();
+}
+
+bool
+CvmManager::writePage(CvmId id, std::size_t index, const Bytes &data)
+{
+    auto it = _cvms.find(id);
+    if (it == _cvms.end() || index >= it->second.pages.size())
+        return false;
+    Bytes page = data;
+    page.resize(pageSize, 0);
+    it->second.pages[index] = page;
+    it->second.tree->updateLeaf(index, page);
+    return true;
+}
+
+Bytes
+CvmManager::readPage(CvmId id, std::size_t index) const
+{
+    auto it = _cvms.find(id);
+    if (it == _cvms.end() || index >= it->second.pages.size())
+        return {};
+    return it->second.pages[index];
+}
+
+CvmSnapshot
+CvmManager::snapshot(CvmId id)
+{
+    auto it = _cvms.find(id);
+    panicIf(it == _cvms.end(), "snapshot of unknown CVM");
+    CvmSnapshot snap;
+    snap.id = id;
+    snap.nonce = _rng.next();
+    for (std::size_t i = 0; i < it->second.pages.size(); ++i) {
+        snap.encryptedPages.push_back(
+            transformPage(it->second.key, i, it->second.pages[i]));
+    }
+    // Retain the snapshot-time root in EMS private state: the live
+    // tree keeps tracking subsequent guest writes.
+    it->second.snapshotRoots[snap.nonce] = it->second.tree->root();
+    return snap;
+}
+
+CvmId
+CvmManager::restore(const CvmSnapshot &snap)
+{
+    auto it = _cvms.find(snap.id);
+    if (it == _cvms.end())
+        return 0; // not our snapshot: key and root are unknown
+    const CvmControl &src = it->second;
+    if (snap.encryptedPages.size() != src.pages.size())
+        return 0;
+
+    std::vector<Bytes> plain;
+    plain.reserve(snap.encryptedPages.size());
+    for (std::size_t i = 0; i < snap.encryptedPages.size(); ++i)
+        plain.push_back(transformPage(src.key, i,
+                                      snap.encryptedPages[i]));
+
+    // Integrity: verify against the snapshot-time root the EMS
+    // retained when the snapshot was produced.
+    auto root_it = src.snapshotRoots.find(snap.nonce);
+    if (root_it == src.snapshotRoots.end())
+        return 0; // forged/unknown snapshot nonce
+    MerkleTree check(plain);
+    if (!ctEqual(check.root(), root_it->second))
+        return 0;
+    return create(plain);
+}
+
+Bytes
+CvmManager::channelKey(const Bytes &shared_secret) const
+{
+    return hkdf(shared_secret, bytesFromString("cvm-migration"),
+                _platformMeas, 32);
+}
+
+Bytes
+CvmManager::makeMigrationDh(Bytes &private_out)
+{
+    private_out.resize(32);
+    for (auto &b : private_out)
+        b = static_cast<std::uint8_t>(_rng.next());
+    return x25519Base(private_out);
+}
+
+CvmMigrationBundle
+CvmManager::migrateOut(CvmId id, const Bytes &dest_dh_public)
+{
+    auto it = _cvms.find(id);
+    panicIf(it == _cvms.end(), "migrating unknown CVM");
+    fatalIf(dest_dh_public.size() != 32, "bad destination DH share");
+
+    CvmMigrationBundle bundle;
+    bundle.snapshot = snapshot(id);
+
+    Bytes dh_priv(32);
+    for (auto &b : dh_priv)
+        b = static_cast<std::uint8_t>(_rng.next());
+    bundle.channelDhPublic = x25519Base(dh_priv);
+
+    Bytes shared = x25519(dh_priv, dest_dh_public);
+    Bytes ck = channelKey(shared);
+    Bytes enc_key(ck.begin(), ck.begin() + 16);
+    Bytes mac_key(ck.begin() + 16, ck.end());
+
+    Bytes secrets = it->second.key;
+    const Bytes &root = it->second.tree->root();
+    secrets.insert(secrets.end(), root.begin(), root.end());
+    Aes128 aes(enc_key);
+    bundle.encryptedSecrets = aes.ctrTransform(secrets, 0x319, 0);
+    bundle.secretsTag = hmacSha256(mac_key, bundle.encryptedSecrets);
+
+    // Platform evidence: EK signature over measurement + DH share.
+    bundle.sourceQuote = _km->signWithEk(
+        quoteBody(_platformMeas, bundle.channelDhPublic));
+    return bundle;
+}
+
+CvmId
+CvmManager::migrateIn(const CvmMigrationBundle &bundle,
+                      const Bytes &certified_source_ek,
+                      const Bytes &own_dh_private)
+{
+    // 1. Attest the source platform. The quote binds the DH share,
+    //    so a man in the middle cannot splice its own key exchange.
+    if (!ed25519Verify(certified_source_ek,
+                       quoteBody(_platformMeas,
+                                 bundle.channelDhPublic),
+                       bundle.sourceQuote)) {
+        return 0;
+    }
+
+    // 2. Recover the channel and unwrap the secrets.
+    Bytes shared = x25519(own_dh_private, bundle.channelDhPublic);
+    Bytes ck = channelKey(shared);
+    Bytes enc_key(ck.begin(), ck.begin() + 16);
+    Bytes mac_key(ck.begin() + 16, ck.end());
+    if (!ctEqual(hmacSha256(mac_key, bundle.encryptedSecrets),
+                 bundle.secretsTag)) {
+        return 0;
+    }
+    Aes128 aes(enc_key);
+    Bytes secrets = aes.ctrTransform(bundle.encryptedSecrets, 0x319, 0);
+    if (secrets.size() != 16 + 32)
+        return 0;
+    Bytes cvm_key(secrets.begin(), secrets.begin() + 16);
+    Bytes root(secrets.begin() + 16, secrets.end());
+
+    // 3. Decrypt and verify the snapshot against the carried root.
+    std::vector<Bytes> plain;
+    plain.reserve(bundle.snapshot.encryptedPages.size());
+    for (std::size_t i = 0; i < bundle.snapshot.encryptedPages.size();
+         ++i) {
+        plain.push_back(transformPage(
+            cvm_key, i, bundle.snapshot.encryptedPages[i]));
+    }
+    if (plain.empty())
+        return 0;
+    MerkleTree check(plain);
+    if (!ctEqual(check.root(), root))
+        return 0;
+
+    return create(plain);
+}
+
+} // namespace hypertee

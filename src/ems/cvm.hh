@@ -1,0 +1,123 @@
+/**
+ * @file
+ * VM-level TEE support (Section IX): confidential-VM lifecycle on
+ * the EMS.
+ *
+ * The paper sketches how HyperTEE extends naturally to CVMs: the EMS
+ * manages CVM memory, encrypts snapshots with AES and anchors them
+ * in a Merkle tree whose root never leaves EMS private memory, and
+ * migrates CVMs by establishing an attested encrypted channel
+ * between the source and destination EMS. This module implements
+ * that design: snapshot/restore detect any tampering of the saved
+ * image, and migration only succeeds between mutually attested
+ * platforms.
+ */
+
+#ifndef HYPERTEE_EMS_CVM_HH
+#define HYPERTEE_EMS_CVM_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/merkle.hh"
+#include "ems/key_manager.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+using CvmId = std::uint32_t;
+
+/** An encrypted, integrity-anchored CVM snapshot (host-visible). */
+struct CvmSnapshot
+{
+    CvmId id = 0;
+    std::uint64_t nonce = 0; ///< selects the EMS-retained root
+    std::vector<Bytes> encryptedPages; ///< AES-CTR per page
+    // The key and Merkle root are NOT here: they stay in the EMS.
+};
+
+/** Migration bundle: snapshot + EMS-to-EMS sealed secrets. */
+struct CvmMigrationBundle
+{
+    CvmSnapshot snapshot;
+    Bytes channelDhPublic;  ///< source's X25519 share
+    Bytes encryptedSecrets; ///< {cvm key || merkle root} under the
+                            ///< attested channel key
+    Bytes secretsTag;       ///< HMAC over encryptedSecrets
+    Bytes sourceQuote;      ///< EK-signed platform evidence
+};
+
+class CvmManager
+{
+  public:
+    CvmManager(const KeyManager *km, const Bytes &platform_measurement,
+               std::uint64_t seed = 0xC4A);
+
+    /** Create a CVM with @p pages of guest memory (plaintext in). */
+    CvmId create(const std::vector<Bytes> &pages);
+
+    bool exists(CvmId id) const { return _cvms.count(id) != 0; }
+    std::size_t pageCount(CvmId id) const;
+
+    /** Guest write (dirties the page + updates the Merkle leaf). */
+    bool writePage(CvmId id, std::size_t index, const Bytes &data);
+    Bytes readPage(CvmId id, std::size_t index) const;
+
+    /**
+     * Snapshot: encrypt every page; the Merkle root computed over
+     * the plaintext stays in EMS private state.
+     */
+    CvmSnapshot snapshot(CvmId id);
+
+    /**
+     * Restore a snapshot into a new CVM. Fails (returns 0) when any
+     * page was tampered with or the snapshot is from a foreign EMS.
+     */
+    CvmId restore(const CvmSnapshot &snap);
+
+    /**
+     * Migration, source side: attest to @p destination_ek, derive a
+     * channel key from an X25519 exchange with @p dest_dh_public,
+     * and wrap the CVM key + root for transfer.
+     */
+    CvmMigrationBundle migrateOut(CvmId id, const Bytes &dest_dh_public);
+
+    /**
+     * Migration, destination side: verify the source quote against
+     * the vendor-certified EK, unwrap the secrets, verify the
+     * snapshot, and instantiate the CVM locally. Returns 0 on any
+     * verification failure.
+     */
+    CvmId migrateIn(const CvmMigrationBundle &bundle,
+                    const Bytes &certified_source_ek,
+                    const Bytes &own_dh_private);
+
+    /** Destination's ephemeral DH share for an incoming migration. */
+    Bytes makeMigrationDh(Bytes &private_out);
+
+  private:
+    struct CvmControl
+    {
+        CvmId id;
+        std::vector<Bytes> pages; ///< plaintext guest memory
+        Bytes key;                ///< AES key, EMS-private
+        std::unique_ptr<MerkleTree> tree;
+        /** Snapshot-time roots, EMS-private, keyed by nonce. */
+        std::map<std::uint64_t, Bytes> snapshotRoots;
+    };
+
+    Bytes channelKey(const Bytes &shared_secret) const;
+
+    const KeyManager *_km;
+    Bytes _platformMeas;
+    Random _rng;
+    std::map<CvmId, CvmControl> _cvms;
+    CvmId _next = 1;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_CVM_HH

@@ -1,0 +1,93 @@
+#include "ems/memory_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+EnclaveMemoryPool::EnclaveMemoryPool(OsAllocator alloc, OsReleaser release,
+                                     const Params &params,
+                                     std::uint64_t seed)
+    : _alloc(std::move(alloc)), _release(std::move(release)), _p(params),
+      _rng(seed)
+{
+    panicIf(!_alloc, "pool needs an OS allocator");
+    fatalIf(_p.minThreshold > _p.maxThreshold, "bad threshold band");
+    rerandomizeThreshold();
+    refill(_p.initialPages);
+}
+
+void
+EnclaveMemoryPool::rerandomizeThreshold()
+{
+    _threshold = _rng.between(_p.minThreshold, _p.maxThreshold);
+}
+
+void
+EnclaveMemoryPool::refill(std::size_t at_least)
+{
+    std::size_t want = std::max(at_least, _p.refillBatch);
+    std::vector<Addr> pages = _alloc(want);
+    ++_osRequests;
+    _osRequestSizes.push_back(pages.size());
+    for (Addr p : pages)
+        _free.push_back(p);
+    // Threshold re-randomizes on every enlargement (Section IV-A).
+    rerandomizeThreshold();
+}
+
+std::vector<Addr>
+EnclaveMemoryPool::allocate(std::size_t n)
+{
+    if (_free.size() < n + _threshold)
+        refill(n + _threshold - _free.size());
+    if (_free.size() < n)
+        return {}; // OS out of memory
+    std::vector<Addr> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(_free.front());
+        _free.pop_front();
+    }
+    return out;
+}
+
+void
+EnclaveMemoryPool::release(const std::vector<Addr> &pages)
+{
+    for (Addr p : pages)
+        _free.push_back(p);
+}
+
+std::vector<Addr>
+EnclaveMemoryPool::randomTake(std::size_t requested, std::size_t slack,
+                              Random &rng)
+{
+    std::size_t count = requested + (slack ? rng.below(slack + 1) : 0);
+    count = std::min(count, _free.size());
+    std::vector<Addr> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Random position: EWB page selection is unpredictable.
+        std::size_t pos = rng.below(_free.size());
+        out.push_back(_free[pos]);
+        _free.erase(_free.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    return out;
+}
+
+void
+EnclaveMemoryPool::returnToOs(std::size_t n)
+{
+    n = std::min(n, _free.size());
+    std::vector<Addr> pages;
+    pages.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pages.push_back(_free.front());
+        _free.pop_front();
+    }
+    if (_release && !pages.empty())
+        _release(pages);
+}
+
+} // namespace hypertee

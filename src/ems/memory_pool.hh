@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The enclave memory pool (Section IV-A).
+ *
+ * The EMS proactively requests batches of pages from the CS OS and
+ * parks them here. Enclave allocations are then served from the pool
+ * without notifying the OS — concealing on-demand allocation events
+ * from allocation-based controlled-channel attackers. The pool
+ * refills when the free count drops below a threshold that is
+ * re-randomized after every enlargement, so the refill cadence
+ * cannot be reverse-engineered either.
+ *
+ * The only OS-visible signal is osRequests()/osRequestSizes — which
+ * is exactly what the attack simulator measures.
+ */
+
+#ifndef HYPERTEE_EMS_MEMORY_POOL_HH
+#define HYPERTEE_EMS_MEMORY_POOL_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+class EnclaveMemoryPool
+{
+  public:
+    /**
+     * OS page-allocation callback: returns up to @p n page PPNs
+     * (fewer when the OS is out of memory).
+     */
+    using OsAllocator = std::function<std::vector<Addr>(std::size_t n)>;
+    /** Return pages to the OS (already zeroed by the EMS). */
+    using OsReleaser = std::function<void(const std::vector<Addr> &)>;
+
+    struct Params
+    {
+        std::size_t initialPages = 4096;  ///< 16 MiB warm pool
+        std::size_t refillBatch = 2048;
+        std::size_t minThreshold = 256;   ///< randomization floor
+        std::size_t maxThreshold = 1024;  ///< randomization ceiling
+    };
+
+    EnclaveMemoryPool(OsAllocator alloc, OsReleaser release,
+                      const Params &params, std::uint64_t seed = 0x9001);
+
+    /**
+     * Draw @p n pages. Refills from the OS first when the post-draw
+     * free count would cross the threshold. Returns empty when the
+     * OS cannot provide enough memory.
+     */
+    std::vector<Addr> allocate(std::size_t n);
+
+    /** Return pages to the pool (caller has zeroed them). */
+    void release(const std::vector<Addr> &pages);
+
+    /**
+     * Randomly draw pages for EWB: a random count in
+     * [requested, requested + slack], random positions.
+     */
+    std::vector<Addr> randomTake(std::size_t requested,
+                                 std::size_t slack, Random &rng);
+
+    /** Shrink: hand pages back to the OS. */
+    void returnToOs(std::size_t n);
+
+    std::size_t freePages() const { return _free.size(); }
+    std::size_t threshold() const { return _threshold; }
+
+    /** OS-visible events: this is the controlled-channel surface. */
+    std::uint64_t osRequests() const { return _osRequests; }
+    const std::vector<std::size_t> &
+    osRequestSizes() const
+    {
+        return _osRequestSizes;
+    }
+
+  private:
+    void refill(std::size_t at_least);
+    void rerandomizeThreshold();
+
+    OsAllocator _alloc;
+    OsReleaser _release;
+    Params _p;
+    Random _rng;
+    std::deque<Addr> _free;
+    std::size_t _threshold;
+    std::uint64_t _osRequests = 0;
+    std::vector<std::size_t> _osRequestSizes;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_MEMORY_POOL_HH

@@ -1,0 +1,53 @@
+#include "ems/ownership.hh"
+
+namespace hypertee
+{
+
+bool
+PageOwnershipTable::claim(Addr ppn, EnclaveId owner, PageKind kind,
+                          ShmId shm)
+{
+    auto [it, inserted] = _table.try_emplace(ppn, PageOwner{owner, kind,
+                                                            shm});
+    (void)it;
+    if (!inserted)
+        ++_conflicts;
+    return inserted;
+}
+
+bool
+PageOwnershipTable::release(Addr ppn)
+{
+    return _table.erase(ppn) != 0;
+}
+
+const PageOwner *
+PageOwnershipTable::lookup(Addr ppn) const
+{
+    auto it = _table.find(ppn);
+    return it == _table.end() ? nullptr : &it->second;
+}
+
+std::vector<Addr>
+PageOwnershipTable::pagesOf(EnclaveId enclave) const
+{
+    std::vector<Addr> out;
+    for (const auto &[ppn, owner] : _table) {
+        if (owner.owner == enclave)
+            out.push_back(ppn);
+    }
+    return out;
+}
+
+std::vector<Addr>
+PageOwnershipTable::pagesOfShm(ShmId shm) const
+{
+    std::vector<Addr> out;
+    for (const auto &[ppn, owner] : _table) {
+        if (owner.kind == PageKind::Shared && owner.shm == shm)
+            out.push_back(ppn);
+    }
+    return out;
+}
+
+} // namespace hypertee

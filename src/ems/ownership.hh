@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Page ownership table (Sections IV-B, V-B).
+ *
+ * Lives in EMS private memory. Each entry records which enclave owns
+ * a physical page, or that the page backs a shared-memory region.
+ * Before mapping a page, the EMS verifies it is not already owned —
+ * the isolation between enclaves. Shared pages are tracked with
+ * their ShmID so they are never handed out as private memory.
+ */
+
+#ifndef HYPERTEE_EMS_OWNERSHIP_HH
+#define HYPERTEE_EMS_OWNERSHIP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+enum class PageKind : std::uint8_t
+{
+    Private,
+    Shared,
+    PageTable, ///< enclave page-table frames
+};
+
+struct PageOwner
+{
+    EnclaveId owner = invalidEnclaveId;
+    PageKind kind = PageKind::Private;
+    ShmId shm = 0;
+};
+
+class PageOwnershipTable
+{
+  public:
+    /**
+     * Claim @p ppn for @p owner. Fails when the page already has an
+     * owner (the cross-enclave isolation check).
+     */
+    bool claim(Addr ppn, EnclaveId owner, PageKind kind = PageKind::Private,
+               ShmId shm = 0);
+
+    /** Release a page (on EFREE/EDESTROY/ESHMDES). */
+    bool release(Addr ppn);
+
+    /** Lookup; nullptr when unowned. */
+    const PageOwner *lookup(Addr ppn) const;
+
+    bool
+    ownedBy(Addr ppn, EnclaveId enclave) const
+    {
+        const PageOwner *o = lookup(ppn);
+        return o && o->owner == enclave;
+    }
+
+    /** All pages owned by @p enclave (EDESTROY sweep). */
+    std::vector<Addr> pagesOf(EnclaveId enclave) const;
+
+    /** All pages backing @p shm. */
+    std::vector<Addr> pagesOfShm(ShmId shm) const;
+
+    std::size_t size() const { return _table.size(); }
+    std::uint64_t conflicts() const { return _conflicts; }
+
+  private:
+    std::unordered_map<Addr, PageOwner> _table;
+    std::uint64_t _conflicts = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_OWNERSHIP_HH

@@ -1,0 +1,842 @@
+#include "ems/runtime.hh"
+
+#include "crypto/aes128.hh"
+#include "crypto/sha256.hh"
+#include "crypto/x25519.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+EmsRuntime::EmsRuntime(EmsPort *port, PhysicalMemory *cs_mem,
+                       const KeyManager &km,
+                       const EmsRuntimeParams &params,
+                       EnclaveMemoryPool::OsAllocator os_alloc,
+                       EnclaveMemoryPool::OsReleaser os_release)
+    : _port(port), _csMem(cs_mem), _km(km), _p(params), _cost(params.cost),
+      _engine(params.crypto, params.cryptoEnginePresent), _rng(params.seed)
+{
+    panicIf(port == nullptr, "runtime needs the EMS port");
+    panicIf(cs_mem == nullptr, "runtime needs CS memory");
+    _pool = std::make_unique<EnclaveMemoryPool>(
+        std::move(os_alloc), std::move(os_release), params.pool,
+        params.seed ^ 0x9e3779b9);
+}
+
+bool
+EmsRuntime::secureBoot(const Bytes &runtime_image,
+                       const Bytes &expected_runtime_hash,
+                       const Bytes &cs_firmware,
+                       const Bytes &expected_firmware_hash)
+{
+    Bytes runtime_hash = Sha256::digest(runtime_image);
+    Bytes firmware_hash = Sha256::digest(cs_firmware);
+    if (!ctEqual(runtime_hash, expected_runtime_hash))
+        return false; // tampered EMS runtime: refuse to boot
+    if (!ctEqual(firmware_hash, expected_firmware_hash))
+        return false; // tampered EMCall firmware
+
+    Bytes both = runtime_hash;
+    both.insert(both.end(), firmware_hash.begin(), firmware_hash.end());
+    _platformMeas = Sha256::digest(both);
+    _booted = true;
+    return true;
+}
+
+void
+EmsRuntime::connectMailbox()
+{
+    _port->mailbox().setDoorbell([this] { drain(); });
+}
+
+void
+EmsRuntime::drain()
+{
+    PrimitiveRequest req;
+    while (_port->mailbox().popRequest(req)) {
+        PrimitiveResponse resp = handle(req);
+        resp.reqId = req.reqId;
+        bool ok = _port->mailbox().pushResponse(resp);
+        panicIf(!ok, "response queue overflow");
+    }
+}
+
+PrimitiveResponse
+EmsRuntime::reject(PrimStatus status)
+{
+    ++_sanityRejections;
+    PrimitiveResponse resp;
+    resp.status = status;
+    return resp;
+}
+
+EnclaveControl *
+EmsRuntime::liveEnclave(EnclaveId id)
+{
+    auto it = _enclaves.find(id);
+    if (it == _enclaves.end())
+        return nullptr;
+    if (it->second.state == EnclaveState::Destroyed)
+        return nullptr;
+    return &it->second;
+}
+
+const EnclaveControl *
+EmsRuntime::enclave(EnclaveId id) const
+{
+    auto it = _enclaves.find(id);
+    return it == _enclaves.end() ? nullptr : &it->second;
+}
+
+const PageTable *
+EmsRuntime::enclavePageTable(EnclaveId id) const
+{
+    const EnclaveControl *enc = enclave(id);
+    return enc ? enc->pageTable.get() : nullptr;
+}
+
+const ShmControl *
+EmsRuntime::shm(ShmId id) const
+{
+    auto it = _shms.find(id);
+    return it == _shms.end() ? nullptr : &it->second;
+}
+
+KeyId
+EmsRuntime::assignKeyId(const Bytes &key, Tick &service)
+{
+    KeyId id = _nextKey++;
+    if (_port->configureKey(id, key))
+        return id;
+    // KeyID exhaustion (Section IV-C): suspend a non-running enclave
+    // to free a slot; EMCall flushes TLB and caches so the recycled
+    // KeyID cannot alias stale lines.
+    for (auto &[eid, enc] : _enclaves) {
+        if (enc.state == EnclaveState::Measured && enc.keyId != 0) {
+            suspendEnclave(eid);
+            service += _p.keyRecycleFlushTime;
+            if (_port->configureKey(id, key))
+                return id;
+        }
+    }
+    return 0;
+}
+
+bool
+EmsRuntime::suspendEnclave(EnclaveId id)
+{
+    EnclaveControl *enc = liveEnclave(id);
+    if (!enc || enc->keyId == 0 || enc->state == EnclaveState::Running)
+        return false;
+    _port->releaseKey(enc->keyId);
+    enc->keyId = 0;
+    enc->state = EnclaveState::Suspended;
+    return true;
+}
+
+std::size_t
+EmsRuntime::grantDmaAccess(EnclaveId caller, ShmId shm_id,
+                           std::uint32_t device, std::uint8_t perms,
+                           std::size_t first_window)
+{
+    auto it = _shms.find(shm_id);
+    if (it == _shms.end())
+        return 0;
+    const ShmControl &shm = it->second;
+    // Only an authorized participant (the driver enclave) may expose
+    // the region to a peripheral.
+    if (!shm.legalConnections.count(caller))
+        return 0;
+
+    // The whitelist holds contiguous windows; cover the region with
+    // one window per contiguous physical run.
+    std::size_t window = first_window;
+    std::size_t programmed = 0;
+    std::size_t i = 0;
+    while (i < shm.pages.size()) {
+        std::size_t j = i + 1;
+        while (j < shm.pages.size() &&
+               shm.pages[j] == shm.pages[j - 1] + 1) {
+            ++j;
+        }
+        bool ok = _port->configureDmaWindow(
+            window++, device, shm.pages[i] << pageShift,
+            (j - i) * pageSize, perms);
+        if (!ok)
+            return 0; // out of register pairs: fail closed
+        ++programmed;
+        i = j;
+    }
+    return programmed;
+}
+
+PageTable::FrameAllocator
+EmsRuntime::makeFrameAllocator(EnclaveId owner)
+{
+    return [this, owner]() -> Addr {
+        std::vector<Addr> got = _pool->allocate(1);
+        fatalIf(got.empty(), "enclave memory pool exhausted while "
+                             "allocating a page-table frame");
+        Addr ppn = got[0];
+        _port->zeroCs(ppn << pageShift, pageSize);
+        bool claimed = _ownership.claim(ppn, owner, PageKind::PageTable);
+        panicIf(!claimed, "page-table frame already owned");
+        _port->setBitmapBit(ppn, true);
+        _pendingFrameCharge +=
+            _cost.perPageZeroTime(1) + _cost.perPageMapTime(1);
+        return ppn << pageShift;
+    };
+}
+
+Addr
+EmsRuntime::takePoolPage(EnclaveId owner, PageKind kind, Tick &service)
+{
+    std::vector<Addr> got = _pool->allocate(1);
+    if (got.empty())
+        return 0;
+    Addr ppn = got[0];
+    _port->zeroCs(ppn << pageShift, pageSize);
+    service += _cost.perPageZeroTime(1);
+    bool claimed = _ownership.claim(ppn, owner, kind);
+    panicIf(!claimed, "pool page already owned: ", ppn);
+    _port->setBitmapBit(ppn, true);
+    service += _cost.perPageMapTime(1);
+    return ppn << pageShift;
+}
+
+void
+EmsRuntime::mapEnclavePage(EnclaveControl &enc, Addr va, Addr ppn,
+                           std::uint64_t perms, Tick &service)
+{
+    enc.pageTable->map(va, ppn << pageShift, perms | PteUser, enc.keyId);
+    enc.pages.push_back(ppn);
+    service += _cost.perPageMapTime(1);
+}
+
+void
+EmsRuntime::scrubAndReturn(const std::vector<Addr> &ppns, Tick &service)
+{
+    for (Addr ppn : ppns) {
+        _port->zeroCs(ppn << pageShift, pageSize);
+        _port->setBitmapBit(ppn, false);
+        _ownership.release(ppn);
+    }
+    service += _cost.perPageZeroTime(ppns.size());
+    service += _cost.perPageMapTime(ppns.size());
+    _pool->release(ppns);
+}
+
+PrimitiveResponse
+EmsRuntime::handle(const PrimitiveRequest &req)
+{
+    if (!_booted) {
+        PrimitiveResponse resp;
+        resp.status = PrimStatus::PermissionDenied;
+        return resp;
+    }
+
+    Tick service = _cost.instTime(EmsCostModel::baseInsts(req.op));
+    _pendingFrameCharge = 0;
+
+    // Forged cross-privilege packets die here too (defense in depth
+    // behind the EMCall gate check).
+    if (req.mode != requiredPrivilege(req.op) &&
+        req.mode != PrivMode::Machine) {
+        PrimitiveResponse resp = reject(PrimStatus::PermissionDenied);
+        resp.completedAt = service;
+        return resp;
+    }
+
+    Handler handler = nullptr;
+    switch (req.op) {
+      case PrimitiveOp::ECreate: handler = &EmsRuntime::doCreate; break;
+      case PrimitiveOp::EAdd: handler = &EmsRuntime::doAdd; break;
+      case PrimitiveOp::EEnter: handler = &EmsRuntime::doEnter; break;
+      case PrimitiveOp::EResume: handler = &EmsRuntime::doResume; break;
+      case PrimitiveOp::EExit: handler = &EmsRuntime::doExit; break;
+      case PrimitiveOp::EDestroy: handler = &EmsRuntime::doDestroy; break;
+      case PrimitiveOp::EAlloc: handler = &EmsRuntime::doAlloc; break;
+      case PrimitiveOp::EFree: handler = &EmsRuntime::doFree; break;
+      case PrimitiveOp::EWb: handler = &EmsRuntime::doWb; break;
+      case PrimitiveOp::EShmGet: handler = &EmsRuntime::doShmGet; break;
+      case PrimitiveOp::EShmAt: handler = &EmsRuntime::doShmAt; break;
+      case PrimitiveOp::EShmDt: handler = &EmsRuntime::doShmDt; break;
+      case PrimitiveOp::EShmShr: handler = &EmsRuntime::doShmShr; break;
+      case PrimitiveOp::EShmDes: handler = &EmsRuntime::doShmDes; break;
+      case PrimitiveOp::EMeas: handler = &EmsRuntime::doMeas; break;
+      case PrimitiveOp::EAttest: handler = &EmsRuntime::doAttest; break;
+    }
+    panicIf(handler == nullptr, "unhandled primitive");
+
+    PrimitiveResponse resp = (this->*handler)(req, service);
+    resp.completedAt = service + _pendingFrameCharge;
+    return resp;
+}
+
+// ------------------------------------------------------------ lifecycle
+
+PrimitiveResponse
+EmsRuntime::doCreate(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 3)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveConfig cfg;
+    cfg.stackPages = req.args[0];
+    cfg.heapPages = req.args[1];
+    cfg.maxShmPages = req.args[2];
+    if (cfg.stackPages == 0 || cfg.stackPages > 4096 ||
+        cfg.heapPages > (1u << 20) || cfg.maxShmPages > (1u << 20)) {
+        return reject(PrimStatus::InvalidArgument);
+    }
+
+    EnclaveId id = _nextEnclave++;
+    EnclaveControl enc;
+    enc.id = id;
+    enc.config = cfg;
+    enc.measureCtx = std::make_unique<Sha256>();
+
+    Bytes key_ctx;
+    for (int i = 0; i < 4; ++i)
+        key_ctx.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+    enc.keyId = assignKeyId(_km.memoryKey(key_ctx), service);
+    if (enc.keyId == 0)
+        return reject(PrimStatus::OutOfMemory);
+
+    // Dedicated private page table; its frames come from the pool so
+    // the table itself is bitmap-protected enclave memory.
+    enc.pageTable =
+        std::make_unique<PageTable>(_csMem, makeFrameAllocator(id));
+
+    // Static allocation at creation (Section IV-A): stack + initial
+    // heap are mapped now, so no allocation events leak later.
+    auto it = _enclaves.emplace(id, std::move(enc)).first;
+    EnclaveControl &e = it->second;
+
+    // Static allocation draws the stack and heap as one batch so
+    // the data pages form a contiguous physical run (matching how a
+    // host process is laid out) before any page-table frames are
+    // interleaved.
+    std::vector<Addr> frames =
+        _pool->allocate(cfg.stackPages + cfg.heapPages);
+    if (frames.size() != cfg.stackPages + cfg.heapPages)
+        return reject(PrimStatus::OutOfMemory);
+    for (Addr ppn : frames) {
+        _port->zeroCs(ppn << pageShift, pageSize);
+        bool claimed = _ownership.claim(ppn, id, PageKind::Private);
+        panicIf(!claimed, "pool page already owned");
+        _port->setBitmapBit(ppn, true);
+    }
+    service += _cost.perPageZeroTime(frames.size()) +
+               _cost.perPageMapTime(frames.size());
+
+    Addr stack_base =
+        EnclaveLayout::stackTop - cfg.stackPages * pageSize;
+    for (std::size_t i = 0; i < cfg.stackPages; ++i) {
+        mapEnclavePage(e, stack_base + i * pageSize, frames[i],
+                       PteRead | PteWrite, service);
+    }
+    for (std::size_t i = 0; i < cfg.heapPages; ++i) {
+        mapEnclavePage(e, e.heapCursor,
+                       frames[cfg.stackPages + i], PteRead | PteWrite,
+                       service);
+        e.heapCursor += pageSize;
+    }
+
+    PrimitiveResponse resp;
+    resp.results = {id};
+    resp.flags = kFlagFlushTlb; // bitmap bits were set
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doAdd(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 3 || req.payload.size() != pageSize)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveControl *enc = liveEnclave(
+        static_cast<EnclaveId>(req.args[0]));
+    if (!enc || enc->state != EnclaveState::Created)
+        return reject(PrimStatus::NotFound);
+    Addr va = req.args[1];
+    std::uint64_t perms = req.args[2] &
+                          (PteRead | PteWrite | PteExec);
+    if (va % pageSize != 0 || perms == 0)
+        return reject(PrimStatus::InvalidArgument);
+
+    Addr pa = takePoolPage(enc->id, PageKind::Private, service);
+    if (pa == 0)
+        return reject(PrimStatus::OutOfMemory);
+
+    // Copy the page image into enclave memory and extend the
+    // running measurement (billed at EMEAS, Table IV).
+    _port->writeCs(pa, req.payload);
+    service += _cost.perPageCopyTime(1);
+    enc->measureCtx->update(req.payload);
+    // The VA and perms are part of the identity too.
+    std::uint8_t meta[16];
+    for (int i = 0; i < 8; ++i)
+        meta[i] = static_cast<std::uint8_t>(va >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        meta[8 + i] = static_cast<std::uint8_t>(perms >> (8 * i));
+    enc->measureCtx->update(meta, sizeof(meta));
+    enc->measuredBytes += pageSize + sizeof(meta);
+
+    mapEnclavePage(*enc, va, pageNumber(pa), perms, service);
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doEnter(const PrimitiveRequest &req, Tick &service)
+{
+    (void)service;
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveControl *enc = liveEnclave(
+        static_cast<EnclaveId>(req.args[0]));
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    if (enc->state != EnclaveState::Measured &&
+        enc->state != EnclaveState::Running) {
+        // Unmeasured enclaves may not run: attestation integrity.
+        return reject(PrimStatus::PermissionDenied);
+    }
+    enc->state = EnclaveState::Running;
+
+    PrimitiveResponse resp;
+    resp.results = {enc->id};
+    resp.flags = kFlagEnterEnclave;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doResume(const PrimitiveRequest &req, Tick &service)
+{
+    (void)service;
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveControl *enc = liveEnclave(
+        static_cast<EnclaveId>(req.args[0]));
+    if (!enc || enc->state != EnclaveState::Running)
+        return reject(PrimStatus::NotFound);
+
+    PrimitiveResponse resp;
+    resp.results = {enc->id};
+    resp.flags = kFlagEnterEnclave;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doExit(const PrimitiveRequest &req, Tick &service)
+{
+    (void)service;
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    enc->state = EnclaveState::Measured; // parked, may re-enter
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagExitEnclave;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doDestroy(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveId id = static_cast<EnclaveId>(req.args[0]);
+    EnclaveControl *enc = liveEnclave(id);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+
+    // A destroyed enclave must not leave attached shared memory.
+    for (auto &[shm_id, va] : enc->attachedShm) {
+        (void)va;
+        auto it = _shms.find(shm_id);
+        if (it != _shms.end())
+            it->second.attached.erase(id);
+    }
+    enc->attachedShm.clear();
+
+    // Scrub every private page and page-table frame, then recycle.
+    scrubAndReturn(enc->pages, service);
+    enc->pages.clear();
+    std::vector<Addr> pt_frames;
+    for (Addr frame : enc->pageTable->tableFrames())
+        pt_frames.push_back(pageNumber(frame));
+    enc->pageTable.reset();
+    scrubAndReturn(pt_frames, service);
+
+    if (enc->keyId != 0)
+        _port->releaseKey(enc->keyId);
+    enc->keyId = 0;
+    enc->state = EnclaveState::Destroyed;
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagFlushTlb | kFlagExitEnclave;
+    return resp;
+}
+
+// --------------------------------------------------------------- memory
+
+PrimitiveResponse
+EmsRuntime::doAlloc(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.empty() || req.args.size() > 2)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    std::size_t n = req.args[0];
+    if (n == 0 || n > (1u << 18))
+        return reject(PrimStatus::InvalidArgument);
+
+    Addr va = req.args.size() == 2 ? pageAlign(req.args[1])
+                                   : enc->heapCursor;
+    std::vector<Addr> frames = _pool->allocate(n);
+    if (frames.size() != n)
+        return reject(PrimStatus::OutOfMemory);
+    for (Addr ppn : frames) {
+        _port->zeroCs(ppn << pageShift, pageSize);
+        bool claimed = _ownership.claim(ppn, enc->id, PageKind::Private);
+        panicIf(!claimed, "pool page already owned");
+        _port->setBitmapBit(ppn, true);
+    }
+    service += _cost.perPageZeroTime(n) + _cost.perPageMapTime(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        mapEnclavePage(*enc, va + i * pageSize, frames[i],
+                       PteRead | PteWrite, service);
+    }
+    if (req.args.size() == 1)
+        enc->heapCursor += n * pageSize;
+
+    PrimitiveResponse resp;
+    resp.results = {va};
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doFree(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 2)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    Addr va = pageAlign(req.args[0]);
+    std::size_t n = req.args[1];
+    if (n == 0)
+        return reject(PrimStatus::InvalidArgument);
+
+    std::vector<Addr> freed;
+    for (std::size_t i = 0; i < n; ++i) {
+        WalkResult walk = enc->pageTable->walk(va + i * pageSize);
+        if (!walk.valid)
+            return reject(PrimStatus::NotFound);
+        Addr ppn = pageNumber(walk.pa);
+        if (!_ownership.ownedBy(ppn, enc->id))
+            return reject(PrimStatus::PermissionDenied);
+        const PageOwner *owner = _ownership.lookup(ppn);
+        if (owner->kind != PageKind::Private)
+            return reject(PrimStatus::PermissionDenied);
+        enc->pageTable->unmap(va + i * pageSize);
+        freed.push_back(ppn);
+        std::erase(enc->pages, ppn);
+    }
+    scrubAndReturn(freed, service);
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doWb(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    std::size_t requested = req.args[0];
+    if (requested == 0 || requested > 4096)
+        return reject(PrimStatus::InvalidArgument);
+
+    // Swapping defense (Section IV-A): hand back a *random* number
+    // of *unused pool pages*, never a victim's active pages. The
+    // contents are encrypted before the OS sees the frames.
+    std::vector<Addr> pages =
+        _pool->randomTake(requested, requested / 2 + 1, _rng);
+    if (pages.empty())
+        return reject(PrimStatus::OutOfMemory);
+
+    Bytes swap_key = _km.memoryKey(bytesFromString("ewb-swap"));
+    Aes128 aes(swap_key);
+    for (Addr ppn : pages) {
+        Addr pa = ppn << pageShift;
+        Bytes content = _port->readCs(pa, pageSize);
+        _port->writeCs(pa, aes.ctrTransform(content, pa, 0));
+        _port->setBitmapBit(ppn, false);
+    }
+    service += _engine.aesTime(pages.size() * pageSize);
+    service += _cost.perPageMapTime(pages.size());
+
+    PrimitiveResponse resp;
+    resp.results.push_back(pages.size());
+    for (Addr ppn : pages)
+        resp.results.push_back(ppn << pageShift);
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+// -------------------------------------------------------- communication
+
+PrimitiveResponse
+EmsRuntime::doShmGet(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 2)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    std::size_t n = req.args[0];
+    std::uint64_t max_perms = req.args[1] & (PteRead | PteWrite);
+    if (n == 0 || n > enc->config.maxShmPages || max_perms == 0)
+        return reject(PrimStatus::InvalidArgument);
+
+    ShmId id = _nextShm++;
+    ShmControl shm;
+    shm.id = id;
+    shm.creator = enc->id;
+    shm.maxPerms = max_perms;
+    // Dedicated shared-memory key, distinct from private keys
+    // (Section V-A): derived from initial sender + ShmID.
+    shm.keyId = assignKeyId(_km.sharedMemoryKey(enc->id, id), service);
+    if (shm.keyId == 0)
+        return reject(PrimStatus::OutOfMemory);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<Addr> got = _pool->allocate(1);
+        if (got.empty())
+            return reject(PrimStatus::OutOfMemory);
+        Addr ppn = got[0];
+        _port->zeroCs(ppn << pageShift, pageSize);
+        bool claimed =
+            _ownership.claim(ppn, enc->id, PageKind::Shared, id);
+        panicIf(!claimed, "shm page already owned");
+        _port->setBitmapBit(ppn, true);
+        shm.pages.push_back(ppn);
+    }
+    service += _cost.perPageZeroTime(n) + _cost.perPageMapTime(n);
+
+    // The creator joins its own legal connection list at max perms.
+    shm.legalConnections[enc->id] = max_perms;
+    _shms.emplace(id, std::move(shm));
+
+    PrimitiveResponse resp;
+    resp.results = {id};
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doShmShr(const PrimitiveRequest &req, Tick &service)
+{
+    (void)service;
+    if (req.args.size() != 3)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    auto it = _shms.find(static_cast<ShmId>(req.args[0]));
+    if (it == _shms.end())
+        return reject(PrimStatus::NotFound);
+    ShmControl &shm = it->second;
+    // Only the initial sender may authorize receivers.
+    if (shm.creator != req.caller)
+        return reject(PrimStatus::NotAuthorized);
+    EnclaveId receiver = static_cast<EnclaveId>(req.args[1]);
+    if (!liveEnclave(receiver))
+        return reject(PrimStatus::NotFound);
+    std::uint64_t perms = req.args[2] & shm.maxPerms;
+    if (perms == 0)
+        return reject(PrimStatus::InvalidArgument);
+    shm.legalConnections[receiver] = perms;
+    return {};
+}
+
+PrimitiveResponse
+EmsRuntime::doShmAt(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 2)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    auto it = _shms.find(static_cast<ShmId>(req.args[0]));
+    if (it == _shms.end()) {
+        // Brute-force ShmID probing lands here (Section V-A).
+        ++_shmGuesses;
+        return reject(PrimStatus::NotFound);
+    }
+    ShmControl &shm = it->second;
+    auto conn = shm.legalConnections.find(enc->id);
+    if (conn == shm.legalConnections.end()) {
+        ++_shmGuesses;
+        return reject(PrimStatus::NotAuthorized);
+    }
+    if (enc->attachedShm.count(shm.id))
+        return reject(PrimStatus::AlreadyExists);
+    std::uint64_t perms = req.args[1] & conn->second;
+    if (perms == 0)
+        return reject(PrimStatus::PermissionDenied);
+    if (enc->attachedShm.size() * shm.pages.size() +
+            shm.pages.size() > enc->config.maxShmPages) {
+        return reject(PrimStatus::OutOfMemory);
+    }
+
+    Addr va = enc->shmCursor;
+    for (std::size_t i = 0; i < shm.pages.size(); ++i) {
+        enc->pageTable->map(va + i * pageSize,
+                            shm.pages[i] << pageShift,
+                            perms | PteUser, shm.keyId);
+    }
+    enc->shmCursor += shm.pages.size() * pageSize;
+    enc->attachedShm[shm.id] = va;
+    shm.attached.insert(enc->id);
+    service += _cost.perPageMapTime(shm.pages.size());
+
+    PrimitiveResponse resp;
+    resp.results = {va};
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doShmDt(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc)
+        return reject(PrimStatus::NotFound);
+    auto it = _shms.find(static_cast<ShmId>(req.args[0]));
+    if (it == _shms.end())
+        return reject(PrimStatus::NotFound);
+    ShmControl &shm = it->second;
+    auto att = enc->attachedShm.find(shm.id);
+    if (att == enc->attachedShm.end())
+        return reject(PrimStatus::NotFound);
+
+    Addr va = att->second;
+    for (std::size_t i = 0; i < shm.pages.size(); ++i)
+        enc->pageTable->unmap(va + i * pageSize);
+    enc->attachedShm.erase(att);
+    shm.attached.erase(enc->id);
+    service += _cost.perPageMapTime(shm.pages.size());
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doShmDes(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    auto it = _shms.find(static_cast<ShmId>(req.args[0]));
+    if (it == _shms.end())
+        return reject(PrimStatus::NotFound);
+    ShmControl &shm = it->second;
+    // Malicious-release defense (Section V-C): only the initial
+    // sender, and only with zero active connections.
+    if (shm.creator != req.caller)
+        return reject(PrimStatus::NotAuthorized);
+    if (!shm.attached.empty())
+        return reject(PrimStatus::Busy);
+
+    scrubAndReturn(shm.pages, service);
+    _port->releaseKey(shm.keyId);
+    _shms.erase(it);
+
+    PrimitiveResponse resp;
+    resp.flags = kFlagFlushTlb;
+    return resp;
+}
+
+// ------------------------------------------- measurement / attestation
+
+PrimitiveResponse
+EmsRuntime::doMeas(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.args.size() != 1)
+        return reject(PrimStatus::InvalidArgument);
+    EnclaveControl *enc = liveEnclave(
+        static_cast<EnclaveId>(req.args[0]));
+    if (!enc || enc->state != EnclaveState::Created || !enc->measureCtx)
+        return reject(PrimStatus::NotFound);
+
+    // All the hashing work over the enclave image lands here; with
+    // the crypto engine this is the Table IV EMEAS 7.8% -> 0.10%
+    // story.
+    service += _engine.shaTime(enc->measuredBytes);
+    auto digest = enc->measureCtx->finish();
+    enc->measurement = Bytes(digest.begin(), digest.end());
+    enc->measureCtx.reset();
+    enc->state = EnclaveState::Measured;
+
+    PrimitiveResponse resp;
+    resp.payload = enc->measurement; // measurements are public
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::doAttest(const PrimitiveRequest &req, Tick &service)
+{
+    if (req.caller == invalidEnclaveId)
+        return reject(PrimStatus::PermissionDenied);
+    EnclaveControl *enc = liveEnclave(req.caller);
+    if (!enc || enc->measurement.empty())
+        return reject(PrimStatus::NotFound);
+    // payload: verifier nonce (16) || verifier DH public (32)
+    if (req.payload.size() != 48)
+        return reject(PrimStatus::InvalidArgument);
+    Bytes nonce(req.payload.begin(), req.payload.begin() + 16);
+
+    // Ephemeral X25519 share for the SIGMA session.
+    Bytes dh_priv(32);
+    for (auto &b : dh_priv)
+        b = static_cast<std::uint8_t>(_rng.next());
+    Bytes dh_pub = x25519Base(dh_priv);
+
+    Bytes salt(16);
+    for (auto &b : salt)
+        b = static_cast<std::uint8_t>(_rng.next());
+
+    AttestationQuote quote = buildQuote(_km, _platformMeas,
+                                        enc->measurement, salt, dh_pub,
+                                        nonce);
+    // Two signatures (EK chain + AK quote) plus the DH op.
+    service += 2 * _engine.signTime() + _engine.ecdhTime();
+
+    PrimitiveResponse resp;
+    resp.payload = quote.serialize();
+    return resp;
+}
+
+} // namespace hypertee

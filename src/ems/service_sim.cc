@@ -1,0 +1,122 @@
+#include "ems/service_sim.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+EmsServiceSim::EmsServiceSim(const ServiceSimParams &params)
+    : _p(params), _rng(params.seed), _serverBusy(params.emsCores, false)
+{
+    fatalIf(params.emsCores == 0, "service sim needs EMS cores");
+}
+
+void
+EmsServiceSim::addClient(const std::string &name, std::uint64_t count,
+                         std::function<Tick(std::uint64_t)> service_time,
+                         Tick think_time, Tick think_jitter)
+{
+    Client c;
+    c.name = name;
+    c.count = count;
+    c.serviceTime = std::move(service_time);
+    c.thinkTime = think_time;
+    c.thinkJitter = think_jitter;
+    _clients.push_back(std::move(c));
+}
+
+void
+EmsServiceSim::issueNext(Client &client)
+{
+    if (client.issued >= client.count)
+        return;
+    Tick service = client.serviceTime(client.issued);
+    ++client.issued;
+    client.issueTick = _eq.now();
+
+    // Randomized dispatch slot (EMCall scheduling obfuscation).
+    Tick dispatch_delay =
+        _p.obfuscation ? _rng.below(_p.jitterMax + 1) : 0;
+
+    auto ev = std::make_unique<Event>(
+        "dispatch-" + client.name, [this, &client, service] {
+            _pending.push_back(Job{&client, service});
+            tryDispatch();
+        });
+    _eq.schedule(ev.get(), _eq.now() + dispatch_delay);
+    _events.push_back(std::move(ev));
+}
+
+void
+EmsServiceSim::tryDispatch()
+{
+    for (unsigned s = 0; s < _serverBusy.size() && !_pending.empty();
+         ++s) {
+        if (_serverBusy[s])
+            continue;
+        Job job = _pending.front();
+        _pending.pop_front();
+        _serverBusy[s] = true;
+
+        auto ev = std::make_unique<Event>(
+            "complete", [this, s, job] {
+                finishJob(s, job.client, job.service);
+            });
+        _eq.schedule(ev.get(), _eq.now() + job.service);
+        _events.push_back(std::move(ev));
+    }
+}
+
+void
+EmsServiceSim::finishJob(unsigned server, Client *client, Tick service)
+{
+    (void)service;
+    _serverBusy[server] = false;
+
+    // Response path: polling jitter + fixed transport.
+    Tick poll_delay = _p.obfuscation ? _rng.below(_p.jitterMax + 1) : 0;
+    Tick done = _eq.now() + poll_delay + _p.transportOverhead;
+    Tick latency = done - client->issueTick;
+    client->latencies.push_back(latency);
+
+    Tick think = client->thinkTime;
+    if (client->thinkJitter > 0)
+        think += _rng.below(client->thinkJitter + 1);
+    auto ev = std::make_unique<Event>("next-" + client->name,
+                                      [this, client] {
+                                          issueNext(*client);
+                                      });
+    _eq.schedule(ev.get(), done + think);
+    _events.push_back(std::move(ev));
+
+    tryDispatch();
+}
+
+void
+EmsServiceSim::run()
+{
+    for (auto &client : _clients) {
+        if (_p.startWindow == 0) {
+            issueNext(client);
+            continue;
+        }
+        Client *c = &client;
+        auto ev = std::make_unique<Event>(
+            "start-" + client.name, [this, c] { issueNext(*c); });
+        _eq.schedule(ev.get(), _rng.below(_p.startWindow + 1));
+        _events.push_back(std::move(ev));
+    }
+    _eq.run();
+}
+
+const std::vector<Tick> &
+EmsServiceSim::latencies(const std::string &name) const
+{
+    for (const auto &client : _clients) {
+        if (client.name == name)
+            return client.latencies;
+    }
+    panic("no such client: ", name);
+}
+
+} // namespace hypertee

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Event-driven queueing simulator for concurrent primitive service
+ * (Figure 6 and the EMS timing-channel analysis).
+ *
+ * Closed-loop clients (one per CS core) issue primitive requests
+ * back-to-back; the EMS is a k-server FIFO station whose service
+ * times come from the EmsCostModel. Per-request completion latencies
+ * are recorded so the SLO curves (fraction of requests resolved
+ * within x times a baseline) can be produced, and so an attacker
+ * client can try to classify a victim's secret-dependent service
+ * times from its own observed latencies.
+ */
+
+#ifndef HYPERTEE_EMS_SERVICE_SIM_HH
+#define HYPERTEE_EMS_SERVICE_SIM_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+struct ServiceSimParams
+{
+    unsigned emsCores = 2;
+    /** EMCall-side randomized dispatch/poll jitter (obfuscation). */
+    Tick jitterMax = 120'000;
+    bool obfuscation = true;
+    /** Fixed gate + mailbox overhead added to every round trip. */
+    Tick transportOverhead = 300'000;
+    /** Clients start at a random offset in [0, startWindow]. */
+    Tick startWindow = 0;
+    std::uint64_t seed = 1;
+};
+
+class EmsServiceSim
+{
+  public:
+    explicit EmsServiceSim(const ServiceSimParams &params);
+
+    /**
+     * Add a closed-loop client issuing @p count requests. The
+     * service time of request i is service_time(i); the client
+     * waits think_time + U[0, think_jitter] between a response and
+     * the next request (jitter decorrelates the client fleet).
+     */
+    void addClient(const std::string &name, std::uint64_t count,
+                   std::function<Tick(std::uint64_t)> service_time,
+                   Tick think_time = 0, Tick think_jitter = 0);
+
+    /** Run to completion of every client. */
+    void run();
+
+    /** Observed round-trip latencies, in issue order. */
+    const std::vector<Tick> &latencies(const std::string &name) const;
+
+    Tick endTime() const { return _eq.now(); }
+
+  private:
+    struct Client
+    {
+        std::string name;
+        std::uint64_t count;
+        std::function<Tick(std::uint64_t)> serviceTime;
+        Tick thinkTime;
+        Tick thinkJitter;
+        std::uint64_t issued = 0;
+        Tick issueTick = 0;
+        std::vector<Tick> latencies;
+    };
+
+    struct Job
+    {
+        Client *client;
+        Tick service;
+    };
+
+    void issueNext(Client &client);
+    void tryDispatch();
+    void finishJob(unsigned server, Client *client, Tick service);
+
+    ServiceSimParams _p;
+    EventQueue _eq;
+    Random _rng;
+    std::vector<Client> _clients;
+    std::deque<Job> _pending;
+    std::vector<bool> _serverBusy;
+    std::vector<std::unique_ptr<Event>> _events;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_EMS_SERVICE_SIM_HH

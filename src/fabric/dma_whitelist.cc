@@ -1,0 +1,46 @@
+#include "fabric/dma_whitelist.hh"
+
+namespace hypertee
+{
+
+DmaWhitelist::DmaWhitelist(std::size_t windows) : _windows(windows) {}
+
+bool
+DmaWhitelist::configure(std::size_t window, std::uint32_t device_id,
+                        Addr base, Addr size, std::uint8_t perms)
+{
+    if (window >= _windows.size() || size == 0)
+        return false;
+    _windows[window] = {true, device_id, base, size, perms};
+    return true;
+}
+
+void
+DmaWhitelist::clear(std::size_t window)
+{
+    if (window < _windows.size())
+        _windows[window].valid = false;
+}
+
+bool
+DmaWhitelist::check(std::uint32_t device_id, Addr addr, Addr len,
+                    bool write) const
+{
+    const std::uint8_t need = write ? DmaWrite : DmaRead;
+    for (const auto &w : _windows) {
+        if (!w.valid || w.deviceId != device_id)
+            continue;
+        if ((w.perms & need) != need)
+            continue;
+        // Guard the arithmetic: an address beyond the window end
+        // must not underflow the remaining-size computation.
+        if (addr >= w.base && addr - w.base < w.size &&
+            len <= w.size - (addr - w.base)) {
+            return true;
+        }
+    }
+    ++_discarded;
+    return false;
+}
+
+} // namespace hypertee

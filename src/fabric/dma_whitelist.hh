@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DMA whitelist registers (Section V-C).
+ *
+ * Register pairs of {base, size, permission} restrict every DMA
+ * engine to its legal region. The registers live in the on-chip
+ * fabric and are exclusively configurable by the EMS; any DMA access
+ * outside a window is discarded.
+ */
+
+#ifndef HYPERTEE_FABRIC_DMA_WHITELIST_HH
+#define HYPERTEE_FABRIC_DMA_WHITELIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+enum DmaPerm : std::uint8_t
+{
+    DmaRead = 1,
+    DmaWrite = 2,
+};
+
+class DmaWhitelist
+{
+  public:
+    /** @param windows number of register pairs implemented. */
+    explicit DmaWhitelist(std::size_t windows = 8);
+
+    /**
+     * Program one window for a device. Returns false when no free
+     * register pair remains or the window index is bad.
+     */
+    bool configure(std::size_t window, std::uint32_t device_id,
+                   Addr base, Addr size, std::uint8_t perms);
+
+    /** Invalidate a window. */
+    void clear(std::size_t window);
+
+    /**
+     * Check a DMA transaction. Fails when no window belonging to
+     * @p device_id covers [addr, addr+len) with permission @p write.
+     */
+    bool check(std::uint32_t device_id, Addr addr, Addr len,
+               bool write) const;
+
+    std::uint64_t discarded() const { return _discarded; }
+    std::size_t windowCount() const { return _windows.size(); }
+
+  private:
+    struct Window
+    {
+        bool valid = false;
+        std::uint32_t deviceId = 0;
+        Addr base = 0;
+        Addr size = 0;
+        std::uint8_t perms = 0;
+    };
+
+    std::vector<Window> _windows;
+    mutable std::uint64_t _discarded = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_FABRIC_DMA_WHITELIST_HH

@@ -1,0 +1,99 @@
+#include "fabric/iommu.hh"
+
+#include "mem/page_table.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+/** Tag IOTLB virtual addresses with the device id to avoid aliasing
+ *  between devices (the IOTLB is shared). */
+Addr
+tagged(std::uint32_t device, Addr iova)
+{
+    return (Addr(device) << 48) | pageAlign(iova);
+}
+
+} // namespace
+
+Iommu::Iommu(std::size_t iotlb_entries)
+    : _iotlb(iotlb_entries, 4), _port(this)
+{
+}
+
+IommuEmsPort &
+Iommu::emsPort()
+{
+    panicIf(_portTaken, "IOMMU EMS port already taken");
+    _portTaken = true;
+    return _port;
+}
+
+bool
+Iommu::translate(std::uint32_t device, Addr iova, bool write, Addr &pa)
+{
+    Addr key = tagged(device, iova);
+    if (const TlbEntry *entry = _iotlb.lookup(key)) {
+        ++_iotlbHits;
+        if (write && !(entry->perms & PteWrite)) {
+            ++_blocked;
+            return false;
+        }
+        pa = (entry->ppn << pageShift) | (iova & (pageSize - 1));
+        return true;
+    }
+    ++_iotlbMisses;
+
+    auto it = _tables.find({device, pageAlign(iova)});
+    if (it == _tables.end()) {
+        ++_blocked;
+        return false;
+    }
+    if (write && !it->second.writable) {
+        ++_blocked;
+        return false;
+    }
+    std::uint64_t perms = PteRead;
+    if (it->second.writable)
+        perms |= PteWrite;
+    _iotlb.insert(key, it->second.ppn << pageShift, perms, 0, true);
+    pa = (it->second.ppn << pageShift) | (iova & (pageSize - 1));
+    return true;
+}
+
+bool
+IommuEmsPort::map(std::uint32_t device, Addr iova, Addr pa,
+                  bool writable)
+{
+    if (iova % pageSize != 0 || pa % pageSize != 0)
+        return false;
+    auto key = std::make_pair(device, iova);
+    if (_iommu->_tables.count(key))
+        return false;
+    _iommu->_tables.emplace(key,
+                            Iommu::Mapping{pageNumber(pa), writable});
+    return true;
+}
+
+bool
+IommuEmsPort::unmap(std::uint32_t device, Addr iova)
+{
+    auto key = std::make_pair(device, pageAlign(iova));
+    if (_iommu->_tables.erase(key) == 0)
+        return false;
+    // Targeted IOTLB shootdown: stale entries must not survive the
+    // table update (the same rule as the CS TLB and the bitmap).
+    _iommu->_iotlb.flushPage(tagged(device, iova));
+    return true;
+}
+
+void
+IommuEmsPort::invalidateIotlb()
+{
+    _iommu->_iotlb.flushAll();
+}
+
+} // namespace hypertee

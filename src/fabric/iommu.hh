@@ -1,0 +1,86 @@
+/**
+ * @file
+ * EMS-managed IOMMU (Sections V-B and IX).
+ *
+ * For peripherals that translate (GPUs, modern NICs), the address
+ * translation tables are maintained exclusively by the EMS: register
+ * configuration, IOTLB invalidation, and table updates all come
+ * through the EMS port. A device access translates through its own
+ * table; accesses to unmapped IOVAs or attempts to map enclave
+ * memory not explicitly granted by the owning driver enclave fail.
+ */
+
+#ifndef HYPERTEE_FABRIC_IOMMU_HH
+#define HYPERTEE_FABRIC_IOMMU_HH
+
+#include <cstdint>
+#include <map>
+
+#include "mem/tlb.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+class Iommu;
+
+/** EMS-side management capability for the IOMMU. */
+class IommuEmsPort
+{
+  public:
+    /** Map device @p iova -> @p pa with @p writable permission. */
+    bool map(std::uint32_t device, Addr iova, Addr pa, bool writable);
+
+    /** Remove a mapping and invalidate matching IOTLB entries. */
+    bool unmap(std::uint32_t device, Addr iova);
+
+    /** Drop every IOTLB entry (table rewrite, device reset). */
+    void invalidateIotlb();
+
+  private:
+    friend class Iommu;
+    explicit IommuEmsPort(Iommu *iommu) : _iommu(iommu) {}
+    Iommu *_iommu;
+};
+
+class Iommu
+{
+  public:
+    explicit Iommu(std::size_t iotlb_entries = 64);
+
+    /** The exclusive management handle; call exactly once. */
+    IommuEmsPort &emsPort();
+
+    /**
+     * Device-side access. Returns true and fills @p pa on success;
+     * counts and rejects unmapped or permission-violating accesses.
+     */
+    bool translate(std::uint32_t device, Addr iova, bool write,
+                   Addr &pa);
+
+    std::uint64_t blockedAccesses() const { return _blocked; }
+    std::uint64_t iotlbHits() const { return _iotlbHits; }
+    std::uint64_t iotlbMisses() const { return _iotlbMisses; }
+
+  private:
+    friend class IommuEmsPort;
+
+    struct Mapping
+    {
+        Addr ppn;
+        bool writable;
+    };
+
+    /** Per-device translation tables (EMS-maintained). */
+    std::map<std::pair<std::uint32_t, Addr>, Mapping> _tables;
+    Tlb _iotlb;
+    IommuEmsPort _port;
+    bool _portTaken = false;
+    std::uint64_t _blocked = 0;
+    std::uint64_t _iotlbHits = 0;
+    std::uint64_t _iotlbMisses = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_FABRIC_IOMMU_HH

@@ -1,0 +1,64 @@
+#include "fabric/mailbox.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Mailbox::Mailbox(std::size_t capacity) : _capacity(capacity)
+{
+    fatalIf(capacity == 0, "mailbox needs capacity");
+}
+
+bool
+Mailbox::pushRequest(const PrimitiveRequest &req)
+{
+    if (_requests.size() >= _capacity) {
+        ++_rejected;
+        return false;
+    }
+    _requests.push_back(req);
+    if (_doorbell)
+        _doorbell();
+    return true;
+}
+
+bool
+Mailbox::popRequest(PrimitiveRequest &req)
+{
+    if (_requests.empty())
+        return false;
+    req = _requests.front();
+    _requests.pop_front();
+    return true;
+}
+
+bool
+Mailbox::pushResponse(const PrimitiveResponse &resp)
+{
+    if (_responses.size() >= _capacity)
+        return false;
+    panicIf(_responses.count(resp.reqId) != 0,
+            "duplicate response for request ", resp.reqId);
+    _responses.emplace(resp.reqId, resp);
+    return true;
+}
+
+bool
+Mailbox::pollResponse(std::uint64_t req_id, PrimitiveResponse &resp)
+{
+    auto it = _responses.find(req_id);
+    if (it == _responses.end())
+        return false;
+    resp = it->second;
+    _responses.erase(it);
+    return true;
+}
+
+void
+Mailbox::setDoorbell(std::function<void()> doorbell)
+{
+    _doorbell = std::move(doorbell);
+}
+
+} // namespace hypertee

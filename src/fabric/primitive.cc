@@ -1,0 +1,74 @@
+#include "fabric/primitive.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+PrivMode
+requiredPrivilege(PrimitiveOp op)
+{
+    switch (op) {
+      case PrimitiveOp::ECreate:
+      case PrimitiveOp::EAdd:
+      case PrimitiveOp::EEnter:
+      case PrimitiveOp::EDestroy:
+      case PrimitiveOp::EWb:
+      case PrimitiveOp::EMeas:
+        return PrivMode::Supervisor; // "OS" rows of Table II
+      case PrimitiveOp::EResume:     // user runtime resumes after AEX
+      case PrimitiveOp::EExit:
+      case PrimitiveOp::EAlloc:
+      case PrimitiveOp::EFree:
+      case PrimitiveOp::EShmGet:
+      case PrimitiveOp::EShmAt:
+      case PrimitiveOp::EShmDt:
+      case PrimitiveOp::EShmShr:
+      case PrimitiveOp::EShmDes:
+      case PrimitiveOp::EAttest:
+        return PrivMode::User;
+    }
+    panic("unreachable primitive op");
+}
+
+const char *
+primitiveName(PrimitiveOp op)
+{
+    switch (op) {
+      case PrimitiveOp::ECreate: return "ECREATE";
+      case PrimitiveOp::EAdd: return "EADD";
+      case PrimitiveOp::EEnter: return "EENTER";
+      case PrimitiveOp::EResume: return "ERESUME";
+      case PrimitiveOp::EExit: return "EEXIT";
+      case PrimitiveOp::EDestroy: return "EDESTROY";
+      case PrimitiveOp::EAlloc: return "EALLOC";
+      case PrimitiveOp::EFree: return "EFREE";
+      case PrimitiveOp::EWb: return "EWB";
+      case PrimitiveOp::EShmGet: return "ESHMGET";
+      case PrimitiveOp::EShmAt: return "ESHMAT";
+      case PrimitiveOp::EShmDt: return "ESHMDT";
+      case PrimitiveOp::EShmShr: return "ESHMSHR";
+      case PrimitiveOp::EShmDes: return "ESHMDES";
+      case PrimitiveOp::EMeas: return "EMEAS";
+      case PrimitiveOp::EAttest: return "EATTEST";
+    }
+    return "?";
+}
+
+const char *
+primStatusName(PrimStatus s)
+{
+    switch (s) {
+      case PrimStatus::Ok: return "Ok";
+      case PrimStatus::InvalidArgument: return "InvalidArgument";
+      case PrimStatus::PermissionDenied: return "PermissionDenied";
+      case PrimStatus::OutOfMemory: return "OutOfMemory";
+      case PrimStatus::NotFound: return "NotFound";
+      case PrimStatus::AlreadyExists: return "AlreadyExists";
+      case PrimStatus::NotAuthorized: return "NotAuthorized";
+      case PrimStatus::Busy: return "Busy";
+    }
+    return "?";
+}
+
+} // namespace hypertee

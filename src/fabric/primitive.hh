@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Enclave primitive request/response packets (Table II).
+ *
+ * These are the only things that ever cross the CS/EMS boundary:
+ * "Notably, only primitive requests and responses are transmitted
+ * through the mailbox. Enclave private data are not required for
+ * enclave management tasks." (Section III-C)
+ */
+
+#ifndef HYPERTEE_FABRIC_PRIMITIVE_HH
+#define HYPERTEE_FABRIC_PRIMITIVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** The sixteen HyperTEE primitives (Table II). */
+enum class PrimitiveOp : std::uint8_t
+{
+    // Life cycle management
+    ECreate,
+    EAdd,
+    EEnter,
+    EResume,
+    EExit,
+    EDestroy,
+    // Memory management
+    EAlloc,
+    EFree,
+    EWb,
+    // Communication management
+    EShmGet,
+    EShmAt,
+    EShmDt,
+    EShmShr,
+    EShmDes,
+    // Key management and attestation
+    EMeas,
+    EAttest,
+};
+
+/** Privilege level each primitive may be invoked from (Table II). */
+PrivMode requiredPrivilege(PrimitiveOp op);
+
+/** Human-readable name ("ECREATE", ...). */
+const char *primitiveName(PrimitiveOp op);
+
+enum class PrimStatus : std::uint8_t
+{
+    Ok,
+    InvalidArgument,
+    PermissionDenied,
+    OutOfMemory,
+    NotFound,
+    AlreadyExists,
+    NotAuthorized,
+    Busy,
+};
+
+const char *primStatusName(PrimStatus s);
+
+struct PrimitiveRequest
+{
+    std::uint64_t reqId = 0;       ///< unique binding id (EMCall)
+    PrimitiveOp op = PrimitiveOp::ECreate;
+    EnclaveId caller = invalidEnclaveId; ///< encapsulated by EMCall
+    PrivMode mode = PrivMode::User;      ///< checked by EMCall
+    std::vector<std::uint64_t> args;
+    Bytes payload;                 ///< e.g. EADD page contents
+    Tick issuedAt = 0;
+};
+
+/** Response flags telling the EMCall gate what to do on return. */
+enum ResponseFlag : std::uint64_t
+{
+    kFlagFlushTlb = 1,       ///< bitmap changed: flush stale entries
+    kFlagEnterEnclave = 2,   ///< switch CS registers into the enclave
+    kFlagExitEnclave = 4,    ///< restore host context
+};
+
+struct PrimitiveResponse
+{
+    std::uint64_t reqId = 0;
+    PrimStatus status = PrimStatus::Ok;
+    std::uint64_t flags = 0;       ///< ResponseFlag bits for the gate
+    std::vector<std::uint64_t> results;
+    Bytes payload;                 ///< e.g. attestation certificate
+    Tick completedAt = 0;          ///< EMS-side service time
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_FABRIC_PRIMITIVE_HH

@@ -1,0 +1,131 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::size_t v)
+{
+    unsigned s = 0;
+    while ((std::size_t(1) << s) < v)
+        ++s;
+    fatalIf((std::size_t(1) << s) != v, "value must be a power of two");
+    return s;
+}
+
+} // namespace
+
+Cache::Cache(std::size_t size_bytes, std::size_t ways,
+             std::size_t line_bytes)
+    : _ways(ways), _lineBytes(line_bytes)
+{
+    fatalIf(ways == 0, "cache needs at least one way");
+    fatalIf(size_bytes % (ways * line_bytes) != 0,
+            "cache size must divide into ways*linesize");
+    _sets = size_bytes / (ways * line_bytes);
+    _lineShiftBits = log2Exact(line_bytes);
+    _lines.resize(_sets * _ways);
+}
+
+std::size_t
+Cache::setFor(Addr addr) const
+{
+    return (addr >> _lineShiftBits) % _sets;
+}
+
+Addr
+Cache::tagFor(Addr addr) const
+{
+    return (addr >> _lineShiftBits) / _sets;
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    std::size_t set = setFor(addr);
+    Addr tag = tagFor(addr);
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Line &l = _lines[set * _ways + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    CacheAccessResult res;
+    Line *line = find(addr);
+    if (line) {
+        ++_hits;
+        res.hit = true;
+        line->lruStamp = ++_stamp;
+        line->dirty |= write;
+        return res;
+    }
+
+    ++_misses;
+    std::size_t set = setFor(addr);
+    Line *victim = &_lines[set * _ways];
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Line &l = _lines[set * _ways + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+    if (victim->valid && victim->dirty) {
+        res.writebackNeeded = true;
+        res.writebackAddr =
+            ((victim->tag * _sets) + set) << _lineShiftBits;
+        ++_writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tagFor(addr);
+    victim->lruStamp = ++_stamp;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::invalidateLine(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return false;
+    bool dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return dirty;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : _lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+} // namespace hypertee

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Set-associative write-back cache timing structure.
+ *
+ * Tag-only (data lives in PhysicalMemory); tracks hit/miss/dirty
+ * eviction so the core models can charge correct latencies. Table III
+ * parameterizes L1I/L1D/L2 per core flavour.
+ */
+
+#ifndef HYPERTEE_MEM_CACHE_HH
+#define HYPERTEE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writebackNeeded = false; ///< dirty victim evicted
+    Addr writebackAddr = 0;
+};
+
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes capacity, @param ways associativity,
+     * @param line_bytes line size (64 throughout HyperTEE).
+     */
+    Cache(std::size_t size_bytes, std::size_t ways,
+          std::size_t line_bytes = lineSize);
+
+    /** Access one line; fills on miss. */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate one line; returns true when it was dirty. */
+    bool invalidateLine(Addr addr);
+
+    /** Invalidate everything (KeyID release, Section IV-C). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t writebacks() const { return _writebacks; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t total = _hits + _misses;
+        return total ? static_cast<double>(_misses) / total : 0.0;
+    }
+
+    std::size_t sizeBytes() const { return _sets * _ways * _lineBytes; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setFor(Addr addr) const;
+    Addr tagFor(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    std::size_t _sets;
+    std::size_t _ways;
+    std::size_t _lineBytes;
+    unsigned _lineShiftBits;
+    std::vector<Line> _lines;
+    std::uint64_t _stamp = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _writebacks = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_MEM_CACHE_HH

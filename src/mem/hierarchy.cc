@@ -1,0 +1,54 @@
+#include "mem/hierarchy.hh"
+
+namespace hypertee
+{
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params) : _p(params)
+{
+    _l1 = std::make_unique<Cache>(_p.l1Size, _p.l1Ways);
+    _l2 = std::make_unique<Cache>(_p.l2Size, _p.l2Ways);
+}
+
+Tick
+MemHierarchy::access(Addr pa, bool write, KeyId key_id)
+{
+    Tick latency = _p.l1HitLatency;
+    CacheAccessResult l1_res = _l1->access(pa, write);
+    if (l1_res.hit)
+        return latency;
+
+    latency += _p.l2HitLatency;
+    CacheAccessResult l2_res = _l2->access(pa, write);
+    if (l2_res.hit)
+        return latency;
+
+    // Off-chip: DRAM access with a simple open-row model.
+    ++_dramAccesses;
+    Addr row = pa >> 13; // 8 KiB rows
+    latency += (row == _lastDramRow) ? _p.dramRowHitLatency
+                                     : _p.dramLatency;
+    _lastDramRow = row;
+
+    // Memory protection engages only on off-chip traffic: decrypt
+    // the incoming line, verify its MAC; dirty evictions pay the
+    // complementary encrypt+MAC-update on the writeback path.
+    if (_protect && key_id != 0) {
+        if (_enc)
+            latency += _enc->latency();
+        if (_integ)
+            latency += _integ->latency();
+    }
+    if (_protect && l2_res.writebackNeeded && _integ)
+        latency += _integ->latency();
+
+    return latency;
+}
+
+void
+MemHierarchy::flushAll()
+{
+    _l1->invalidateAll();
+    _l2->invalidateAll();
+}
+
+} // namespace hypertee

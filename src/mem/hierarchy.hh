@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cache-hierarchy timing model: L1 -> L2 -> DRAM with optional
+ * memory encryption and integrity latency on off-chip accesses.
+ *
+ * MemStream-style streaming through this model with encryption and
+ * integrity enabled reproduces Figure 8(b)'s ~3.1% latency overhead.
+ */
+
+#ifndef HYPERTEE_MEM_HIERARCHY_HH
+#define HYPERTEE_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/mem_crypto.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+struct HierarchyParams
+{
+    std::size_t l1Size = 64 * 1024;
+    std::size_t l1Ways = 8;
+    std::size_t l2Size = 1024 * 1024;
+    std::size_t l2Ways = 8;
+
+    Tick l1HitLatency = 1'600;   ///< 4 cycles at 2.5 GHz
+    Tick l2HitLatency = 5'600;   ///< 14 cycles
+    Tick dramLatency = 80'000;   ///< 80 ns row activate + access
+    Tick dramRowHitLatency = 45'000;
+};
+
+/**
+ * One core's data-side hierarchy. The shared-L2 simplification keeps
+ * the model per-core; multi-core interference enters through the
+ * fabric model instead.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params);
+
+    /**
+     * Access @p pa. @param write store vs load. @param key_id the
+     * encryption domain from the PTE; nonzero engages the encryption
+     * engine on off-chip traffic.
+     * @return total latency in ticks.
+     */
+    Tick access(Addr pa, bool write, KeyId key_id = 0);
+
+    /** Attach the (system-shared) encryption/integrity engines. */
+    void
+    attachEngines(MemoryEncryptionEngine *enc, MemoryIntegrityEngine *integ)
+    {
+        _enc = enc;
+        _integ = integ;
+    }
+
+    /** Enable/disable integrity+encryption latency accounting. */
+    void setProtectionEnabled(bool enabled) { _protect = enabled; }
+    bool protectionEnabled() const { return _protect; }
+
+    Cache &l1() { return *_l1; }
+    Cache &l2() { return *_l2; }
+
+    std::uint64_t dramAccesses() const { return _dramAccesses; }
+
+    /** Flush both cache levels (KeyID release path). */
+    void flushAll();
+
+  private:
+    HierarchyParams _p;
+    std::unique_ptr<Cache> _l1;
+    std::unique_ptr<Cache> _l2;
+    MemoryEncryptionEngine *_enc = nullptr;
+    MemoryIntegrityEngine *_integ = nullptr;
+    bool _protect = false;
+    std::uint64_t _dramAccesses = 0;
+    Addr _lastDramRow = ~Addr(0);
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_MEM_HIERARCHY_HH

@@ -1,0 +1,88 @@
+#include "mem/mem_crypto.hh"
+
+#include "crypto/sha3.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+MemoryEncryptionEngine::MemoryEncryptionEngine(std::size_t key_slots)
+    : _slots(key_slots)
+{
+    fatalIf(key_slots == 0, "encryption engine needs key slots");
+}
+
+bool
+MemoryEncryptionEngine::configureKey(KeyId id, const Bytes &key)
+{
+    panicIf(id == 0, "KeyID 0 is the plaintext domain");
+    auto it = _keys.find(id);
+    if (it != _keys.end()) {
+        it->second = std::make_unique<Aes128>(key);
+        return true;
+    }
+    if (_keys.size() >= _slots)
+        return false;
+    _keys.emplace(id, std::make_unique<Aes128>(key));
+    return true;
+}
+
+void
+MemoryEncryptionEngine::releaseKey(KeyId id)
+{
+    _keys.erase(id);
+}
+
+Bytes
+MemoryEncryptionEngine::transformLine(KeyId id, Addr line_addr,
+                                      const Bytes &data) const
+{
+    if (id == 0)
+        return data;
+    auto it = _keys.find(id);
+    panicIf(it == _keys.end(), "access with unprogrammed KeyID ", id);
+    // Address-tweaked CTR: one keystream per line address.
+    return it->second->ctrTransform(data, line_addr, 0);
+}
+
+MemoryIntegrityEngine::MemoryIntegrityEngine(const Bytes &mac_key)
+    : _key(mac_key)
+{
+    fatalIf(mac_key.empty(), "integrity engine needs a MAC key");
+}
+
+void
+MemoryIntegrityEngine::updateLine(Addr line_addr, const std::uint8_t *data,
+                                  std::size_t len)
+{
+    _macs[line_addr] = sha3Mac28(_key, line_addr, data, len);
+}
+
+IntegrityStatus
+MemoryIntegrityEngine::verifyLine(Addr line_addr, const std::uint8_t *data,
+                                  std::size_t len)
+{
+    auto it = _macs.find(line_addr);
+    if (it == _macs.end()) {
+        // First touch: lazily initialize (zero-filled DRAM).
+        updateLine(line_addr, data, len);
+        return IntegrityStatus::Ok;
+    }
+    if (it->second != sha3Mac28(_key, line_addr, data, len)) {
+        ++_violations;
+        return IntegrityStatus::Violation;
+    }
+    return IntegrityStatus::Ok;
+}
+
+void
+MemoryIntegrityEngine::corruptMac(Addr line_addr)
+{
+    auto it = _macs.find(line_addr);
+    if (it != _macs.end())
+        it->second ^= 0x1;
+    else
+        _macs[line_addr] = 0xbad;
+}
+
+} // namespace hypertee

@@ -1,0 +1,137 @@
+#include "mem/mmu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Mmu::Mmu(std::size_t tlb_entries, std::size_t tlb_ways,
+         const EnclaveBitmap *bitmap, MemHierarchy *hierarchy,
+         std::size_t stlb_entries, std::size_t stlb_ways)
+    : _tlb(tlb_entries, tlb_ways), _bitmap(bitmap), _hierarchy(hierarchy)
+{
+    panicIf(bitmap == nullptr, "MMU needs the enclave bitmap");
+    if (stlb_entries > 0)
+        _stlb = std::make_unique<Tlb>(stlb_entries, stlb_ways);
+}
+
+void
+Mmu::flushTlbs()
+{
+    _tlb.flushAll();
+    if (_stlb)
+        _stlb->flushAll();
+}
+
+TranslateResult
+Mmu::translate(Addr va, bool write, bool execute)
+{
+    TranslateResult res;
+
+    auto check_perms = [&](std::uint64_t perms) {
+        if (write && !(perms & PteWrite))
+            return false;
+        if (execute && !(perms & PteExec))
+            return false;
+        if (!write && !execute && !(perms & PteRead))
+            return false;
+        return true;
+    };
+
+    if (const TlbEntry *entry = _tlb.lookup(va)) {
+        res.tlbHit = true;
+        if (!check_perms(entry->perms)) {
+            res.fault = MemFault::PermissionFault;
+            return res;
+        }
+        res.pa = (entry->ppn << pageShift) | (va & (pageSize - 1));
+        res.keyId = entry->keyId;
+        return res;
+    }
+
+    // Second-level TLB: a hit skips the PTW (and the bitmap check —
+    // the entry was verified when it was filled).
+    if (_stlb) {
+        if (const TlbEntry *entry = _stlb->lookup(va)) {
+            ++_stlbHits;
+            res.tlbHit = true;
+            res.latency = _stlbLatency;
+            if (!check_perms(entry->perms)) {
+                res.fault = MemFault::PermissionFault;
+                return res;
+            }
+            // Promote into the first level.
+            _tlb.insert(va, entry->ppn << pageShift, entry->perms,
+                        entry->keyId, entry->bitmapChecked);
+            res.pa = (entry->ppn << pageShift) | (va & (pageSize - 1));
+            res.keyId = entry->keyId;
+            return res;
+        }
+    }
+
+    panicIf(_pt == nullptr, "translation without an active page table");
+    WalkResult walk = _pt->walk(va);
+    res.ptwLevels = walk.levels;
+    // Each PTE fetch goes through the cache hierarchy. Page-table
+    // lines have high locality, so most of these hit in L2. The leaf
+    // fetch is kept separate: the bitmap retrieval overlaps with it.
+    Tick upper_latency = 0;
+    Tick leaf_latency = 0;
+    for (int i = 0; i < walk.levels; ++i) {
+        Addr pte_line = walk.visited[i] & ~(lineSize - 1);
+        Tick t = _hierarchy ? _hierarchy->access(pte_line, false) : 0;
+        if (i == walk.levels - 1)
+            leaf_latency = t;
+        else
+            upper_latency += t;
+    }
+
+    if (!walk.valid) {
+        res.latency = upper_latency + leaf_latency;
+        res.fault = MemFault::PageFault;
+        return res;
+    }
+    if (!check_perms(walk.perms)) {
+        res.latency = upper_latency + leaf_latency;
+        res.fault = MemFault::PermissionFault;
+        return res;
+    }
+
+    bool checked = false;
+    Tick bitmap_latency = 0;
+    if (_bitmapCheck && !_enclaveMode) {
+        // Figure 5: retrieve the bitmap word for the translated PPN.
+        // It needs the final physical page number, so it serializes
+        // after the walk; it only overlaps the (combinational)
+        // permission check, which is why the paper calls the cost
+        // "one additional bitmap retrieve operation".
+        ++_bitmapRetrievals;
+        checked = true;
+        Addr ppn = pageNumber(walk.pa);
+        Addr bit_byte = _bitmap->byteAddrFor(ppn);
+        if (_hierarchy) {
+            bitmap_latency =
+                _hierarchy->access(bit_byte & ~(lineSize - 1), false) +
+                _bitmapPipelineCost;
+        }
+        if (_bitmap->isEnclavePage(ppn)) {
+            ++_bitmapViolations;
+            res.latency = upper_latency + leaf_latency + bitmap_latency;
+            res.fault = MemFault::BitmapViolation;
+            return res;
+        }
+    }
+    res.latency = upper_latency + leaf_latency + bitmap_latency;
+
+    _tlb.insert(va, walk.pa, walk.perms, walk.keyId, checked);
+    if (_stlb)
+        _stlb->insert(va, walk.pa, walk.perms, walk.keyId, checked);
+    res.pa = walk.pa;
+    res.keyId = walk.keyId;
+    res.bitmapChecked = checked;
+    return res;
+}
+
+} // namespace hypertee

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-core MMU: TLB + page-table walker with the HyperTEE bitmap
+ * check (Figure 5).
+ *
+ * Two privileged registers gate the check, both writable only from
+ * the highest privilege level (the EMCall):
+ *   BM_BASE    — base of the bitmap region (held via the bitmap ref)
+ *   IS_ENCLAVE — whether the core currently runs an enclave
+ *
+ * A non-enclave access whose translated physical page is marked in
+ * the bitmap raises BitmapViolation. Once checked, the TLB entry
+ * remembers the verdict, so only TLB misses pay the extra bitmap
+ * retrieval — the effect Figure 10 quantifies on SPEC workloads.
+ */
+
+#ifndef HYPERTEE_MEM_MMU_HH
+#define HYPERTEE_MEM_MMU_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/bitmap.hh"
+#include "mem/hierarchy.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+enum class MemFault
+{
+    None,
+    PageFault,        ///< no valid translation
+    PermissionFault,  ///< R/W/X/U violation
+    BitmapViolation,  ///< non-enclave touch of enclave memory
+};
+
+struct TranslateResult
+{
+    MemFault fault = MemFault::None;
+    Addr pa = 0;
+    KeyId keyId = 0;
+    bool tlbHit = false;
+    int ptwLevels = 0;       ///< PTE fetches performed
+    bool bitmapChecked = false; ///< a bitmap retrieval happened now
+    Tick latency = 0;        ///< translation latency (PTW + check)
+};
+
+class Mmu
+{
+  public:
+    /**
+     * @param stlb_entries optional second-level TLB capacity
+     *        (Table III: 1024 for the CS core, absent on EMS cores);
+     *        0 disables it.
+     */
+    Mmu(std::size_t tlb_entries, std::size_t tlb_ways,
+        const EnclaveBitmap *bitmap, MemHierarchy *hierarchy,
+        std::size_t stlb_entries = 0, std::size_t stlb_ways = 8);
+
+    /** Point at the active address space (SATP write). */
+    void setPageTable(const PageTable *pt) { _pt = pt; }
+    const PageTable *pageTable() const { return _pt; }
+
+    /** IS_ENCLAVE register; only EMCall flips it. */
+    void setEnclaveMode(bool enclave) { _enclaveMode = enclave; }
+    bool enclaveMode() const { return _enclaveMode; }
+
+    /** Enable the bitmap check (secure-boot configures this). */
+    void setBitmapCheckEnabled(bool on) { _bitmapCheck = on; }
+
+    /**
+     * Translate @p va for an access. Performs TLB lookup, PTW on
+     * miss (each PTE fetch charged through the hierarchy), then the
+     * bitmap check for non-enclave accesses.
+     */
+    TranslateResult translate(Addr va, bool write, bool execute);
+
+    Tlb &tlb() { return _tlb; }
+    const Tlb &tlb() const { return _tlb; }
+    bool hasStlb() const { return _stlb != nullptr; }
+    Tlb &stlb() { return *_stlb; }
+
+    /** Flush both TLB levels (context switch / bitmap update). */
+    void flushTlbs();
+
+    std::uint64_t bitmapRetrievals() const { return _bitmapRetrievals; }
+    std::uint64_t bitmapViolations() const { return _bitmapViolations; }
+    std::uint64_t stlbHits() const { return _stlbHits; }
+
+  private:
+    Tlb _tlb;
+    std::unique_ptr<Tlb> _stlb;
+    const EnclaveBitmap *_bitmap;
+    MemHierarchy *_hierarchy;
+    /** Second-level TLB access latency (~8 CS cycles). */
+    Tick _stlbLatency = 3'200;
+    std::uint64_t _stlbHits = 0;
+    const PageTable *_pt = nullptr;
+    bool _enclaveMode = false;
+    bool _bitmapCheck = true;
+    std::uint64_t _bitmapRetrievals = 0;
+    std::uint64_t _bitmapViolations = 0;
+    /** Fabric round trip of the PTW-to-bitmap request beyond the
+     *  cache access itself (Figure 5 datapath). */
+    Tick _bitmapPipelineCost = 2'200;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_MEM_MMU_HH

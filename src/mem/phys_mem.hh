@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sparse physical memory backing store.
+ *
+ * Holds the actual bytes of the simulated machine: enclave images,
+ * page tables, the enclave bitmap, EMS private structures. Pages are
+ * allocated lazily so multi-GiB address spaces cost only what is
+ * touched.
+ */
+
+#ifndef HYPERTEE_MEM_PHYS_MEM_HH
+#define HYPERTEE_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "crypto/bytes.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+class PhysicalMemory
+{
+  public:
+    /** @param base lowest valid address, @param size bytes. */
+    PhysicalMemory(Addr base, Addr size);
+
+    Addr base() const { return _base; }
+    Addr size() const { return _size; }
+    bool contains(Addr a) const { return a >= _base && a < _base + _size; }
+    bool
+    containsRange(Addr a, Addr len) const
+    {
+        return contains(a) && len <= _base + _size - a;
+    }
+
+    /** Byte access; panics when out of range. */
+    void write(Addr addr, const std::uint8_t *data, Addr len);
+    void read(Addr addr, std::uint8_t *data, Addr len) const;
+
+    void writeBytes(Addr addr, const Bytes &data);
+    Bytes readBytes(Addr addr, Addr len) const;
+
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Zero a region (page scrubbing on free/alloc). */
+    void zero(Addr addr, Addr len);
+
+    /** Number of physically materialized backing pages. */
+    std::size_t touchedPages() const { return _pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForRead(Addr addr) const;
+
+    Addr _base;
+    Addr _size;
+    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_MEM_PHYS_MEM_HH

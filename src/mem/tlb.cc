@@ -1,0 +1,86 @@
+#include "mem/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+Tlb::Tlb(std::size_t entries, std::size_t ways) : _ways(ways)
+{
+    fatalIf(entries == 0 || ways == 0, "TLB needs entries and ways");
+    fatalIf(entries % ways != 0, "TLB entries must divide into ways");
+    _sets = entries / ways;
+    _entries.resize(entries);
+}
+
+TlbEntry *
+Tlb::findEntry(Addr vpn)
+{
+    std::size_t set = setIndex(vpn);
+    for (std::size_t w = 0; w < _ways; ++w) {
+        TlbEntry &e = _entries[set * _ways + w];
+        if (e.valid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+Tlb::lookup(Addr va)
+{
+    TlbEntry *e = findEntry(pageNumber(va));
+    if (e) {
+        e->lruStamp = ++_stamp;
+        ++_hits;
+        return e;
+    }
+    ++_misses;
+    return nullptr;
+}
+
+void
+Tlb::insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
+            bool bitmap_checked)
+{
+    Addr vpn = pageNumber(va);
+    TlbEntry *victim = findEntry(vpn);
+    if (!victim) {
+        std::size_t set = setIndex(vpn);
+        victim = &_entries[set * _ways];
+        for (std::size_t w = 0; w < _ways; ++w) {
+            TlbEntry &e = _entries[set * _ways + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lruStamp < victim->lruStamp)
+                victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->ppn = pageNumber(pa);
+    victim->perms = perms;
+    victim->keyId = key_id;
+    victim->bitmapChecked = bitmap_checked;
+    victim->lruStamp = ++_stamp;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : _entries)
+        e.valid = false;
+    ++_flushes;
+}
+
+void
+Tlb::flushPage(Addr va)
+{
+    TlbEntry *e = findEntry(pageNumber(va));
+    if (e)
+        e->valid = false;
+    ++_flushes;
+}
+
+} // namespace hypertee

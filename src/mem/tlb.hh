@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set-associative TLB model.
+ *
+ * Entries carry the HyperTEE "bitmap checked" flag (Figure 5): once
+ * the PTW has verified a non-enclave access against the enclave
+ * bitmap, the TLB remembers the verdict so hits skip the check. The
+ * EMCall flushes entries on enclave context switches and bitmap
+ * updates, which is exactly the overhead Figure 11 measures.
+ */
+
+#ifndef HYPERTEE_MEM_TLB_HH
+#define HYPERTEE_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+struct TlbEntry
+{
+    bool valid = false;
+    Addr vpn = 0;
+    Addr ppn = 0;
+    std::uint64_t perms = 0;
+    KeyId keyId = 0;
+    bool bitmapChecked = false;
+    std::uint64_t lruStamp = 0;
+};
+
+class Tlb
+{
+  public:
+    /** @param entries total entries; @param ways associativity. */
+    Tlb(std::size_t entries, std::size_t ways);
+
+    /** Lookup; returns nullptr on miss. Updates LRU + stats. */
+    const TlbEntry *lookup(Addr va);
+
+    /** Install a translation (evicts LRU within the set). */
+    void insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
+                bool bitmap_checked);
+
+    /** Flush everything (enclave context switch). */
+    void flushAll();
+
+    /** Flush one page's entry if present (targeted bitmap update). */
+    void flushPage(Addr va);
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t flushes() const { return _flushes; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t total = _hits + _misses;
+        return total ? static_cast<double>(_misses) / total : 0.0;
+    }
+
+    std::size_t entryCount() const { return _sets * _ways; }
+
+  private:
+    std::size_t setIndex(Addr vpn) const { return vpn % _sets; }
+    TlbEntry *findEntry(Addr vpn);
+
+    std::size_t _sets;
+    std::size_t _ways;
+    std::vector<TlbEntry> _entries;
+    std::uint64_t _stamp = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _flushes = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_MEM_TLB_HH

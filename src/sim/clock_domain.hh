@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clock domains: convert between cycles and ticks for a component
+ * running at a fixed frequency. CS cores, EMS cores, the fabric, and
+ * the crypto engine each live in their own domain (Table III).
+ */
+
+#ifndef HYPERTEE_SIM_CLOCK_DOMAIN_HH
+#define HYPERTEE_SIM_CLOCK_DOMAIN_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+class ClockDomain
+{
+  public:
+    /** @param freq_hz domain frequency; must divide 1 THz reasonably. */
+    explicit ClockDomain(std::uint64_t freq_hz)
+        : _freqHz(freq_hz), _period(ticksPerSecond / freq_hz)
+    {
+        fatalIf(freq_hz == 0, "clock domain frequency must be non-zero");
+        fatalIf(freq_hz > ticksPerSecond,
+                "clock frequency above tick resolution");
+    }
+
+    std::uint64_t frequency() const { return _freqHz; }
+
+    /** Ticks per cycle in this domain. */
+    Tick period() const { return _period; }
+
+    /** Convert a cycle count to a tick duration. */
+    Tick toTicks(Cycles c) const { return c * _period; }
+
+    /** Convert a tick duration to cycles, rounding up. */
+    Cycles
+    toCycles(Tick t) const
+    {
+        return (t + _period - 1) / _period;
+    }
+
+    /** Next tick at or after @p now that lands on a cycle boundary. */
+    Tick
+    nextCycle(Tick now) const
+    {
+        return ((now + _period - 1) / _period) * _period;
+    }
+
+  private:
+    std::uint64_t _freqHz;
+    Tick _period;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_CLOCK_DOMAIN_HH

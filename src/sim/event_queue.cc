@@ -1,0 +1,87 @@
+#include "sim/event_queue.hh"
+
+namespace hypertee
+{
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    panicIf(ev == nullptr, "scheduling a null event");
+    panicIf(ev->_scheduled, "event '", ev->name(), "' already scheduled");
+    panicIf(when < _now, "event '", ev->name(), "' scheduled in the past (",
+            when, " < ", _now, ")");
+
+    ev->_scheduled = true;
+    ev->_when = when;
+    ++ev->_generation;
+    _queue.push(Record{when, _seq++, ev->_generation, ev});
+    ++_live;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    panicIf(ev == nullptr, "descheduling a null event");
+    panicIf(!ev->_scheduled, "event '", ev->name(), "' is not scheduled");
+    // Lazy removal: bump the generation so the stale record is skipped.
+    ev->_scheduled = false;
+    ++ev->_generation;
+    --_live;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::step()
+{
+    while (!_queue.empty()) {
+        Record rec = _queue.top();
+        _queue.pop();
+        Event *ev = rec.event;
+        if (!ev->_scheduled || ev->_generation != rec.generation)
+            continue; // stale record from deschedule/reschedule
+        panicIf(rec.when < _now, "event queue time went backwards");
+        _now = rec.when;
+        ev->_scheduled = false;
+        --_live;
+        ++_fired;
+        ev->_callback();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick stop_at)
+{
+    while (!_queue.empty()) {
+        const Record &rec = _queue.top();
+        if (!rec.event->_scheduled ||
+            rec.event->_generation != rec.generation) {
+            _queue.pop();
+            continue;
+        }
+        if (rec.when > stop_at)
+            break;
+        step();
+    }
+    if (stop_at != maxTick && stop_at > _now)
+        _now = stop_at;
+    return _now;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    panicIf(_live != 0, "advanceTo() with ", _live, " events pending");
+    panicIf(when < _now, "advanceTo() into the past");
+    _now = when;
+}
+
+} // namespace hypertee

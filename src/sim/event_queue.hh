@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Every timed interaction in the HyperTEE model — mailbox doorbells,
+ * EMS worker completion, DRAM responses, context-switch timers — is an
+ * Event scheduled on one global EventQueue per simulated system.
+ */
+
+#ifndef HYPERTEE_SIM_EVENT_QUEUE_HH
+#define HYPERTEE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/**
+ * A schedulable unit of work. Events are owned by the caller; the
+ * queue holds non-owning records and ignores events descheduled
+ * before they fire.
+ */
+class Event
+{
+  public:
+    explicit Event(std::string name, std::function<void()> callback)
+        : _name(std::move(name)), _callback(std::move(callback))
+    {}
+
+    const std::string &name() const { return _name; }
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    std::function<void()> _callback;
+    bool _scheduled = false;
+    Tick _when = 0;
+    std::uint64_t _generation = 0;
+};
+
+/**
+ * Priority queue of events ordered by firing tick; ties break in
+ * insertion order so runs are deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p ev to fire at absolute time @p when.
+     * @pre when >= now(); the event must not already be scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event without firing it. */
+    void deschedule(Event *ev);
+
+    /** Reschedule: deschedule if needed, then schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Run until the queue drains or @p stop_at is reached, whichever
+     * comes first. Returns the final simulated time.
+     */
+    Tick run(Tick stop_at = maxTick);
+
+    /** Fire at most one event; returns false if the queue was empty. */
+    bool step();
+
+    /** True when no events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return _live; }
+
+    /** Total events fired since construction. */
+    std::uint64_t eventsFired() const { return _fired; }
+
+    /** Advance time directly; only legal when the queue is empty. */
+    void advanceTo(Tick when);
+
+  private:
+    struct Record
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+    };
+
+    struct RecordLater
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Record, std::vector<Record>, RecordLater> _queue;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _fired = 0;
+    std::size_t _live = 0;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_EVENT_QUEUE_HH

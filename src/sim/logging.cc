@@ -1,0 +1,41 @@
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+namespace logging_detail
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+printMessage(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+void
+exitWithMessage(const char *kind, const std::string &msg, bool core_dump)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (core_dump)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace logging_detail
+} // namespace hypertee

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a simulator bug.
+ * fatal()  — the user asked for something impossible (bad config).
+ * warn()   — something is approximated; results may still be usable.
+ * inform() — plain status output.
+ */
+
+#ifndef HYPERTEE_SIM_LOGGING_HH
+#define HYPERTEE_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hypertee
+{
+
+namespace logging_detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void exitWithMessage(const char *kind, const std::string &msg,
+                                  bool core_dump);
+
+void printMessage(const char *kind, const std::string &msg);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace logging_detail
+
+/** Abort the simulation: internal bug. Dumps core via abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logging_detail::exitWithMessage(
+        "panic", logging_detail::concat(std::forward<Args>(args)...), true);
+}
+
+/** Exit the simulation: unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logging_detail::exitWithMessage(
+        "fatal", logging_detail::concat(std::forward<Args>(args)...), false);
+}
+
+/** Report suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::printMessage(
+        "warn", logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logging_detail::verbose()) {
+        logging_detail::printMessage(
+            "info", logging_detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panicIf(bool cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() unless @p cond holds. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_LOGGING_HH

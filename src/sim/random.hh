@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random source (xoshiro256**).
+ *
+ * Used both by the simulator (workload address streams) and by the
+ * modelled EMS security mechanisms that the paper requires to be
+ * randomized: the memory-pool refill threshold, EWB page selection,
+ * and the EMCall response-polling obfuscation jitter. All draws are
+ * reproducible from the seed so experiments are repeatable.
+ */
+
+#ifndef HYPERTEE_SIM_RANDOM_HH
+#define HYPERTEE_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace hypertee
+{
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p);
+
+  private:
+    static std::uint64_t splitmix64(std::uint64_t &state);
+
+    std::uint64_t _s[4];
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_RANDOM_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef HYPERTEE_SIM_SIM_OBJECT_HH
+#define HYPERTEE_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/**
+ * A named component attached to an event queue. Names follow a
+ * dotted hierarchy ("system.cs.core0.dtlb") used in stats dumps.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue *eq)
+        : _name(std::move(name)), _eventq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue *eventQueue() const { return _eventq; }
+    Tick curTick() const { return _eventq->now(); }
+
+  private:
+    std::string _name;
+    EventQueue *_eventq;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_SIM_OBJECT_HH

@@ -1,0 +1,100 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace hypertee
+{
+
+void
+Distribution::ensureSorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+Distribution::min() const
+{
+    panicIf(_samples.empty(), "min() of empty distribution");
+    ensureSorted();
+    return _samples.front();
+}
+
+double
+Distribution::max() const
+{
+    panicIf(_samples.empty(), "max() of empty distribution");
+    ensureSorted();
+    return _samples.back();
+}
+
+double
+Distribution::quantile(double q) const
+{
+    panicIf(_samples.empty(), "quantile() of empty distribution");
+    panicIf(q < 0.0 || q > 1.0, "quantile out of range: ", q);
+    ensureSorted();
+    if (q == 0.0)
+        return _samples.front();
+    const std::size_t n = _samples.size();
+    std::size_t rank = static_cast<std::size_t>(q * n + 0.5);
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return _samples[rank - 1];
+}
+
+double
+Distribution::fractionAtOrBelow(double threshold) const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(_samples.begin(), _samples.end(), threshold);
+    return static_cast<double>(it - _samples.begin()) / _samples.size();
+}
+
+void
+StatGroup::registerScalar(const std::string &name, const Scalar *s)
+{
+    _scalars[name] = s;
+}
+
+void
+StatGroup::registerAverage(const std::string &name, const Average *a)
+{
+    _averages[name] = a;
+}
+
+void
+StatGroup::registerDistribution(const std::string &name,
+                                const Distribution *d)
+{
+    _distributions[name] = d;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << std::setprecision(6);
+    for (const auto &[stat_name, s] : _scalars)
+        os << _name << '.' << stat_name << ' ' << s->value() << '\n';
+    for (const auto &[stat_name, a] : _averages) {
+        os << _name << '.' << stat_name << "::mean " << a->mean() << '\n';
+        os << _name << '.' << stat_name << "::count " << a->count() << '\n';
+    }
+    for (const auto &[stat_name, d] : _distributions) {
+        os << _name << '.' << stat_name << "::count " << d->count() << '\n';
+        if (d->count() > 0) {
+            os << _name << '.' << stat_name << "::mean " << d->mean()
+               << '\n';
+            os << _name << '.' << stat_name << "::p99 " << d->quantile(0.99)
+               << '\n';
+        }
+    }
+}
+
+} // namespace hypertee

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named statistics with a StatGroup; the group can
+ * render a gem5-style "name value" dump. Three kinds are provided:
+ * Scalar counters, Averages, and bucketed Distributions (used for the
+ * Figure 6 SLO latency curves).
+ */
+
+#ifndef HYPERTEE_SIM_STATS_HH
+#define HYPERTEE_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+/** A monotonically growing counter. */
+class Scalar
+{
+  public:
+    void operator++() { ++_value; }
+    void operator+=(double v) { _value += v; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0;
+};
+
+/** Running mean of observed samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * Sample distribution retaining every observation, supporting exact
+ * quantiles (e.g. the 99th-percentile SLO latency in Figure 6).
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        _samples.push_back(v);
+        _sorted = false;
+    }
+
+    std::uint64_t count() const { return _samples.size(); }
+
+    double
+    mean() const
+    {
+        if (_samples.empty())
+            return 0.0;
+        double s = 0;
+        for (double v : _samples)
+            s += v;
+        return s / _samples.size();
+    }
+
+    double min() const;
+    double max() const;
+
+    /** Exact quantile via nearest-rank; q in [0, 1]. */
+    double quantile(double q) const;
+
+    /** Fraction of samples <= threshold. */
+    double fractionAtOrBelow(double threshold) const;
+
+    const std::vector<double> &samples() const { return _samples; }
+
+    void
+    clear()
+    {
+        _samples.clear();
+        _sorted = false;
+    }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = false;
+};
+
+/**
+ * Named collection of statistics. Components hold their stats by
+ * value and register pointers here; the group only formats output.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void registerScalar(const std::string &name, const Scalar *s);
+    void registerAverage(const std::string &name, const Average *a);
+    void registerDistribution(const std::string &name,
+                              const Distribution *d);
+
+    /** Render "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::map<std::string, const Scalar *> _scalars;
+    std::map<std::string, const Average *> _averages;
+    std::map<std::string, const Distribution *> _distributions;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_STATS_HH

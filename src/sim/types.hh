@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every HyperTEE module.
+ *
+ * The time base follows the gem5 convention: one Tick equals one
+ * picosecond, so a 2.5 GHz computing-subsystem core advances 400 ticks
+ * per cycle and the 750 MHz EMS core advances 1333 ticks per cycle.
+ */
+
+#ifndef HYPERTEE_SIM_TYPES_HH
+#define HYPERTEE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace hypertee
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A cycle count within some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Physical or virtual address within the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of an enclave; 0 is reserved for "not an enclave". */
+using EnclaveId = std::uint32_t;
+
+/** Identifier of a shared-memory region assigned by the EMS. */
+using ShmId = std::uint32_t;
+
+/** Memory-encryption key slot identifier (MKTME-style). */
+using KeyId = std::uint16_t;
+
+/** One tick per picosecond. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Sentinel for "no enclave". */
+constexpr EnclaveId invalidEnclaveId = 0;
+
+/** Sentinel tick value meaning "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Simulated page size: 4 KiB, matching the RISC-V Sv39 base page. */
+constexpr Addr pageSize = 4096;
+constexpr Addr pageShift = 12;
+
+/** Cache line size used throughout the memory hierarchy. */
+constexpr Addr lineSize = 64;
+constexpr Addr lineShift = 6;
+
+/** Round an address down to its page base. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(pageSize - 1);
+}
+
+/** Extract the physical/virtual page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** Number of pages needed to hold @p bytes. */
+constexpr Addr
+pagesFor(Addr bytes)
+{
+    return (bytes + pageSize - 1) >> pageShift;
+}
+
+/**
+ * Privilege modes on the computing subsystem, mirroring RISC-V.
+ * EMCall executes in Machine mode; the OS in Supervisor; applications
+ * and enclaves in User.
+ */
+enum class PrivMode : std::uint8_t
+{
+    User = 0,
+    Supervisor = 1,
+    Machine = 3,
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_TYPES_HH

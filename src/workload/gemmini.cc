@@ -1,0 +1,34 @@
+#include "workload/gemmini.hh"
+
+namespace hypertee
+{
+
+DnnNetwork
+resnet50()
+{
+    // ~4.1 GFLOPs -> ~2.05G MACs over 53 conv/fc layers.
+    return {"resnet50", 2'050'000'000ULL, 53, 1'500'000};
+}
+
+DnnNetwork
+mobileNet()
+{
+    // ~569 MFLOPs -> ~285M MACs over 28 layers.
+    return {"mobilenet", 285'000'000ULL, 28, 170'000};
+}
+
+std::vector<DnnNetwork>
+mlpSuite()
+{
+    // The four MLP workloads ([79]-[82]): handwriting recognition
+    // (big and committee variants), speech-enhancement autoencoder,
+    // and multimodal fusion. Few layers, so staging dominates.
+    return {
+        {"mlp-digits", 11'000'000ULL, 5, 96'000},
+        {"mlp-committee", 4'200'000ULL, 4, 42'000},
+        {"mlp-autoenc", 8'500'000ULL, 5, 74'000},
+        {"mlp-multimodal", 15'000'000ULL, 6, 118'000},
+    };
+}
+
+} // namespace hypertee

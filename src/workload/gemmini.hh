@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Gemmini DNN accelerator model and the paper's inference workloads
+ * (Section VII-D, Figure 12).
+ *
+ * Gemmini is modelled analytically: a 16x16 weight/output-stationary
+ * systolic array retiring peRows*peCols MACs per cycle at its clock,
+ * with a fixed per-layer configuration overhead. The networks carry
+ * a per-inference MAC count and the number of bytes that must cross
+ * the user-enclave -> driver-enclave -> device path; in conventional
+ * TEEs those bytes pay software encrypt + decrypt, in HyperTEE they
+ * ride the shared encrypted memory at plaintext speed.
+ */
+
+#ifndef HYPERTEE_WORKLOAD_GEMMINI_HH
+#define HYPERTEE_WORKLOAD_GEMMINI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+struct GemminiParams
+{
+    unsigned peRows = 16;
+    unsigned peCols = 16;
+    std::uint64_t freqHz = 1'000'000'000ULL;
+    std::size_t globalBufferBytes = 256 * 1024;
+    std::size_t accumulatorBytes = 64 * 1024;
+    Cycles perLayerOverhead = 2'000; ///< config + drain per layer
+};
+
+class GemminiModel
+{
+  public:
+    explicit GemminiModel(const GemminiParams &params = {})
+        : _p(params)
+    {}
+
+    const GemminiParams &params() const { return _p; }
+
+    /** Time to execute @p macs MACs over @p layers layers. */
+    Tick
+    inferenceTime(std::uint64_t macs, unsigned layers) const
+    {
+        std::uint64_t per_cycle =
+            std::uint64_t(_p.peRows) * _p.peCols;
+        std::uint64_t cycles = (macs + per_cycle - 1) / per_cycle +
+                               Cycles(layers) * _p.perLayerOverhead;
+        return cycles * (ticksPerSecond / _p.freqHz);
+    }
+
+  private:
+    GemminiParams _p;
+};
+
+/** One inference workload (Figure 12). */
+struct DnnNetwork
+{
+    std::string name;
+    std::uint64_t macs;          ///< multiply-accumulates/inference
+    unsigned layers;
+    /**
+     * Bytes crossing the enclave<->driver<->device path per
+     * inference (input + staged activations + results), calibrated
+     * so the conventional-design software-crypto share matches the
+     * Figure 12 discussion (ResNet50 >74.7%, MLPs higher).
+     */
+    std::uint64_t transferBytes;
+};
+
+DnnNetwork resnet50();
+DnnNetwork mobileNet();
+/** The four MLPs of the evaluation ([79]-[82]). */
+std::vector<DnnNetwork> mlpSuite();
+
+/** NIC streaming scenario: pure data movement, negligible compute. */
+struct NicScenario
+{
+    std::uint64_t bytesPerBurst = 1'500 * 64; ///< 64 MTU frames
+    double linkBps = 10e9;                    ///< 10 GbE
+    Cycles perBurstSetup = 3'000;             ///< driver bookkeeping
+
+    Tick
+    wireTime() const
+    {
+        return static_cast<Tick>(bytesPerBurst * 8.0 / linkBps *
+                                 ticksPerSecond);
+    }
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_WORKLOAD_GEMMINI_HH

@@ -1,0 +1,152 @@
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+/**
+ * Build one RV8-class profile. @p image_pages is calibrated so that
+ * software-SHA measurement over the image reproduces the Table IV
+ * Enclave-Noncrypto EMEAS column at ~40M simulated instructions.
+ */
+WorkloadProfile
+rv8(const std::string &name, std::uint64_t image_pages,
+    double load_frac, double store_frac, double branch_frac,
+    Addr working_set, double seq_frac, double branch_noise)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.instructions = 40'000'000;
+    p.loadFrac = load_frac;
+    p.storeFrac = store_frac;
+    p.branchFrac = branch_frac;
+    p.fpFrac = 0.01;
+    p.workingSetBytes = working_set;
+    p.sequentialFrac = seq_frac;
+    p.branchNoise = branch_noise;
+    p.imageBytes = image_pages * pageSize;
+    return p;
+}
+
+WorkloadProfile
+spec(const std::string &name, double load_frac, double store_frac,
+     double branch_frac, Addr working_set, double seq_frac,
+     double sparse_frac, double branch_noise)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.instructions = 30'000'000;
+    p.loadFrac = load_frac;
+    p.storeFrac = store_frac;
+    p.branchFrac = branch_frac;
+    p.fpFrac = 0.02;
+    p.workingSetBytes = working_set;
+    p.sequentialFrac = seq_frac;
+    p.sparseFrac = sparse_frac;
+    p.sparsePages = 8192;
+    p.branchNoise = branch_noise;
+    p.imageBytes = 16 * pageSize;
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+rv8Profiles()
+{
+    // Image pages chosen against Table IV's EMEAS column (aes 5.1%,
+    // dhrystone 14.3%, miniz 6.1%, norx 7.8%, primes 3.9%, qsort
+    // 2.1%, sha512 8.1%, wolfSSL 15.0%).
+    return {
+        rv8("aes", 2, 0.28, 0.14, 0.08, 64 * 1024, 0.85, 0.01),
+        rv8("dhrystone", 6, 0.22, 0.10, 0.16, 16 * 1024, 0.90, 0.01),
+        rv8("miniz", 11, 0.30, 0.15, 0.14, 512 * 1024, 0.60, 0.05),
+        rv8("norx", 4, 0.26, 0.13, 0.09, 96 * 1024, 0.85, 0.01),
+        rv8("primes", 2, 0.12, 0.04, 0.18, 8 * 1024, 0.95, 0.005),
+        rv8("qsort", 5, 0.30, 0.15, 0.18, 256 * 1024, 0.40, 0.12),
+        rv8("sha512", 3, 0.27, 0.10, 0.07, 32 * 1024, 0.92, 0.005),
+        wolfSslProfile(),
+    };
+}
+
+WorkloadProfile
+wolfSslProfile()
+{
+    return rv8("wolfssl", 14, 0.26, 0.12, 0.12, 192 * 1024, 0.75, 0.03);
+}
+
+std::vector<WorkloadProfile>
+spec2017Profiles()
+{
+    // Sparse fractions reproduce the Figure 10 TLB discussion:
+    // xalancbmk_r ~0.8% TLB miss rate, everything else <0.2%.
+    return {
+        spec("perlbench_r", 0.28, 0.13, 0.16, 96 * 1024, 0.78, 0.0009,
+             0.04),
+        spec("gcc_r", 0.27, 0.14, 0.17, 96 * 1024, 0.72, 0.0013,
+             0.06),
+        spec("mcf_r", 0.34, 0.10, 0.14, 96 * 1024, 0.35, 0.0015,
+             0.08),
+        spec("omnetpp_r", 0.31, 0.14, 0.15, 96 * 1024, 0.55, 0.0013,
+             0.06),
+        spec("xalancbmk_r", 0.32, 0.12, 0.16, 96 * 1024, 0.60, 0.0074,
+             0.05),
+        spec("x264_r", 0.29, 0.12, 0.08, 96 * 1024, 0.88, 0.0005,
+             0.02),
+        spec("deepsjeng_r", 0.26, 0.12, 0.15, 96 * 1024, 0.70, 0.0009,
+             0.07),
+        spec("leela_r", 0.25, 0.10, 0.15, 64 * 1024, 0.75, 0.0007,
+             0.06),
+        spec("exchange2_r", 0.22, 0.10, 0.18, 32 * 1024, 0.90, 0.0001,
+             0.03),
+        spec("xz_r", 0.30, 0.14, 0.12, 96 * 1024, 0.65, 0.0012, 0.05),
+    };
+}
+
+WorkloadProfile
+memStreamProfile(Addr bytes)
+{
+    WorkloadProfile p;
+    p.name = "memstream";
+    p.instructions = 20'000'000;
+    p.loadFrac = 0.45;
+    p.storeFrac = 0.15;
+    p.branchFrac = 0.05;
+    p.fpFrac = 0.0;
+    p.workingSetBytes = bytes;
+    p.sequentialFrac = 1.0; // pure streaming: worst-case miss rate
+    p.branchNoise = 0.0;
+    p.imageBytes = 2 * pageSize;
+    return p;
+}
+
+WorkloadProfile
+minizProfile(Addr working_set_bytes)
+{
+    WorkloadProfile p =
+        rv8("miniz", 3, 0.30, 0.15, 0.14, working_set_bytes, 0.60,
+            0.05);
+    return p;
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : rv8Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const auto &p : spec2017Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    if (name == "memstream")
+        return memStreamProfile(16 * 1024 * 1024);
+    fatal("unknown workload profile: ", name);
+}
+
+} // namespace hypertee

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Calibrated workload profiles for the paper's benchmark suites.
+ *
+ * RV8 (aes, dhrystone, miniz, norx, primes, qsort, sha512), wolfSSL,
+ * SPEC CPU2017 integer, and MemStream. Image sizes are scaled so the
+ * EMEAS-to-runtime ratio matches Table IV's Enclave-Noncrypto column
+ * at the simulated instruction counts; working sets and sparse
+ * fractions are tuned so TLB behaviour matches the Figure 10
+ * discussion (xalancbmk_r ~0.8% TLB misses, others <0.2%).
+ */
+
+#ifndef HYPERTEE_WORKLOAD_PROFILES_HH
+#define HYPERTEE_WORKLOAD_PROFILES_HH
+
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace hypertee
+{
+
+/** The RV8 suite + wolfSSL (the paper's enclave workloads). */
+std::vector<WorkloadProfile> rv8Profiles();
+
+/** wolfSSL alone (Figures 7 and 9). */
+WorkloadProfile wolfSslProfile();
+
+/** SPEC CPU2017 integer profiles (Figure 10). */
+std::vector<WorkloadProfile> spec2017Profiles();
+
+/** MemStream: streaming with a working set of @p bytes (Fig 8b). */
+WorkloadProfile memStreamProfile(Addr bytes);
+
+/** miniz at a given compression working set (Figure 11). */
+WorkloadProfile minizProfile(Addr working_set_bytes);
+
+/** Lookup by name; fatal() on unknown names. */
+WorkloadProfile profileByName(const std::string &name);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_WORKLOAD_PROFILES_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Stands in for the paper's benchmark binaries (RV8, wolfSSL, SPEC
+ * CPU2017, MemStream): each profile reproduces the *characteristics*
+ * the evaluation depends on — instruction mix, working-set size and
+ * locality (hence TLB/cache miss rates), branch predictability, and
+ * the enclave image size that drives EADD/EMEAS cost.
+ */
+
+#ifndef HYPERTEE_WORKLOAD_SYNTHETIC_HH
+#define HYPERTEE_WORKLOAD_SYNTHETIC_HH
+
+#include <string>
+
+#include "cpu/micro_op.hh"
+#include "sim/random.hh"
+
+namespace hypertee
+{
+
+struct WorkloadProfile
+{
+    std::string name = "generic";
+
+    /** Instructions per run (scaled-down from the real binaries). */
+    std::uint64_t instructions = 5'000'000;
+
+    /** Instruction mix; the remainder is integer ALU. */
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.02;
+
+    /** Data working set (drives cache behaviour). */
+    Addr workingSetBytes = 256 * 1024;
+
+    /**
+     * Fraction of memory accesses that stream sequentially; the
+     * rest jump uniformly inside the working set.
+     */
+    double sequentialFrac = 0.7;
+
+    /**
+     * Fraction of the random accesses that touch a sparse far
+     * region (spread over sparsePages pages) — the TLB-stress knob
+     * that reproduces e.g. xalancbmk's 0.8% TLB miss rate.
+     */
+    double sparseFrac = 0.0;
+    Addr sparsePages = 4096;
+
+    /** Branch behaviour: outcomes repeat with this period, with a
+     *  noiseFrac chance of flipping (unpredictable component). */
+    unsigned branchPeriod = 8;
+    double branchNoise = 0.03;
+
+    /** Size of the enclave binary+data image (EADD/EMEAS cost). */
+    std::uint64_t imageBytes = 64 * 1024;
+};
+
+/**
+ * InstStream emitting ops for a profile. Addresses fall inside
+ * [base, base + workingSetBytes) plus, for the sparse component,
+ * [sparseBase, sparseBase + sparsePages*pageSize).
+ */
+class SyntheticWorkload : public InstStream
+{
+  public:
+    SyntheticWorkload(const WorkloadProfile &profile, Addr base,
+                      Addr sparse_base, std::uint64_t seed = 1);
+
+    bool next(MicroOp &op) override;
+
+    /** Restart from the beginning (fresh run, same sequence). */
+    void reset();
+
+    std::uint64_t emitted() const { return _emitted; }
+    const WorkloadProfile &profile() const { return _p; }
+
+  private:
+    Addr nextDataAddr();
+
+    WorkloadProfile _p;
+    Addr _base;
+    Addr _sparseBase;
+    std::uint64_t _seed;
+    Random _rng;
+    std::uint64_t _emitted = 0;
+    Addr _streamCursor = 0;
+    unsigned _branchPhase = 0;
+    std::uint64_t _pc = 0x40'0000;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,91 @@
+/** @file System-wide stats dump tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sdk.hh"
+#include "core/system.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+struct StatsDumpTest : ::testing::Test
+{
+    SystemParams
+    params()
+    {
+        SystemParams p;
+        p.csMemSize = 128ULL * 1024 * 1024;
+        p.csCoreCount = 2;
+        return p;
+    }
+
+    HyperTeeSystem sys{params()};
+
+    std::string
+    dump()
+    {
+        std::ostringstream os;
+        sys.dumpStats(os);
+        return os.str();
+    }
+};
+
+TEST_F(StatsDumpTest, EmitsPerCoreAndSystemLines)
+{
+    std::string out = dump();
+    EXPECT_NE(out.find("system.cs.core0.dtlb.hits"),
+              std::string::npos);
+    EXPECT_NE(out.find("system.cs.core1.dtlb.hits"),
+              std::string::npos);
+    EXPECT_NE(out.find("system.ems.pool.freePages"),
+              std::string::npos);
+    EXPECT_NE(out.find("system.bitmap.enclavePages"),
+              std::string::npos);
+    EXPECT_NE(out.find("system.ihub.blockedCsAccesses"),
+              std::string::npos);
+}
+
+TEST_F(StatsDumpTest, CountersReflectActivity)
+{
+    // Before: no gate traffic.
+    std::string before = dump();
+    EXPECT_NE(before.find("system.cs.core0.emcall.issued 0"),
+              std::string::npos);
+
+    EnclaveHandle enclave(sys, 0, EnclaveConfig{});
+    enclave.addImage(Bytes(pageSize, 1), EnclaveLayout::codeBase,
+                     PteRead | PteExec);
+    enclave.measure();
+
+    std::string after = dump();
+    EXPECT_EQ(after.find("system.cs.core0.emcall.issued 0"),
+              std::string::npos)
+        << "gate activity must show up";
+    // Enclave pages got marked in the bitmap.
+    EXPECT_EQ(after.find("system.bitmap.enclavePages 1\n"),
+              std::string::npos);
+}
+
+TEST_F(StatsDumpTest, EveryLineIsNameValue)
+{
+    std::istringstream is(dump());
+    std::string line;
+    int lines = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(space, 0u);
+        // Value parses as a number.
+        EXPECT_NO_THROW((void)std::stod(line.substr(space + 1)))
+            << line;
+    }
+    EXPECT_GT(lines, 30);
+}
+
+} // namespace
+} // namespace hypertee

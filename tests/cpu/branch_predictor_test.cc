@@ -1,0 +1,129 @@
+/** @file Branch predictor behaviour tests. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+#include "sim/random.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+/** Train on a repeating pattern and return the accuracy tail. */
+double
+patternAccuracy(BranchPredictor &bp, const std::vector<bool> &pattern,
+                int iterations, std::uint64_t pc = 0x400000)
+{
+    int correct = 0, total = 0;
+    for (int i = 0; i < iterations; ++i) {
+        for (bool taken : pattern) {
+            bool pred = bp.predict(pc);
+            bp.update(pc, taken);
+            if (i >= iterations / 2) { // measure after warm-up
+                ++total;
+                correct += (pred == taken);
+            }
+        }
+    }
+    return static_cast<double>(correct) / total;
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GshareBp bp(512);
+    EXPECT_GT(patternAccuracy(bp, {true}, 100), 0.99);
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    GshareBp bp(512);
+    EXPECT_GT(patternAccuracy(bp, {false}, 100), 0.99);
+}
+
+TEST(Gshare, LearnsShortPeriodicPattern)
+{
+    GshareBp bp(512);
+    // T T N repeating: history disambiguates.
+    EXPECT_GT(patternAccuracy(bp, {true, true, false}, 200), 0.9);
+}
+
+TEST(Gshare, ResetForgetsTraining)
+{
+    GshareBp bp(512);
+    patternAccuracy(bp, {false}, 100);
+    bp.reset();
+    // Counters back to weakly-taken: first prediction is taken.
+    EXPECT_TRUE(bp.predict(0x400000));
+}
+
+TEST(Tage, LearnsAlwaysTaken)
+{
+    TageBp bp(1024);
+    EXPECT_GT(patternAccuracy(bp, {true}, 100), 0.99);
+}
+
+TEST(Tage, LearnsLongPeriodicPatternBetterThanGshare)
+{
+    // A period-24 pattern exceeds gshare's effective history but
+    // fits TAGE's longer tagged components.
+    std::vector<bool> pattern;
+    for (int i = 0; i < 24; ++i)
+        pattern.push_back(i % 7 == 0);
+
+    GshareBp gshare(512);
+    TageBp tage(2048);
+    double g = patternAccuracy(gshare, pattern, 400);
+    double t = patternAccuracy(tage, pattern, 400);
+    EXPECT_GE(t, g) << "TAGE should not lose to gshare here";
+    EXPECT_GT(t, 0.85);
+}
+
+TEST(Tage, TracksMispredictStats)
+{
+    TageBp bp(1024);
+    Random rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        bool taken = rng.chance(0.5); // unpredictable
+        bp.predict(0x1000 + (i % 16) * 4);
+        bp.update(0x1000 + (i % 16) * 4, taken);
+    }
+    EXPECT_EQ(bp.lookups(), 1000u);
+    // Random outcomes: accuracy should hover near 50%.
+    EXPECT_GT(bp.mispredictRate(), 0.3);
+    EXPECT_LT(bp.mispredictRate(), 0.7);
+}
+
+TEST(Tage, DistinguishesBranchPcs)
+{
+    TageBp bp(2048);
+    // Two branches with opposite biases, interleaved.
+    int correct = 0, total = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool p1 = bp.predict(0x1000);
+        bp.update(0x1000, true);
+        bool p2 = bp.predict(0x2000);
+        bp.update(0x2000, false);
+        if (i >= 200) {
+            total += 2;
+            correct += (p1 == true) + (p2 == false);
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+TEST(Factory, MakesBothKinds)
+{
+    auto g = makePredictor("gshare", 512);
+    auto t = makePredictor("tage", 1024);
+    EXPECT_NE(g, nullptr);
+    EXPECT_NE(t, nullptr);
+}
+
+TEST(FactoryDeath, RejectsUnknownKind)
+{
+    EXPECT_DEATH(makePredictor("perceptron", 512), "unknown");
+}
+
+} // namespace
+} // namespace hypertee

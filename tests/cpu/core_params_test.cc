@@ -1,0 +1,109 @@
+/** @file Table III configuration checks. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_params.hh"
+#include "ems/cost_model.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(CoreParams, CsCoreMatchesTableIII)
+{
+    CoreParams p = csCoreParams();
+    EXPECT_TRUE(p.outOfOrder);
+    EXPECT_EQ(p.fetchWidth, 8u);
+    EXPECT_EQ(p.decodeWidth, 4u);
+    EXPECT_EQ(p.memPorts, 2u);
+    EXPECT_EQ(p.intAlus, 3u);
+    EXPECT_EQ(p.robSize, 128u);
+    EXPECT_EQ(p.ldqSize, 32u);
+    EXPECT_EQ(p.bpKind, "tage");
+    EXPECT_EQ(p.bpEntries, 2048u);
+    EXPECT_EQ(p.dtlbEntries, 32u);
+    EXPECT_EQ(p.stlbEntries, 1024u);
+    EXPECT_EQ(p.l1dSize, 64u * 1024);
+    EXPECT_EQ(p.l2Size, 1024u * 1024);
+    EXPECT_EQ(p.freqHz, 2'500'000'000ULL);
+}
+
+TEST(CoreParams, EmsWeakIsRocketClass)
+{
+    CoreParams p = emsWeakParams();
+    EXPECT_FALSE(p.outOfOrder);
+    EXPECT_EQ(p.fetchWidth, 1u);
+    EXPECT_EQ(p.bpKind, "gshare");
+    EXPECT_EQ(p.bpEntries, 512u);
+    EXPECT_EQ(p.dtlbEntries, 8u);
+    EXPECT_EQ(p.stlbEntries, 0u) << "EMS cores have no L2 TLB";
+    EXPECT_EQ(p.l1dSize, 16u * 1024);
+    EXPECT_EQ(p.l2Size, 256u * 1024);
+    EXPECT_EQ(p.freqHz, 750'000'000ULL);
+    EXPECT_EQ(p.memOverlap, 0.0) << "in-order cores hide nothing";
+}
+
+TEST(CoreParams, EmsMediumIsTwoWideOoO)
+{
+    CoreParams p = emsMediumParams();
+    EXPECT_TRUE(p.outOfOrder);
+    EXPECT_EQ(p.fetchWidth, 4u);
+    EXPECT_EQ(p.decodeWidth, 2u);
+    EXPECT_EQ(p.robSize, 96u);
+    EXPECT_EQ(p.bpEntries, 1024u);
+    EXPECT_EQ(p.l2Size, 512u * 1024);
+}
+
+TEST(CoreParams, EmsStrongIsCsClassAtEmsClock)
+{
+    CoreParams strong = emsStrongParams();
+    CoreParams cs = csCoreParams();
+    EXPECT_EQ(strong.fetchWidth, cs.fetchWidth);
+    EXPECT_EQ(strong.robSize, cs.robSize);
+    EXPECT_EQ(strong.bpEntries, cs.bpEntries);
+    EXPECT_EQ(strong.freqHz, 750'000'000ULL);
+    EXPECT_EQ(strong.l2Size, 512u * 1024) << "Table III: 512KB L2";
+}
+
+TEST(CostModel, PresetsOrderByCapability)
+{
+    EXPECT_LT(emsWeakCost().effectiveIpc, emsMediumCost().effectiveIpc);
+    EXPECT_LT(emsMediumCost().effectiveIpc,
+              emsStrongCost().effectiveIpc);
+}
+
+TEST(CostModel, InstTimeScalesInverselyWithIpc)
+{
+    EmsCostModel weak(emsWeakCost());
+    EmsCostModel strong(emsStrongCost());
+    EXPECT_GT(weak.instTime(100'000), strong.instTime(100'000));
+    // Linear in instruction count.
+    EXPECT_NEAR(double(weak.instTime(200'000)) /
+                    double(weak.instTime(100'000)),
+                2.0, 0.01);
+}
+
+TEST(CostModel, CreationIsTheHeaviestBasePrimitive)
+{
+    for (PrimitiveOp op :
+         {PrimitiveOp::EAdd, PrimitiveOp::EEnter, PrimitiveOp::EExit,
+          PrimitiveOp::EAlloc, PrimitiveOp::EShmAt,
+          PrimitiveOp::EMeas}) {
+        EXPECT_GT(EmsCostModel::baseInsts(PrimitiveOp::ECreate),
+                  EmsCostModel::baseInsts(op))
+            << primitiveName(op);
+    }
+}
+
+TEST(CostModel, PerPageCostsArePositiveAndOrdered)
+{
+    EmsCostModel cost(emsMediumCost());
+    EXPECT_GT(cost.perPageZeroTime(1), 0u);
+    EXPECT_GT(cost.perPageCopyTime(1), cost.perPageMapTime(1))
+        << "moving a page costs more than mapping it";
+    EXPECT_EQ(cost.perPageZeroTime(0), 0u);
+}
+
+} // namespace
+} // namespace hypertee

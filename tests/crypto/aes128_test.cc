@@ -1,0 +1,112 @@
+/** @file AES-128 known-answer (FIPS 197) and CTR-mode tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes128.hh"
+#include "crypto/bytes.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Bytes block = fromHex("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(block.data());
+    EXPECT_EQ(toHex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    Aes128 aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Bytes original = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    Bytes block = original;
+    aes.encryptBlock(block.data());
+    EXPECT_NE(block, original);
+    aes.decryptBlock(block.data());
+    EXPECT_EQ(block, original);
+}
+
+TEST(Aes128, AllBlockValuesRoundTrip)
+{
+    Aes128 aes(fromHex("ffeeddccbbaa99887766554433221100"));
+    for (int i = 0; i < 64; ++i) {
+        Bytes block(16, static_cast<std::uint8_t>(i * 4 + 1));
+        Bytes orig = block;
+        aes.encryptBlock(block.data());
+        aes.decryptBlock(block.data());
+        EXPECT_EQ(block, orig);
+    }
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertexts)
+{
+    Aes128 a(fromHex("00000000000000000000000000000000"));
+    Aes128 b(fromHex("00000000000000000000000000000001"));
+    Bytes block_a(16, 0x42), block_b(16, 0x42);
+    a.encryptBlock(block_a.data());
+    b.encryptBlock(block_b.data());
+    EXPECT_NE(block_a, block_b);
+}
+
+TEST(Aes128Ctr, TransformIsAnInvolution)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Bytes msg = bytesFromString("enclave shared memory plaintext spanning "
+                                "several AES blocks, unaligned too.");
+    Bytes ct = aes.ctrTransform(msg, 0x1234, 0);
+    EXPECT_NE(ct, msg);
+    Bytes pt = aes.ctrTransform(ct, 0x1234, 0);
+    EXPECT_EQ(pt, msg);
+}
+
+TEST(Aes128Ctr, NonceSeparatesStreams)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Bytes msg(48, 0);
+    Bytes a = aes.ctrTransform(msg, 1, 0);
+    Bytes b = aes.ctrTransform(msg, 2, 0);
+    EXPECT_NE(a, b);
+}
+
+TEST(Aes128Ctr, CounterOffsetMatchesConcatenation)
+{
+    Aes128 aes(fromHex("0f0e0d0c0b0a09080706050403020100"));
+    Bytes msg(64, 0xaa);
+    Bytes whole = aes.ctrTransform(msg, 7, 0);
+
+    Bytes first(msg.begin(), msg.begin() + 32);
+    Bytes second(msg.begin() + 32, msg.end());
+    Bytes part1 = aes.ctrTransform(first, 7, 0);
+    Bytes part2 = aes.ctrTransform(second, 7, 2); // 32 bytes = 2 blocks
+
+    Bytes joined = part1;
+    joined.insert(joined.end(), part2.begin(), part2.end());
+    EXPECT_EQ(joined, whole);
+}
+
+TEST(Aes128Ctr, HandlesUnalignedTail)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Bytes msg(17, 0x11); // one block + 1 byte
+    Bytes ct = aes.ctrTransform(msg, 9, 0);
+    EXPECT_EQ(ct.size(), 17u);
+    EXPECT_EQ(aes.ctrTransform(ct, 9, 0), msg);
+}
+
+TEST(Aes128Death, RejectsWrongKeySize)
+{
+    EXPECT_DEATH(
+        {
+            Aes128 aes(Bytes(15, 0));
+            (void)aes;
+        },
+        "16-byte");
+}
+
+} // namespace
+} // namespace hypertee

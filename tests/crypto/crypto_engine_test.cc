@@ -1,0 +1,74 @@
+/** @file Crypto-engine timing-model tests (Table III parameters). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/crypto_engine.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(CryptoEngine, EngineShaMatchesTableThroughput)
+{
+    CryptoEngine eng({}, true);
+    // 16.1 Gbps: 1 MiB should take ~521 us plus setup.
+    Tick t = eng.shaTime(1 << 20);
+    double us = t / 1e6;
+    EXPECT_NEAR(us, (1 << 20) * 8.0 / 16.1e9 * 1e6 + 0.2, 1.0);
+}
+
+TEST(CryptoEngine, EngineAesMatchesTableThroughput)
+{
+    CryptoEngine eng({}, true);
+    Tick t = eng.aesTime(1 << 20);
+    double s = t / 1e12;
+    EXPECT_NEAR(s, (1 << 20) * 8.0 / 1.24e9, 1e-4);
+}
+
+TEST(CryptoEngine, SoftwareShaIsMuchSlowerThanEngine)
+{
+    CryptoEngineParams p;
+    CryptoEngine hw(p, true);
+    CryptoEngine sw(p, false);
+    Tick hw_t = hw.shaTime(1 << 22);
+    Tick sw_t = sw.shaTime(1 << 22);
+    // Table IV's EMEAS column drops from 7.8% to 0.10%: the ratio
+    // of software to engine hashing must be large (tens of times).
+    EXPECT_GT(sw_t, hw_t * 40);
+    EXPECT_LT(sw_t, hw_t * 120);
+}
+
+TEST(CryptoEngine, SignRateMatchesTable)
+{
+    CryptoEngine eng({}, true);
+    // 123 ops/s -> ~8.1 ms per signature.
+    double ms = eng.signTime() / 1e9;
+    EXPECT_NEAR(ms, 1000.0 / 123.0, 0.5);
+}
+
+TEST(CryptoEngine, VerifyFasterThanSign)
+{
+    CryptoEngine eng({}, true);
+    EXPECT_LT(eng.verifyTime(), eng.signTime() / 10);
+}
+
+TEST(CryptoEngine, ZeroBytesCostOnlySetup)
+{
+    CryptoEngineParams p;
+    CryptoEngine eng(p, true);
+    EXPECT_EQ(eng.shaTime(0), p.engineSetupTicks);
+    CryptoEngine sw(p, false);
+    EXPECT_EQ(sw.shaTime(0), 0u);
+}
+
+TEST(CryptoEngine, CostScalesLinearlyWithSize)
+{
+    CryptoEngine sw({}, false);
+    Tick one = sw.aesTime(1000);
+    Tick ten = sw.aesTime(10000);
+    EXPECT_NEAR(static_cast<double>(ten) / one, 10.0, 0.01);
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,114 @@
+/** @file Ed25519 tests: RFC 8032 vectors and signature properties. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "crypto/ed25519.hh"
+#include "sim/random.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+const char *kSeed1 =
+    "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60";
+const char *kPub1 =
+    "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a";
+
+TEST(Ed25519, Rfc8032Test1PublicKey)
+{
+    EXPECT_EQ(toHex(ed25519PublicKey(fromHex(kSeed1))), kPub1);
+}
+
+TEST(Ed25519, Rfc8032Test1SignatureVerifies)
+{
+    Bytes seed = fromHex(kSeed1);
+    Bytes msg; // empty message
+    Bytes sig = ed25519Sign(seed, msg);
+    EXPECT_EQ(sig.size(), 64u);
+    EXPECT_TRUE(ed25519Verify(fromHex(kPub1), msg, sig));
+}
+
+TEST(Ed25519, SignaturesAreDeterministic)
+{
+    Bytes seed = fromHex(kSeed1);
+    Bytes msg = bytesFromString("enclave measurement report");
+    EXPECT_EQ(ed25519Sign(seed, msg), ed25519Sign(seed, msg));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedMessage)
+{
+    Bytes seed = fromHex(kSeed1);
+    Bytes pub = ed25519PublicKey(seed);
+    Bytes msg = bytesFromString("platform certificate");
+    Bytes sig = ed25519Sign(seed, msg);
+
+    Bytes tampered = msg;
+    tampered[0] ^= 1;
+    EXPECT_TRUE(ed25519Verify(pub, msg, sig));
+    EXPECT_FALSE(ed25519Verify(pub, tampered, sig));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedSignature)
+{
+    Bytes seed = fromHex(kSeed1);
+    Bytes pub = ed25519PublicKey(seed);
+    Bytes msg = bytesFromString("attestation quote");
+    Bytes sig = ed25519Sign(seed, msg);
+
+    for (std::size_t i : {0u, 31u, 32u, 63u}) {
+        Bytes bad = sig;
+        bad[i] ^= 0x40;
+        EXPECT_FALSE(ed25519Verify(pub, msg, bad)) << "byte " << i;
+    }
+}
+
+TEST(Ed25519, VerifyRejectsWrongKey)
+{
+    Bytes seed1 = fromHex(kSeed1);
+    Bytes seed2(32, 0x07);
+    Bytes msg = bytesFromString("report");
+    Bytes sig = ed25519Sign(seed1, msg);
+    EXPECT_FALSE(ed25519Verify(ed25519PublicKey(seed2), msg, sig));
+}
+
+TEST(Ed25519, VerifyRejectsMalformedInputs)
+{
+    Bytes seed = fromHex(kSeed1);
+    Bytes pub = ed25519PublicKey(seed);
+    Bytes msg = bytesFromString("x");
+    Bytes sig = ed25519Sign(seed, msg);
+
+    EXPECT_FALSE(ed25519Verify(Bytes(31, 0), msg, sig));
+    EXPECT_FALSE(ed25519Verify(pub, msg, Bytes(63, 0)));
+    // Signature with S >= L must be rejected (malleability guard).
+    Bytes bad = sig;
+    for (int i = 32; i < 64; ++i)
+        bad[i] = 0xff;
+    EXPECT_FALSE(ed25519Verify(pub, msg, bad));
+}
+
+TEST(Ed25519, RandomKeysSignAndVerify)
+{
+    Random rng(99);
+    for (int trial = 0; trial < 4; ++trial) {
+        Bytes seed(32);
+        for (auto &b : seed)
+            b = static_cast<std::uint8_t>(rng.next());
+        Bytes pub = ed25519PublicKey(seed);
+        Bytes msg(1 + trial * 37, static_cast<std::uint8_t>(trial));
+        Bytes sig = ed25519Sign(seed, msg);
+        EXPECT_TRUE(ed25519Verify(pub, msg, sig)) << "trial " << trial;
+    }
+}
+
+TEST(Ed25519, DifferentMessagesDifferentSignatures)
+{
+    Bytes seed = fromHex(kSeed1);
+    EXPECT_NE(ed25519Sign(seed, bytesFromString("a")),
+              ed25519Sign(seed, bytesFromString("b")));
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,172 @@
+/** @file Field arithmetic properties for GF(2^255 - 19). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/fe25519.hh"
+#include "sim/random.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+Fe
+randomFe(Random &rng)
+{
+    std::uint8_t bytes[32];
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    return feFromBytes(bytes);
+}
+
+std::string
+feHex(const Fe &f)
+{
+    std::uint8_t b[32];
+    feToBytes(b, f);
+    std::string out;
+    for (int i = 0; i < 32; ++i) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", b[i]);
+        out += buf;
+    }
+    return out;
+}
+
+TEST(Fe25519, AdditiveIdentity)
+{
+    Random rng(1);
+    for (int i = 0; i < 16; ++i) {
+        Fe a = randomFe(rng);
+        EXPECT_TRUE(feEqual(feAdd(a, feZero()), a));
+        EXPECT_TRUE(feEqual(feSub(a, a), feZero()));
+    }
+}
+
+TEST(Fe25519, MultiplicativeIdentityAndInverse)
+{
+    Random rng(2);
+    for (int i = 0; i < 8; ++i) {
+        Fe a = randomFe(rng);
+        EXPECT_TRUE(feEqual(feMul(a, feOne()), a));
+        if (!feIsZero(a)) {
+            EXPECT_TRUE(feEqual(feMul(a, feInvert(a)), feOne()))
+                << feHex(a);
+        }
+    }
+}
+
+TEST(Fe25519, CommutativityAndAssociativity)
+{
+    Random rng(3);
+    for (int i = 0; i < 8; ++i) {
+        Fe a = randomFe(rng), b = randomFe(rng), c = randomFe(rng);
+        EXPECT_TRUE(feEqual(feMul(a, b), feMul(b, a)));
+        EXPECT_TRUE(feEqual(feAdd(a, b), feAdd(b, a)));
+        EXPECT_TRUE(
+            feEqual(feMul(feMul(a, b), c), feMul(a, feMul(b, c))));
+    }
+}
+
+TEST(Fe25519, Distributivity)
+{
+    Random rng(4);
+    for (int i = 0; i < 8; ++i) {
+        Fe a = randomFe(rng), b = randomFe(rng), c = randomFe(rng);
+        EXPECT_TRUE(feEqual(feMul(a, feAdd(b, c)),
+                            feAdd(feMul(a, b), feMul(a, c))));
+    }
+}
+
+TEST(Fe25519, SquareMatchesSelfMultiply)
+{
+    Random rng(5);
+    for (int i = 0; i < 8; ++i) {
+        Fe a = randomFe(rng);
+        EXPECT_TRUE(feEqual(feSq(a), feMul(a, a)));
+    }
+}
+
+TEST(Fe25519, SqrtMinusOneSquaresToMinusOne)
+{
+    Fe i = feSqrtM1();
+    Fe minus_one = feNeg(feOne());
+    EXPECT_TRUE(feEqual(feSq(i), minus_one));
+}
+
+TEST(Fe25519, BytesRoundTripCanonical)
+{
+    Random rng(6);
+    for (int i = 0; i < 16; ++i) {
+        Fe a = randomFe(rng);
+        std::uint8_t b1[32], b2[32];
+        feToBytes(b1, a);
+        Fe back = feFromBytes(b1);
+        feToBytes(b2, back);
+        EXPECT_EQ(std::memcmp(b1, b2, 32), 0);
+    }
+}
+
+TEST(Fe25519, NonCanonicalInputsReduce)
+{
+    // p and p+1 must load as 0 and 1 respectively.
+    std::uint8_t p_bytes[32];
+    std::memset(p_bytes, 0xff, 32);
+    p_bytes[0] = 0xed;
+    p_bytes[31] = 0x7f;
+    EXPECT_TRUE(feIsZero(feFromBytes(p_bytes)));
+
+    p_bytes[0] = 0xee; // p + 1
+    EXPECT_TRUE(feEqual(feFromBytes(p_bytes), feOne()));
+}
+
+TEST(Fe25519, TopBitOfEncodingIgnored)
+{
+    std::uint8_t a[32] = {5};
+    std::uint8_t b[32] = {5};
+    b[31] = 0x80;
+    EXPECT_TRUE(feEqual(feFromBytes(a), feFromBytes(b)));
+}
+
+TEST(Fe25519, NegationIsInvolution)
+{
+    Random rng(7);
+    for (int i = 0; i < 8; ++i) {
+        Fe a = randomFe(rng);
+        EXPECT_TRUE(feEqual(feNeg(feNeg(a)), a));
+        EXPECT_TRUE(feEqual(feAdd(a, feNeg(a)), feZero()));
+    }
+}
+
+TEST(Fe25519, CswapSwapsExactlyWhenAsked)
+{
+    Random rng(8);
+    Fe a = randomFe(rng), b = randomFe(rng);
+    Fe a0 = a, b0 = b;
+    feCswap(a, b, false);
+    EXPECT_TRUE(feEqual(a, a0));
+    EXPECT_TRUE(feEqual(b, b0));
+    feCswap(a, b, true);
+    EXPECT_TRUE(feEqual(a, b0));
+    EXPECT_TRUE(feEqual(b, a0));
+}
+
+TEST(Fe25519, MulSmallMatchesMul)
+{
+    Random rng(9);
+    Fe a = randomFe(rng);
+    EXPECT_TRUE(
+        feEqual(feMulSmall(a, 121665), feMul(a, feFromUint(121665))));
+}
+
+TEST(Fe25519, SignBitMatchesParity)
+{
+    EXPECT_FALSE(feIsNegative(feFromUint(4)));
+    EXPECT_TRUE(feIsNegative(feFromUint(5)));
+}
+
+} // namespace
+} // namespace hypertee

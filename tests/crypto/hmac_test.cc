@@ -1,0 +1,99 @@
+/** @file HMAC-SHA256 (RFC 4231) and HKDF (RFC 5869) tests. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "crypto/hmac.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    Bytes msg = bytesFromString("Hi There");
+    EXPECT_EQ(toHex(hmacSha256(key, msg)),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    Bytes key = bytesFromString("Jefe");
+    Bytes msg = bytesFromString("what do ya want for nothing?");
+    EXPECT_EQ(toHex(hmacSha256(key, msg)),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst)
+{
+    Bytes long_key(131, 0xaa); // exceeds the 64-byte block size
+    Bytes msg = bytesFromString("Test Using Larger Than Block-Size Key - "
+                                "Hash Key First");
+    EXPECT_EQ(toHex(hmacSha256(long_key, msg)),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeyAndMessageSensitivity)
+{
+    Bytes key1(32, 1), key2(32, 2);
+    Bytes msg1 = bytesFromString("m1"), msg2 = bytesFromString("m2");
+    EXPECT_NE(hmacSha256(key1, msg1), hmacSha256(key2, msg1));
+    EXPECT_NE(hmacSha256(key1, msg1), hmacSha256(key1, msg2));
+    EXPECT_EQ(hmacSha256(key1, msg1), hmacSha256(key1, msg1));
+}
+
+TEST(Hkdf, Rfc5869Case1)
+{
+    Bytes ikm(22, 0x0b);
+    Bytes salt = fromHex("000102030405060708090a0b0c");
+    Bytes info = fromHex("f0f1f2f3f4f5f6f7f8f9");
+    Bytes okm = hkdf(ikm, salt, info, 42);
+    EXPECT_EQ(toHex(okm),
+              "3cb25f25faacd57a90434f64d0362f2a"
+              "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+              "34007208d5b887185865");
+}
+
+TEST(Hkdf, EmptySaltUsesZeros)
+{
+    Bytes ikm(22, 0x0b);
+    Bytes okm = hkdf(ikm, Bytes{}, Bytes{}, 32);
+    EXPECT_EQ(okm.size(), 32u);
+    // Deterministic.
+    EXPECT_EQ(okm, hkdf(ikm, Bytes{}, Bytes{}, 32));
+}
+
+TEST(Hkdf, InfoSeparatesDerivedKeys)
+{
+    Bytes ikm(32, 0x42);
+    Bytes salt = bytesFromString("hypertee");
+    Bytes k1 = hkdf(ikm, salt, bytesFromString("attestation-key"), 32);
+    Bytes k2 = hkdf(ikm, salt, bytesFromString("sealing-key"), 32);
+    EXPECT_NE(k1, k2);
+}
+
+TEST(Hkdf, ExpandProducesRequestedLength)
+{
+    Bytes prk = hkdfExtract(bytesFromString("salt"),
+                            bytesFromString("ikm"));
+    for (std::size_t len : {1u, 31u, 32u, 33u, 64u, 100u}) {
+        EXPECT_EQ(hkdfExpand(prk, Bytes{}, len).size(), len);
+    }
+}
+
+TEST(Hkdf, LongerOutputExtendsShorterOutput)
+{
+    Bytes prk = hkdfExtract(bytesFromString("s"), bytesFromString("k"));
+    Bytes short_okm = hkdfExpand(prk, Bytes{}, 16);
+    Bytes long_okm = hkdfExpand(prk, Bytes{}, 48);
+    EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(),
+                           long_okm.begin()));
+}
+
+} // namespace
+} // namespace hypertee

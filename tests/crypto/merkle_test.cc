@@ -1,0 +1,128 @@
+/** @file Merkle tree tests (CVM snapshot integrity substrate). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+std::vector<Bytes>
+makeLeaves(std::size_t n)
+{
+    std::vector<Bytes> leaves;
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(Bytes(64, static_cast<std::uint8_t>(i + 1)));
+    return leaves;
+}
+
+TEST(MerkleTree, RootIsDeterministic)
+{
+    MerkleTree a(makeLeaves(8)), b(makeLeaves(8));
+    EXPECT_EQ(a.root(), b.root());
+    EXPECT_EQ(a.root().size(), 32u);
+}
+
+TEST(MerkleTree, RootDependsOnEveryLeaf)
+{
+    MerkleTree base(makeLeaves(8));
+    for (std::size_t i = 0; i < 8; ++i) {
+        auto leaves = makeLeaves(8);
+        leaves[i][0] ^= 1;
+        MerkleTree modified(leaves);
+        EXPECT_NE(modified.root(), base.root()) << "leaf " << i;
+    }
+}
+
+TEST(MerkleTree, RootDependsOnLeafOrder)
+{
+    auto leaves = makeLeaves(4);
+    MerkleTree a(leaves);
+    std::swap(leaves[0], leaves[1]);
+    MerkleTree b(leaves);
+    EXPECT_NE(a.root(), b.root());
+}
+
+TEST(MerkleTree, NonPowerOfTwoLeafCounts)
+{
+    for (std::size_t n : {1u, 3u, 5u, 7u, 9u, 100u}) {
+        MerkleTree t(makeLeaves(n));
+        EXPECT_EQ(t.leafCount(), n);
+        EXPECT_EQ(t.root().size(), 32u);
+    }
+}
+
+TEST(MerkleTree, UpdateLeafMatchesRebuild)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree t(leaves);
+    Bytes new_data(64, 0x99);
+    t.updateLeaf(3, new_data);
+    leaves[3] = new_data;
+    MerkleTree rebuilt(leaves);
+    EXPECT_EQ(t.root(), rebuilt.root());
+}
+
+TEST(MerkleTree, ProofVerifies)
+{
+    auto leaves = makeLeaves(9);
+    MerkleTree t(leaves);
+    for (std::size_t i = 0; i < 9; ++i) {
+        auto proof = t.prove(i);
+        EXPECT_TRUE(MerkleTree::verify(t.root(), i, 9, leaves[i],
+                                       proof))
+            << "leaf " << i;
+    }
+}
+
+TEST(MerkleTree, ProofRejectsWrongData)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree t(leaves);
+    auto proof = t.prove(2);
+    Bytes tampered = leaves[2];
+    tampered[5] ^= 0xff;
+    EXPECT_FALSE(MerkleTree::verify(t.root(), 2, 8, tampered, proof));
+}
+
+TEST(MerkleTree, ProofRejectsWrongIndex)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree t(leaves);
+    auto proof = t.prove(2);
+    EXPECT_FALSE(MerkleTree::verify(t.root(), 3, 8, leaves[2], proof));
+}
+
+TEST(MerkleTree, ProofRejectsTamperedSibling)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree t(leaves);
+    auto proof = t.prove(2);
+    proof[1][0] ^= 1;
+    EXPECT_FALSE(MerkleTree::verify(t.root(), 2, 8, leaves[2], proof));
+}
+
+TEST(MerkleTree, LeafInteriorDomainSeparation)
+{
+    // A single leaf equal to an interior-node preimage must not
+    // produce the same root as the two-leaf tree (type confusion).
+    auto two = makeLeaves(2);
+    MerkleTree t2(two);
+    MerkleTree t1(std::vector<Bytes>{t2.root()});
+    EXPECT_NE(t1.root(), t2.root());
+}
+
+TEST(MerkleTreeDeath, EmptyTreeIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            MerkleTree t(std::vector<Bytes>{});
+            (void)t;
+        },
+        "at least one leaf");
+}
+
+} // namespace
+} // namespace hypertee

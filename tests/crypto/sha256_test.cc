@@ -1,0 +1,96 @@
+/** @file SHA-256 known-answer and streaming tests (FIPS 180-4). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bytes.hh"
+#include "crypto/sha256.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+std::string
+hashHex(const std::string &msg)
+{
+    return toHex(Sha256::digest(bytesFromString(msg)));
+}
+
+TEST(Sha256, EmptyMessage)
+{
+    EXPECT_EQ(hashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(hashHex("abcdbcdecdefdefgefghfghighijhijk"
+                      "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    auto d = h.finish();
+    EXPECT_EQ(toHex(d.data(), d.size()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot)
+{
+    Bytes msg = bytesFromString("The quick brown fox jumps over the lazy "
+                                "dog and keeps going for a while longer");
+    Bytes one_shot = Sha256::digest(msg);
+
+    // Feed in awkward chunk sizes that straddle block boundaries.
+    for (std::size_t chunk : {1u, 3u, 17u, 63u, 64u, 65u}) {
+        Sha256 h;
+        std::size_t off = 0;
+        while (off < msg.size()) {
+            std::size_t n = std::min(chunk, msg.size() - off);
+            h.update(msg.data() + off, n);
+            off += n;
+        }
+        auto d = h.finish();
+        EXPECT_EQ(Bytes(d.begin(), d.end()), one_shot)
+            << "chunk size " << chunk;
+    }
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests)
+{
+    EXPECT_NE(hashHex("message-a"), hashHex("message-b"));
+    // A trailing NUL byte must change the digest.
+    Bytes with_nul = {'a', '\0'};
+    EXPECT_NE(hashHex("a"), toHex(Sha256::digest(with_nul)));
+}
+
+TEST(Sha256, LengthPaddingBoundaries)
+{
+    // Messages of 55, 56, 63, 64 bytes exercise each padding path.
+    for (std::size_t n : {55u, 56u, 63u, 64u, 119u, 120u}) {
+        Bytes a(n, 'x'), b(n, 'x');
+        b[n - 1] = 'y';
+        EXPECT_NE(toHex(Sha256::digest(a)), toHex(Sha256::digest(b)));
+        EXPECT_EQ(toHex(Sha256::digest(a)), toHex(Sha256::digest(a)));
+    }
+}
+
+} // namespace
+} // namespace hypertee

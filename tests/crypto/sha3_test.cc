@@ -1,0 +1,77 @@
+/** @file SHA3-256 known-answer tests (FIPS 202) and MAC-28 checks. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "crypto/sha3.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+std::string
+hashHex(const std::string &msg)
+{
+    return toHex(sha3_256(bytesFromString(msg)));
+}
+
+TEST(Sha3_256, EmptyMessage)
+{
+    EXPECT_EQ(hashHex(""),
+              "a7ffc6f8bf1ed76651c14756a061d662"
+              "f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3_256, Abc)
+{
+    EXPECT_EQ(hashHex("abc"),
+              "3a985da74fe225b2045c172d6bd390bd"
+              "855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3_256, RateBoundaryLengths)
+{
+    // 135/136/137 bytes straddle the 136-byte sponge rate.
+    for (std::size_t n : {135u, 136u, 137u, 272u, 273u}) {
+        Bytes a(n, 0x5a), b(n, 0x5a);
+        b[n / 2] ^= 1;
+        EXPECT_NE(toHex(sha3_256(a)), toHex(sha3_256(b)));
+        EXPECT_EQ(toHex(sha3_256(a)), toHex(sha3_256(a)));
+    }
+}
+
+TEST(Sha3Mac28, Fits28Bits)
+{
+    Bytes key = fromHex("000102030405060708090a0b0c0d0e0f");
+    std::uint8_t line[64] = {};
+    std::uint32_t mac = sha3Mac28(key, 0x1000, line, sizeof(line));
+    EXPECT_LE(mac, 0x0fffffffu);
+}
+
+TEST(Sha3Mac28, SensitiveToAddressKeyAndData)
+{
+    Bytes key1 = fromHex("000102030405060708090a0b0c0d0e0f");
+    Bytes key2 = fromHex("100102030405060708090a0b0c0d0e0f");
+    std::uint8_t line[64] = {};
+    std::uint8_t line2[64] = {};
+    line2[5] = 0xff;
+
+    std::uint32_t base = sha3Mac28(key1, 0x1000, line, 64);
+    EXPECT_NE(base, sha3Mac28(key2, 0x1000, line, 64)) << "key binding";
+    EXPECT_NE(base, sha3Mac28(key1, 0x1040, line, 64)) << "address binding";
+    EXPECT_NE(base, sha3Mac28(key1, 0x1000, line2, 64)) << "data binding";
+}
+
+TEST(Sha3Mac28, DeterministicAcrossCalls)
+{
+    Bytes key = fromHex("deadbeefdeadbeefdeadbeefdeadbeef");
+    std::uint8_t line[64];
+    for (int i = 0; i < 64; ++i)
+        line[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(sha3Mac28(key, 0x2000, line, 64),
+              sha3Mac28(key, 0x2000, line, 64));
+}
+
+} // namespace
+} // namespace hypertee

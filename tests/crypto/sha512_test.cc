@@ -1,0 +1,80 @@
+/** @file SHA-512 known-answer tests (FIPS 180-4). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "crypto/sha512.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+std::string
+hashHex(const std::string &msg)
+{
+    return toHex(Sha512::digest(bytesFromString(msg)));
+}
+
+TEST(Sha512, Abc)
+{
+    EXPECT_EQ(hashHex("abc"),
+              "ddaf35a193617abacc417349ae204131"
+              "12e6fa4e89a97ea20a9eeee64b55d39a"
+              "2192992a274fc1a836ba3c23a3feebbd"
+              "454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, EmptyMessage)
+{
+    EXPECT_EQ(hashHex(""),
+              "cf83e1357eefb8bdf1542850d66d8007"
+              "d620e4050b5715dc83f4a921d36ce9ce"
+              "47d0d13c5d85f2b0ff8318d2877eec2f"
+              "63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, TwoBlockMessage)
+{
+    EXPECT_EQ(hashHex("abcdefghbcdefghicdefghijdefghijk"
+                      "efghijklfghijklmghijklmnhijklmno"
+                      "ijklmnopjklmnopqklmnopqrlmnopqrs"
+                      "mnopqrstnopqrstu"),
+              "8e959b75dae313da8cf4f72814fc143f"
+              "8f7779c6eb9f7fa17299aeadb6889018"
+              "501d289e4900f7e4331b99dec4b5433a"
+              "c7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, StreamingMatchesOneShot)
+{
+    Bytes msg(517);
+    for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<std::uint8_t>(i * 31);
+    Bytes one_shot = Sha512::digest(msg);
+
+    for (std::size_t chunk : {1u, 7u, 127u, 128u, 129u}) {
+        Sha512 h;
+        std::size_t off = 0;
+        while (off < msg.size()) {
+            std::size_t n = std::min(chunk, msg.size() - off);
+            h.update(msg.data() + off, n);
+            off += n;
+        }
+        auto d = h.finish();
+        EXPECT_EQ(Bytes(d.begin(), d.end()), one_shot)
+            << "chunk size " << chunk;
+    }
+}
+
+TEST(Sha512, PaddingBoundaries)
+{
+    for (std::size_t n : {111u, 112u, 127u, 128u, 239u, 240u}) {
+        Bytes a(n, 'p'), b(n, 'p');
+        b[0] = 'q';
+        EXPECT_NE(toHex(Sha512::digest(a)), toHex(Sha512::digest(b)));
+    }
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,139 @@
+/** @file AEX (asynchronous enclave exit) flow tests, Section III-B. */
+
+#include <gtest/gtest.h>
+
+#include "core/sdk.hh"
+#include "core/system.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+struct AexTest : ::testing::Test
+{
+    SystemParams
+    params()
+    {
+        SystemParams p;
+        p.csMemSize = 128ULL * 1024 * 1024;
+        p.csCoreCount = 1;
+        return p;
+    }
+
+    HyperTeeSystem sys{params()};
+    EnclaveHandle enclave{sys, 0, EnclaveConfig{}};
+
+    void
+    SetUp() override
+    {
+        enclave.addImage(Bytes(pageSize, 0x42),
+                         EnclaveLayout::codeBase, PteRead | PteExec);
+        enclave.measure();
+        ASSERT_TRUE(enclave.enter());
+    }
+};
+
+TEST_F(AexTest, TimerInterruptParksTheEnclave)
+{
+    EXPECT_EQ(sys.emCall(0).asyncExit(ExcCause::TimerInterrupt,
+                                      0x1000'0040),
+              ExcRoute::ToCsOs);
+    EXPECT_TRUE(sys.emCall(0).aexPending());
+    EXPECT_EQ(sys.emCall(0).aexEnclave(), enclave.id());
+    EXPECT_EQ(sys.emCall(0).aexPc(), 0x1000'0040u);
+    // The core is back in the host context.
+    EXPECT_FALSE(sys.emCall(0).inEnclave());
+    EXPECT_FALSE(sys.core(0).mmu().enclaveMode());
+}
+
+TEST_F(AexTest, ResumeRestoresTheEnclaveContext)
+{
+    sys.emCall(0).asyncExit(ExcCause::TimerInterrupt, 0x1000'0040);
+    ASSERT_TRUE(sys.emCall(0).resumeFromAex());
+    EXPECT_FALSE(sys.emCall(0).aexPending());
+    EXPECT_TRUE(sys.emCall(0).inEnclave());
+    EXPECT_EQ(sys.emCall(0).currentEnclave(), enclave.id());
+    EXPECT_TRUE(sys.core(0).mmu().enclaveMode());
+    EXPECT_EQ(sys.core(0).mmu().pageTable(),
+              sys.ems().enclavePageTable(enclave.id()));
+}
+
+TEST_F(AexTest, PageFaultRoutesToEmsWithoutParking)
+{
+    // Memory-management exceptions are the EMS's business: the
+    // enclave context stays live while the gate resolves them.
+    EXPECT_EQ(sys.emCall(0).asyncExit(ExcCause::PageFault,
+                                      0x1000'0080),
+              ExcRoute::ToEms);
+    EXPECT_FALSE(sys.emCall(0).aexPending());
+    EXPECT_TRUE(sys.emCall(0).inEnclave());
+}
+
+TEST_F(AexTest, ResumeWithoutPendingAexFails)
+{
+    EXPECT_FALSE(sys.emCall(0).resumeFromAex());
+}
+
+TEST_F(AexTest, AexOutsideEnclaveIsRoutingOnly)
+{
+    ASSERT_TRUE(enclave.exit());
+    EXPECT_EQ(sys.emCall(0).asyncExit(ExcCause::TimerInterrupt, 0x80),
+              ExcRoute::ToCsOs);
+    EXPECT_FALSE(sys.emCall(0).aexPending());
+}
+
+TEST_F(AexTest, AexResumeRoundTripSurvivesRepeats)
+{
+    for (int i = 0; i < 10; ++i) {
+        sys.emCall(0).asyncExit(ExcCause::ExternalInterrupt,
+                                0x1000'0000 + i * 4);
+        ASSERT_TRUE(sys.emCall(0).resumeFromAex()) << "round " << i;
+    }
+    EXPECT_TRUE(sys.emCall(0).inEnclave());
+}
+
+TEST_F(AexTest, DestroyedEnclaveCannotBeResumed)
+{
+    sys.emCall(0).asyncExit(ExcCause::TimerInterrupt, 0x1000'0040);
+    // While parked, the OS destroys the enclave.
+    ASSERT_TRUE(enclave.destroy());
+    EXPECT_FALSE(sys.emCall(0).resumeFromAex())
+        << "EMS rejects ERESUME of a destroyed enclave";
+}
+
+TEST_F(AexTest, KeySlotExhaustionSuspendsParkedEnclaves)
+{
+    // End-to-end KeyID recycling (Section IV-C): with a tiny key
+    // table, creating more enclaves forces the EMS to suspend a
+    // parked (Measured) one and reuse its slot.
+    SystemParams p = params();
+    p.encryptionKeySlots = 3; // bitmap-free slots are scarce
+    HyperTeeSystem small(p);
+
+    std::vector<std::unique_ptr<EnclaveHandle>> enclaves;
+    unsigned created = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto e = std::make_unique<EnclaveHandle>(small, 0,
+                                                 EnclaveConfig{});
+        if (!e->valid())
+            break;
+        e->addImage(Bytes(pageSize, std::uint8_t(i)),
+                    EnclaveLayout::codeBase, PteRead | PteExec);
+        e->measure();
+        ++created;
+        enclaves.push_back(std::move(e));
+    }
+    EXPECT_GT(created, 3u)
+        << "suspension must let creation continue past the slot count";
+    // At least one earlier enclave got suspended.
+    unsigned suspended = 0;
+    for (const auto &e : enclaves) {
+        const EnclaveControl *ctl = small.ems().enclave(e->id());
+        suspended += (ctl->state == EnclaveState::Suspended);
+    }
+    EXPECT_GT(suspended, 0u);
+}
+
+} // namespace
+} // namespace hypertee

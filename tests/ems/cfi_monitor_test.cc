@@ -1,0 +1,105 @@
+/** @file EMS-side CFI monitor tests (Section IX). */
+
+#include <gtest/gtest.h>
+
+#include "ems/cfi_monitor.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(CfiTransferBuffer, RecordsAndDrains)
+{
+    CfiTransferBuffer buf(4);
+    EXPECT_TRUE(buf.record(0x100, 0x200));
+    EXPECT_TRUE(buf.record(0x204, 0x300));
+    EXPECT_EQ(buf.size(), 2u);
+    auto transfers = buf.drain();
+    ASSERT_EQ(transfers.size(), 2u);
+    EXPECT_EQ(transfers[0].source, 0x100u);
+    EXPECT_EQ(transfers[1].target, 0x300u);
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(CfiTransferBuffer, SignalsOverflow)
+{
+    CfiTransferBuffer buf(2);
+    EXPECT_TRUE(buf.record(1, 2));
+    EXPECT_FALSE(buf.record(3, 4)) << "buffer full: force a pass";
+    EXPECT_TRUE(buf.full());
+    buf.drain();
+    EXPECT_FALSE(buf.full());
+}
+
+struct CfiFixture : ::testing::Test
+{
+    CfiMonitor monitor;
+
+    void
+    SetUp() override
+    {
+        // A tiny CFG: main -> helper -> main, plus an indirect call
+        // table with two functions.
+        monitor.allowEdge(0x1000, 0x2000); // call helper
+        monitor.allowEdge(0x2040, 0x1004); // return
+        monitor.allowTarget(0x3000);       // fn ptr A
+        monitor.allowTarget(0x4000);       // fn ptr B
+    }
+};
+
+TEST_F(CfiFixture, LegalFlowValidates)
+{
+    std::vector<CfiTransfer> good = {
+        {0x1000, 0x2000}, {0x2040, 0x1004},
+        {0x1010, 0x3000}, // indirect call to allowed target
+        {0x1020, 0x4000},
+    };
+    EXPECT_TRUE(monitor.validate(good));
+    EXPECT_EQ(monitor.violations(), 0u);
+    EXPECT_EQ(monitor.checkedTransfers(), 4u);
+}
+
+TEST_F(CfiFixture, RopStyleEdgeDetected)
+{
+    // A corrupted return address jumping into a gadget.
+    std::vector<CfiTransfer> rop = {
+        {0x1000, 0x2000},
+        {0x2040, 0x5a5a}, // not in the CFG
+    };
+    EXPECT_FALSE(monitor.validate(rop));
+    EXPECT_EQ(monitor.violations(), 1u);
+    EXPECT_EQ(monitor.lastViolation().target, 0x5a5au);
+}
+
+TEST_F(CfiFixture, HijackedIndirectCallDetected)
+{
+    // Function-pointer overwrite to a non-entry address.
+    std::vector<CfiTransfer> jop = {{0x1010, 0x3008}};
+    EXPECT_FALSE(monitor.validate(jop));
+}
+
+TEST_F(CfiFixture, ValidationStopsAtFirstViolation)
+{
+    std::vector<CfiTransfer> flow = {
+        {0x1000, 0x2000},
+        {0x2040, 0x6666}, // violation
+        {0x1010, 0x3000}, // never checked
+    };
+    EXPECT_FALSE(monitor.validate(flow));
+    EXPECT_EQ(monitor.checkedTransfers(), 2u);
+}
+
+TEST_F(CfiFixture, BufferToMonitorPipeline)
+{
+    CfiTransferBuffer buf(8);
+    buf.record(0x1000, 0x2000);
+    buf.record(0x2040, 0x1004);
+    EXPECT_TRUE(monitor.validate(buf.drain()));
+
+    buf.record(0x2040, 0xdead);
+    EXPECT_FALSE(monitor.validate(buf.drain()));
+}
+
+} // namespace
+} // namespace hypertee

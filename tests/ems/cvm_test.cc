@@ -1,0 +1,190 @@
+/** @file CVM lifecycle tests (Section IX: snapshot, restore,
+ *  migration). */
+
+#include <gtest/gtest.h>
+
+#include "ems/cvm.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+EFuse
+fuse(std::uint8_t seed)
+{
+    EFuse f;
+    f.endorsementSeed = Bytes(32, seed);
+    f.sealedKey = Bytes(32, static_cast<std::uint8_t>(seed + 1));
+    return f;
+}
+
+std::vector<Bytes>
+guestImage(std::size_t pages, std::uint8_t fill)
+{
+    std::vector<Bytes> image;
+    for (std::size_t i = 0; i < pages; ++i)
+        image.push_back(
+            Bytes(pageSize, static_cast<std::uint8_t>(fill + i)));
+    return image;
+}
+
+struct CvmFixture : ::testing::Test
+{
+    KeyManager km{fuse(5)};
+    Bytes platform = Bytes(32, 0x77);
+    CvmManager mgr{&km, platform, 101};
+};
+
+TEST_F(CvmFixture, CreateAndReadBack)
+{
+    CvmId id = mgr.create(guestImage(4, 0x10));
+    ASSERT_NE(id, 0u);
+    EXPECT_EQ(mgr.pageCount(id), 4u);
+    EXPECT_EQ(mgr.readPage(id, 2), Bytes(pageSize, 0x12));
+    EXPECT_TRUE(mgr.readPage(id, 9).empty());
+}
+
+TEST_F(CvmFixture, SnapshotIsEncrypted)
+{
+    CvmId id = mgr.create(guestImage(4, 0x10));
+    CvmSnapshot snap = mgr.snapshot(id);
+    ASSERT_EQ(snap.encryptedPages.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NE(snap.encryptedPages[i], mgr.readPage(id, i))
+            << "page " << i << " left in plaintext";
+}
+
+TEST_F(CvmFixture, SnapshotRestoresExactly)
+{
+    CvmId id = mgr.create(guestImage(4, 0x10));
+    CvmSnapshot snap = mgr.snapshot(id);
+    mgr.writePage(id, 1, Bytes(pageSize, 0xff)); // diverge afterwards
+
+    CvmId restored = mgr.restore(snap);
+    ASSERT_NE(restored, 0u);
+    EXPECT_EQ(mgr.readPage(restored, 1), Bytes(pageSize, 0x11))
+        << "restore returns the snapshot-time content";
+}
+
+TEST_F(CvmFixture, TamperedSnapshotRejected)
+{
+    CvmId id = mgr.create(guestImage(4, 0x10));
+    CvmSnapshot snap = mgr.snapshot(id);
+    snap.encryptedPages[2][17] ^= 1; // disk corruption / attacker
+    EXPECT_EQ(mgr.restore(snap), 0u);
+}
+
+TEST_F(CvmFixture, TruncatedSnapshotRejected)
+{
+    CvmId id = mgr.create(guestImage(4, 0x10));
+    CvmSnapshot snap = mgr.snapshot(id);
+    snap.encryptedPages.pop_back();
+    EXPECT_EQ(mgr.restore(snap), 0u);
+}
+
+TEST_F(CvmFixture, WritesTrackDirtyStateAcrossSnapshots)
+{
+    CvmId id = mgr.create(guestImage(2, 0x20));
+    mgr.writePage(id, 0, Bytes(pageSize, 0xab));
+    CvmSnapshot snap = mgr.snapshot(id);
+    CvmId restored = mgr.restore(snap);
+    ASSERT_NE(restored, 0u);
+    EXPECT_EQ(mgr.readPage(restored, 0), Bytes(pageSize, 0xab));
+}
+
+TEST_F(CvmFixture, ForeignSnapshotRejected)
+{
+    // A snapshot produced by one EMS cannot be restored by another:
+    // the key and root never left the source.
+    CvmId id = mgr.create(guestImage(2, 0x30));
+    CvmSnapshot snap = mgr.snapshot(id);
+    KeyManager km2(fuse(9));
+    CvmManager other(&km2, platform, 102);
+    EXPECT_EQ(other.restore(snap), 0u);
+}
+
+struct MigrationFixture : ::testing::Test
+{
+    Bytes platform = Bytes(32, 0x77);
+    KeyManager sourceKm{fuse(5)};
+    KeyManager destKm{fuse(9)};
+    CvmManager source{&sourceKm, platform, 201};
+    CvmManager dest{&destKm, platform, 202};
+};
+
+TEST_F(MigrationFixture, MigrationMovesTheCvm)
+{
+    CvmId id = source.create(guestImage(4, 0x40));
+    Bytes dest_priv;
+    Bytes dest_pub = dest.makeMigrationDh(dest_priv);
+
+    CvmMigrationBundle bundle = source.migrateOut(id, dest_pub);
+    CvmId moved = dest.migrateIn(
+        bundle, sourceKm.endorsementPublicKey(), dest_priv);
+    ASSERT_NE(moved, 0u);
+    EXPECT_EQ(dest.readPage(moved, 3), Bytes(pageSize, 0x43));
+}
+
+TEST_F(MigrationFixture, UnattestedSourceRejected)
+{
+    CvmId id = source.create(guestImage(2, 0x40));
+    Bytes dest_priv;
+    Bytes dest_pub = dest.makeMigrationDh(dest_priv);
+    CvmMigrationBundle bundle = source.migrateOut(id, dest_pub);
+
+    // The destination checks against the CA-certified EK of some
+    // *other* platform: a rogue source fails attestation.
+    KeyManager rogue(fuse(33));
+    EXPECT_EQ(dest.migrateIn(bundle, rogue.endorsementPublicKey(),
+                             dest_priv),
+              0u);
+}
+
+TEST_F(MigrationFixture, TamperedBundleRejected)
+{
+    CvmId id = source.create(guestImage(2, 0x40));
+    Bytes dest_priv;
+    Bytes dest_pub = dest.makeMigrationDh(dest_priv);
+
+    CvmMigrationBundle b1 = source.migrateOut(id, dest_pub);
+    b1.encryptedSecrets[0] ^= 1;
+    EXPECT_EQ(dest.migrateIn(b1, sourceKm.endorsementPublicKey(),
+                             dest_priv),
+              0u)
+        << "secrets MAC must catch tampering";
+
+    CvmMigrationBundle b2 = source.migrateOut(id, dest_pub);
+    b2.snapshot.encryptedPages[1][0] ^= 1;
+    EXPECT_EQ(dest.migrateIn(b2, sourceKm.endorsementPublicKey(),
+                             dest_priv),
+              0u)
+        << "Merkle root must catch page tampering";
+}
+
+TEST_F(MigrationFixture, WrongDhPrivateCannotUnwrap)
+{
+    CvmId id = source.create(guestImage(2, 0x40));
+    Bytes dest_priv;
+    Bytes dest_pub = dest.makeMigrationDh(dest_priv);
+    CvmMigrationBundle bundle = source.migrateOut(id, dest_pub);
+
+    Bytes wrong_priv(32, 0x55);
+    EXPECT_EQ(dest.migrateIn(bundle, sourceKm.endorsementPublicKey(),
+                             wrong_priv),
+              0u);
+}
+
+TEST_F(MigrationFixture, BundleLeaksNoPlaintext)
+{
+    auto image = guestImage(2, 0x40);
+    CvmId id = source.create(image);
+    Bytes dest_priv;
+    Bytes dest_pub = dest.makeMigrationDh(dest_priv);
+    CvmMigrationBundle bundle = source.migrateOut(id, dest_pub);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        EXPECT_NE(bundle.snapshot.encryptedPages[i], image[i]);
+}
+
+} // namespace
+} // namespace hypertee

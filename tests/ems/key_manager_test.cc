@@ -1,0 +1,96 @@
+/** @file Key hierarchy tests (Section VI). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519.hh"
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+EFuse
+testFuse(std::uint8_t seed)
+{
+    EFuse f;
+    f.endorsementSeed = Bytes(32, seed);
+    f.sealedKey = Bytes(32, static_cast<std::uint8_t>(seed + 1));
+    return f;
+}
+
+TEST(KeyManager, EkSignaturesVerifyAgainstEkPublic)
+{
+    KeyManager km(testFuse(1));
+    Bytes msg = bytesFromString("platform-measurement");
+    Bytes sig = km.signWithEk(msg);
+    EXPECT_TRUE(ed25519Verify(km.endorsementPublicKey(), msg, sig));
+}
+
+TEST(KeyManager, AkDerivationIsSaltDependent)
+{
+    KeyManager km(testFuse(1));
+    Bytes salt_a = bytesFromString("salt-a");
+    Bytes salt_b = bytesFromString("salt-b");
+    EXPECT_NE(km.attestationPublicKey(salt_a),
+              km.attestationPublicKey(salt_b));
+
+    Bytes msg = bytesFromString("quote");
+    Bytes sig = km.signWithAk(salt_a, msg);
+    EXPECT_TRUE(
+        ed25519Verify(km.attestationPublicKey(salt_a), msg, sig));
+    EXPECT_FALSE(
+        ed25519Verify(km.attestationPublicKey(salt_b), msg, sig));
+}
+
+TEST(KeyManager, DerivedKeysAreDomainSeparated)
+{
+    KeyManager km(testFuse(1));
+    Bytes meas = Bytes(32, 0x42);
+    Bytes mem = km.memoryKey(meas);
+    Bytes sealing = km.sealingKey(meas);
+    Bytes report = km.reportKey(meas);
+    EXPECT_EQ(mem.size(), 16u);
+    EXPECT_EQ(sealing.size(), 32u);
+    EXPECT_NE(Bytes(sealing.begin(), sealing.begin() + 16), mem);
+    EXPECT_NE(sealing, report);
+}
+
+TEST(KeyManager, KeysAreMeasurementBound)
+{
+    KeyManager km(testFuse(1));
+    EXPECT_NE(km.sealingKey(Bytes(32, 1)), km.sealingKey(Bytes(32, 2)));
+    EXPECT_NE(km.memoryKey(Bytes(32, 1)), km.memoryKey(Bytes(32, 2)));
+}
+
+TEST(KeyManager, KeysAreDeviceBound)
+{
+    KeyManager km1(testFuse(1)), km2(testFuse(9));
+    Bytes meas(32, 0x55);
+    EXPECT_NE(km1.sealingKey(meas), km2.sealingKey(meas));
+    EXPECT_NE(km1.endorsementPublicKey(), km2.endorsementPublicKey());
+}
+
+TEST(KeyManager, SharedMemoryKeyBindsSenderAndShm)
+{
+    KeyManager km(testFuse(1));
+    EXPECT_NE(km.sharedMemoryKey(1, 1), km.sharedMemoryKey(1, 2));
+    EXPECT_NE(km.sharedMemoryKey(1, 1), km.sharedMemoryKey(2, 1));
+    EXPECT_EQ(km.sharedMemoryKey(3, 7), km.sharedMemoryKey(3, 7));
+}
+
+TEST(KeyManagerDeath, RejectsShortFuseKeys)
+{
+    EFuse bad;
+    bad.endorsementSeed = Bytes(16, 1);
+    bad.sealedKey = Bytes(32, 2);
+    EXPECT_DEATH(
+        {
+            KeyManager km(bad);
+            (void)km;
+        },
+        "32 bytes");
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,149 @@
+/** @file Enclave memory pool tests (allocation concealment). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ems/memory_pool.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+struct PoolFixture : ::testing::Test
+{
+    Addr nextPpn = 0x80000;
+    std::uint64_t osCalls = 0;
+    std::vector<Addr> returned;
+
+    EnclaveMemoryPool::OsAllocator
+    allocator()
+    {
+        return [this](std::size_t n) {
+            ++osCalls;
+            std::vector<Addr> out;
+            for (std::size_t i = 0; i < n; ++i)
+                out.push_back(nextPpn++);
+            return out;
+        };
+    }
+
+    EnclaveMemoryPool::OsReleaser
+    releaser()
+    {
+        return [this](const std::vector<Addr> &pages) {
+            returned.insert(returned.end(), pages.begin(), pages.end());
+        };
+    }
+
+    EnclaveMemoryPool::Params
+    smallParams()
+    {
+        EnclaveMemoryPool::Params p;
+        p.initialPages = 64;
+        p.refillBatch = 32;
+        p.minThreshold = 4;
+        p.maxThreshold = 12;
+        return p;
+    }
+};
+
+TEST_F(PoolFixture, WarmPoolServesWithoutOsCalls)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::uint64_t calls_after_init = osCalls;
+    // Draw well under the warm size: the OS must see nothing.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(pool.allocate(2).size(), 2u);
+    EXPECT_EQ(osCalls, calls_after_init)
+        << "allocation events concealed from the OS";
+}
+
+TEST_F(PoolFixture, RefillsWhenCrossingThreshold)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::uint64_t calls_after_init = osCalls;
+    // Drain enough to cross any threshold in [4, 12].
+    pool.allocate(60);
+    EXPECT_GT(osCalls, calls_after_init);
+}
+
+TEST_F(PoolFixture, ThresholdRerandomizesOnRefill)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::set<std::size_t> seen;
+    for (int round = 0; round < 20; ++round) {
+        seen.insert(pool.threshold());
+        pool.allocate(40);
+        std::vector<Addr> dummy; // keep pages out
+    }
+    // With a [4,12] band and 20 refills we must see variety.
+    EXPECT_GT(seen.size(), 2u);
+}
+
+TEST_F(PoolFixture, PagesAreUniqueAcrossAllocations)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::set<Addr> seen;
+    for (int i = 0; i < 30; ++i) {
+        for (Addr p : pool.allocate(4)) {
+            EXPECT_TRUE(seen.insert(p).second) << "page reissued";
+        }
+    }
+}
+
+TEST_F(PoolFixture, ReleasedPagesAreReused)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::vector<Addr> pages = pool.allocate(8);
+    pool.release(pages);
+    std::uint64_t calls = osCalls;
+    std::vector<Addr> again = pool.allocate(8);
+    EXPECT_EQ(osCalls, calls) << "reuse needs no OS interaction";
+    EXPECT_EQ(again.size(), 8u);
+}
+
+TEST_F(PoolFixture, RandomTakeVariesCountAndPosition)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    Random rng(7);
+    std::set<std::size_t> counts;
+    for (int i = 0; i < 16; ++i) {
+        std::vector<Addr> taken = pool.randomTake(4, 4, rng);
+        counts.insert(taken.size());
+        EXPECT_GE(taken.size(), 4u);
+        EXPECT_LE(taken.size(), 8u);
+        pool.release(taken);
+    }
+    EXPECT_GT(counts.size(), 1u) << "EWB page count is randomized";
+}
+
+TEST_F(PoolFixture, ReturnToOsShrinksPool)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::size_t before = pool.freePages();
+    pool.returnToOs(16);
+    EXPECT_EQ(pool.freePages(), before - 16);
+    EXPECT_EQ(returned.size(), 16u);
+}
+
+TEST_F(PoolFixture, ExhaustedOsYieldsEmptyAllocation)
+{
+    // An OS allocator that refuses everything after the warm-up.
+    bool first = true;
+    auto stingy = [&](std::size_t n) {
+        std::vector<Addr> out;
+        if (first) {
+            for (std::size_t i = 0; i < n; ++i)
+                out.push_back(nextPpn++);
+            first = false;
+        }
+        return out;
+    };
+    EnclaveMemoryPool pool(stingy, releaser(), smallParams());
+    EXPECT_TRUE(pool.allocate(100000).empty());
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,73 @@
+/** @file Page ownership table tests. */
+
+#include <gtest/gtest.h>
+
+#include "ems/ownership.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(Ownership, ClaimAndLookup)
+{
+    PageOwnershipTable table;
+    EXPECT_TRUE(table.claim(100, 1));
+    const PageOwner *owner = table.lookup(100);
+    ASSERT_NE(owner, nullptr);
+    EXPECT_EQ(owner->owner, 1u);
+    EXPECT_EQ(owner->kind, PageKind::Private);
+    EXPECT_TRUE(table.ownedBy(100, 1));
+    EXPECT_FALSE(table.ownedBy(100, 2));
+}
+
+TEST(Ownership, DoubleClaimRejected)
+{
+    // The inter-enclave isolation check (Section IV-B).
+    PageOwnershipTable table;
+    EXPECT_TRUE(table.claim(100, 1));
+    EXPECT_FALSE(table.claim(100, 2));
+    EXPECT_EQ(table.lookup(100)->owner, 1u);
+    EXPECT_EQ(table.conflicts(), 1u);
+}
+
+TEST(Ownership, ReleaseAllowsReclaim)
+{
+    PageOwnershipTable table;
+    table.claim(100, 1);
+    EXPECT_TRUE(table.release(100));
+    EXPECT_EQ(table.lookup(100), nullptr);
+    EXPECT_TRUE(table.claim(100, 2));
+    EXPECT_FALSE(table.release(555)) << "releasing unowned page";
+}
+
+TEST(Ownership, EnumeratesPagesOfEnclave)
+{
+    PageOwnershipTable table;
+    table.claim(1, 7);
+    table.claim(2, 7);
+    table.claim(3, 8);
+    auto pages = table.pagesOf(7);
+    EXPECT_EQ(pages.size(), 2u);
+}
+
+TEST(Ownership, TracksSharedPagesByShm)
+{
+    PageOwnershipTable table;
+    table.claim(10, 1, PageKind::Shared, 55);
+    table.claim(11, 1, PageKind::Shared, 55);
+    table.claim(12, 1, PageKind::Shared, 56);
+    EXPECT_EQ(table.pagesOfShm(55).size(), 2u);
+    EXPECT_EQ(table.pagesOfShm(56).size(), 1u);
+    EXPECT_EQ(table.lookup(10)->kind, PageKind::Shared);
+}
+
+TEST(Ownership, PageTableKindTracked)
+{
+    PageOwnershipTable table;
+    table.claim(20, 3, PageKind::PageTable);
+    EXPECT_EQ(table.lookup(20)->kind, PageKind::PageTable);
+}
+
+} // namespace
+} // namespace hypertee

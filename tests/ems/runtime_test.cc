@@ -1,0 +1,431 @@
+/** @file EMS runtime tests: all sixteen primitives + security rules. */
+
+#include <gtest/gtest.h>
+
+#include "ems/runtime.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kCsBase = 0x8000'0000;
+constexpr Addr kCsSize = 256 * 1024 * 1024;
+constexpr Addr kEmsBase = 0x10'0000'0000ULL;
+constexpr Addr kEmsSize = 16 * 1024 * 1024;
+
+struct RuntimeFixture : ::testing::Test
+{
+    PhysicalMemory csMem{kCsBase, kCsSize};
+    PhysicalMemory emsMem{kEmsBase, kEmsSize};
+    EnclaveBitmap bitmap{&csMem, kCsBase};
+    MemoryEncryptionEngine enc{64};
+    IHub hub{&csMem, &emsMem, &bitmap, &enc};
+    EmsPort &port = hub.emsPort();
+    Addr frameCursor = kCsBase + 0x100000;
+    std::unique_ptr<EmsRuntime> rt;
+
+    void
+    SetUp() override
+    {
+        EFuse fuse;
+        fuse.endorsementSeed = Bytes(32, 1);
+        fuse.sealedKey = Bytes(32, 2);
+        KeyManager km(fuse);
+
+        EmsRuntimeParams params;
+        params.pool.initialPages = 2048;
+        params.pool.refillBatch = 512;
+        auto os_alloc = [this](std::size_t n) {
+            std::vector<Addr> out;
+            for (std::size_t i = 0; i < n; ++i) {
+                out.push_back(pageNumber(frameCursor));
+                frameCursor += pageSize;
+            }
+            return out;
+        };
+        rt = std::make_unique<EmsRuntime>(&port, &csMem, km, params,
+                                          os_alloc, nullptr);
+        Bytes image = bytesFromString("runtime");
+        Bytes fw = bytesFromString("firmware");
+        ASSERT_TRUE(rt->secureBoot(image, Sha256::digest(image), fw,
+                                   Sha256::digest(fw)));
+    }
+
+    PrimitiveResponse
+    invoke(PrimitiveOp op, PrivMode mode,
+           std::vector<std::uint64_t> args, EnclaveId caller = 0,
+           Bytes payload = {})
+    {
+        PrimitiveRequest req;
+        req.reqId = ++reqId;
+        req.op = op;
+        req.mode = mode;
+        req.args = std::move(args);
+        req.caller = caller;
+        req.payload = std::move(payload);
+        return rt->handle(req);
+    }
+
+    /** Full ECREATE + one EADD + EMEAS; returns the enclave id. */
+    EnclaveId
+    makeMeasuredEnclave()
+    {
+        PrimitiveResponse r =
+            invoke(PrimitiveOp::ECreate, PrivMode::Supervisor,
+                   {4, 8, 64});
+        EXPECT_EQ(r.status, PrimStatus::Ok);
+        EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+        Bytes code(pageSize, 0x90);
+        r = invoke(PrimitiveOp::EAdd, PrivMode::Supervisor,
+                   {id, EnclaveLayout::codeBase, PteRead | PteExec}, 0,
+                   code);
+        EXPECT_EQ(r.status, PrimStatus::Ok);
+        r = invoke(PrimitiveOp::EMeas, PrivMode::Supervisor, {id});
+        EXPECT_EQ(r.status, PrimStatus::Ok);
+        return id;
+    }
+
+    std::uint64_t reqId = 0;
+};
+
+TEST_F(RuntimeFixture, CreateBuildsEnclaveWithStaticAllocation)
+{
+    PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                 PrivMode::Supervisor, {4, 8, 64});
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+    const EnclaveControl *enc_ctl = rt->enclave(id);
+    ASSERT_NE(enc_ctl, nullptr);
+    EXPECT_EQ(enc_ctl->state, EnclaveState::Created);
+    // Static allocation: 4 stack + 8 heap pages already mapped.
+    EXPECT_EQ(enc_ctl->pages.size(), 12u);
+    EXPECT_NE(enc_ctl->keyId, 0);
+    EXPECT_TRUE(enc.hasKey(enc_ctl->keyId));
+    // Completion time is nonzero and models EMS work.
+    EXPECT_GT(r.completedAt, 0u);
+    EXPECT_TRUE(r.flags & kFlagFlushTlb);
+}
+
+TEST_F(RuntimeFixture, CreateRejectsBadConfig)
+{
+    EXPECT_EQ(invoke(PrimitiveOp::ECreate, PrivMode::Supervisor,
+                     {0, 8, 64})
+                  .status,
+              PrimStatus::InvalidArgument);
+    EXPECT_EQ(invoke(PrimitiveOp::ECreate, PrivMode::Supervisor, {4})
+                  .status,
+              PrimStatus::InvalidArgument);
+}
+
+TEST_F(RuntimeFixture, ForgedCrossPrivilegePacketRejected)
+{
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::ECreate, PrivMode::User, {4, 8, 64});
+    EXPECT_EQ(r.status, PrimStatus::PermissionDenied);
+    EXPECT_GT(rt->sanityRejections(), 0u);
+}
+
+TEST_F(RuntimeFixture, RejectsEverythingBeforeSecureBoot)
+{
+    // A fresh runtime that has NOT booted.
+    EFuse fuse;
+    fuse.endorsementSeed = Bytes(32, 1);
+    fuse.sealedKey = Bytes(32, 2);
+    PhysicalMemory ems2(kEmsBase, kEmsSize);
+    PhysicalMemory cs2(kCsBase, kCsSize);
+    EnclaveBitmap bm2(&cs2, kCsBase);
+    MemoryEncryptionEngine enc2(8);
+    IHub hub2(&cs2, &ems2, &bm2, &enc2);
+    EmsPort &port2 = hub2.emsPort();
+    Addr cursor = kCsBase + 0x100000;
+    EmsRuntime rt2(&port2, &cs2, KeyManager(fuse), {},
+                   [&](std::size_t n) {
+                       std::vector<Addr> out;
+                       for (std::size_t i = 0; i < n; ++i) {
+                           out.push_back(pageNumber(cursor));
+                           cursor += pageSize;
+                       }
+                       return out;
+                   },
+                   nullptr);
+    PrimitiveRequest req;
+    req.op = PrimitiveOp::ECreate;
+    req.mode = PrivMode::Supervisor;
+    req.args = {4, 8, 64};
+    EXPECT_EQ(rt2.handle(req).status, PrimStatus::PermissionDenied);
+}
+
+TEST_F(RuntimeFixture, SecureBootRejectsTamperedImages)
+{
+    EFuse fuse;
+    fuse.endorsementSeed = Bytes(32, 1);
+    fuse.sealedKey = Bytes(32, 2);
+    PhysicalMemory cs2(kCsBase, kCsSize);
+    PhysicalMemory ems2(kEmsBase, kEmsSize);
+    EnclaveBitmap bm2(&cs2, kCsBase);
+    MemoryEncryptionEngine enc2(8);
+    IHub hub2(&cs2, &ems2, &bm2, &enc2);
+    EmsPort &port2 = hub2.emsPort();
+    EmsRuntime rt2(&port2, &cs2, KeyManager(fuse), {},
+                   [](std::size_t) { return std::vector<Addr>{}; },
+                   nullptr);
+    Bytes image = bytesFromString("runtime");
+    Bytes fw = bytesFromString("firmware");
+    Bytes tampered = bytesFromString("runtimeX");
+    EXPECT_FALSE(rt2.secureBoot(tampered, Sha256::digest(image), fw,
+                                Sha256::digest(fw)));
+    EXPECT_FALSE(rt2.booted());
+}
+
+TEST_F(RuntimeFixture, AddMapsAndCopiesPageContent)
+{
+    PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                 PrivMode::Supervisor, {4, 8, 64});
+    EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+    Bytes code(pageSize, 0xab);
+    r = invoke(PrimitiveOp::EAdd, PrivMode::Supervisor,
+               {id, EnclaveLayout::codeBase, PteRead | PteExec}, 0,
+               code);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+
+    const PageTable *pt = rt->enclavePageTable(id);
+    WalkResult walk = pt->walk(EnclaveLayout::codeBase);
+    ASSERT_TRUE(walk.valid);
+    EXPECT_EQ(csMem.readBytes(walk.pa, 4), Bytes(4, 0xab));
+    EXPECT_EQ(walk.keyId, rt->enclave(id)->keyId);
+    EXPECT_TRUE(bitmap.isEnclavePage(pageNumber(walk.pa)));
+}
+
+TEST_F(RuntimeFixture, PageTableFramesAreEnclaveMemory)
+{
+    // Section IV-A: the dedicated page table is itself protected.
+    PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                 PrivMode::Supervisor, {4, 8, 64});
+    EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+    const PageTable *pt = rt->enclavePageTable(id);
+    for (Addr frame : pt->tableFrames()) {
+        EXPECT_TRUE(bitmap.isEnclavePage(pageNumber(frame)));
+        const PageOwner *owner = rt->ownership().lookup(
+            pageNumber(frame));
+        ASSERT_NE(owner, nullptr);
+        EXPECT_EQ(owner->kind, PageKind::PageTable);
+        EXPECT_EQ(owner->owner, id);
+    }
+}
+
+TEST_F(RuntimeFixture, MeasurementIsDeterministicAndContentBound)
+{
+    EnclaveId a = makeMeasuredEnclave();
+    EnclaveId b = makeMeasuredEnclave();
+    // Identical images: identical measurements.
+    EXPECT_EQ(rt->enclave(a)->measurement, rt->enclave(b)->measurement);
+
+    // A third enclave with different content measures differently.
+    PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                 PrivMode::Supervisor, {4, 8, 64});
+    EnclaveId c = static_cast<EnclaveId>(r.results.at(0));
+    Bytes code(pageSize, 0x91);
+    invoke(PrimitiveOp::EAdd, PrivMode::Supervisor,
+           {c, EnclaveLayout::codeBase, PteRead | PteExec}, 0, code);
+    invoke(PrimitiveOp::EMeas, PrivMode::Supervisor, {c});
+    EXPECT_NE(rt->enclave(c)->measurement, rt->enclave(a)->measurement);
+}
+
+TEST_F(RuntimeFixture, UnmeasuredEnclaveCannotEnter)
+{
+    PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                 PrivMode::Supervisor, {4, 8, 64});
+    EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+    EXPECT_EQ(invoke(PrimitiveOp::EEnter, PrivMode::Supervisor, {id})
+                  .status,
+              PrimStatus::PermissionDenied);
+}
+
+TEST_F(RuntimeFixture, EnterExitLifecycle)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EEnter, PrivMode::Supervisor, {id});
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EXPECT_TRUE(r.flags & kFlagEnterEnclave);
+    EXPECT_EQ(rt->enclave(id)->state, EnclaveState::Running);
+
+    r = invoke(PrimitiveOp::EExit, PrivMode::User, {}, id);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EXPECT_TRUE(r.flags & kFlagExitEnclave);
+    EXPECT_EQ(rt->enclave(id)->state, EnclaveState::Measured);
+}
+
+TEST_F(RuntimeFixture, AllocExtendsHeapWithZeroedOwnedPages)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    std::size_t pages_before = rt->enclave(id)->pages.size();
+
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EAlloc, PrivMode::User, {3}, id);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    Addr va = r.results.at(0);
+    EXPECT_EQ(rt->enclave(id)->pages.size(), pages_before + 3);
+
+    const PageTable *pt = rt->enclavePageTable(id);
+    for (int i = 0; i < 3; ++i) {
+        WalkResult walk = pt->walk(va + Addr(i) * pageSize);
+        ASSERT_TRUE(walk.valid);
+        EXPECT_TRUE(bitmap.isEnclavePage(pageNumber(walk.pa)));
+        EXPECT_TRUE(rt->ownership().ownedBy(pageNumber(walk.pa), id));
+        EXPECT_EQ(csMem.readBytes(walk.pa, 8), Bytes(8, 0));
+    }
+}
+
+TEST_F(RuntimeFixture, AllocFromHostContextRejected)
+{
+    makeMeasuredEnclave();
+    EXPECT_EQ(invoke(PrimitiveOp::EAlloc, PrivMode::User, {3},
+                     invalidEnclaveId)
+                  .status,
+              PrimStatus::PermissionDenied);
+}
+
+TEST_F(RuntimeFixture, FreeReturnsScrubbedPages)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EAlloc, PrivMode::User, {2}, id);
+    Addr va = r.results.at(0);
+    const PageTable *pt = rt->enclavePageTable(id);
+    Addr pa = pt->walk(va).pa;
+    csMem.writeBytes(pa, Bytes(16, 0x5e)); // enclave wrote secrets
+
+    r = invoke(PrimitiveOp::EFree, PrivMode::User, {va, 2}, id);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EXPECT_FALSE(pt->walk(va).valid);
+    EXPECT_FALSE(bitmap.isEnclavePage(pageNumber(pa)));
+    // Scrubbed before returning to the pool: no secret residue.
+    EXPECT_EQ(csMem.readBytes(pa, 16), Bytes(16, 0));
+}
+
+TEST_F(RuntimeFixture, FreeOfForeignPagesRejected)
+{
+    EnclaveId a = makeMeasuredEnclave();
+    EnclaveId b = makeMeasuredEnclave();
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EAlloc, PrivMode::User, {1}, a);
+    Addr va = r.results.at(0);
+    // Enclave b tries to free a's allocation at the same VA: its own
+    // page table has no such mapping.
+    EXPECT_EQ(invoke(PrimitiveOp::EFree, PrivMode::User, {va, 1}, b)
+                  .status,
+              PrimStatus::NotFound);
+}
+
+TEST_F(RuntimeFixture, DestroyScrubsEverything)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    const EnclaveControl *ctl = rt->enclave(id);
+    KeyId key = ctl->keyId;
+    std::vector<Addr> pages = ctl->pages;
+
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EDestroy, PrivMode::Supervisor, {id});
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EXPECT_EQ(rt->enclave(id)->state, EnclaveState::Destroyed);
+    EXPECT_FALSE(enc.hasKey(key));
+    for (Addr ppn : pages) {
+        EXPECT_FALSE(bitmap.isEnclavePage(ppn));
+        EXPECT_EQ(rt->ownership().lookup(ppn), nullptr);
+    }
+    // Destroyed enclaves reject further primitives.
+    EXPECT_EQ(invoke(PrimitiveOp::EEnter, PrivMode::Supervisor, {id})
+                  .status,
+              PrimStatus::NotFound);
+}
+
+TEST_F(RuntimeFixture, WbReturnsRandomizedEncryptedPoolPages)
+{
+    makeMeasuredEnclave();
+    std::size_t free_before = rt->pool().freePages();
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EWb, PrivMode::Supervisor, {8});
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    std::size_t count = r.results.at(0);
+    EXPECT_GE(count, 8u);
+    EXPECT_EQ(r.results.size(), 1 + count);
+    EXPECT_EQ(rt->pool().freePages(), free_before - count);
+    // Returned frames are no longer enclave memory.
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_FALSE(bitmap.isEnclaveAddr(r.results[1 + i]));
+    EXPECT_TRUE(r.flags & kFlagFlushTlb);
+}
+
+TEST_F(RuntimeFixture, WbNeverReturnsActiveEnclavePages)
+{
+    // Defense 2 of the swapping countermeasure (Section IV-A).
+    EnclaveId id = makeMeasuredEnclave();
+    std::set<Addr> active(rt->enclave(id)->pages.begin(),
+                          rt->enclave(id)->pages.end());
+    for (int round = 0; round < 10; ++round) {
+        PrimitiveResponse r =
+            invoke(PrimitiveOp::EWb, PrivMode::Supervisor, {4});
+        ASSERT_EQ(r.status, PrimStatus::Ok);
+        for (std::size_t i = 1; i < r.results.size(); ++i)
+            EXPECT_EQ(active.count(pageNumber(r.results[i])), 0u);
+    }
+}
+
+TEST_F(RuntimeFixture, WbCountVariesAcrossCalls)
+{
+    makeMeasuredEnclave();
+    std::set<std::uint64_t> counts;
+    for (int i = 0; i < 12; ++i) {
+        PrimitiveResponse r =
+            invoke(PrimitiveOp::EWb, PrivMode::Supervisor, {4});
+        counts.insert(r.results.at(0));
+    }
+    EXPECT_GT(counts.size(), 1u) << "swap size is randomized";
+}
+
+TEST_F(RuntimeFixture, AttestProducesVerifiableQuote)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    Bytes nonce(16, 0x42);
+    Bytes dh_pub(32, 0x24);
+    Bytes payload = nonce;
+    payload.insert(payload.end(), dh_pub.begin(), dh_pub.end());
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EAttest, PrivMode::User, {}, id, payload);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+
+    AttestationQuote quote;
+    ASSERT_TRUE(AttestationQuote::deserialize(r.payload, quote));
+    EXPECT_TRUE(verifyQuote(quote,
+                            rt->keyManager().endorsementPublicKey(),
+                            rt->enclave(id)->measurement, nonce));
+}
+
+TEST_F(RuntimeFixture, ServiceTimesScaleWithWork)
+{
+    PrimitiveResponse small = invoke(PrimitiveOp::ECreate,
+                                     PrivMode::Supervisor, {4, 8, 64});
+    PrimitiveResponse large = invoke(PrimitiveOp::ECreate,
+                                     PrivMode::Supervisor,
+                                     {4, 512, 64});
+    EXPECT_GT(large.completedAt, small.completedAt)
+        << "larger static allocation costs more EMS time";
+}
+
+TEST_F(RuntimeFixture, SuspendReleasesKeySlot)
+{
+    EnclaveId id = makeMeasuredEnclave();
+    KeyId key = rt->enclave(id)->keyId;
+    ASSERT_TRUE(rt->suspendEnclave(id));
+    EXPECT_FALSE(enc.hasKey(key));
+    EXPECT_EQ(rt->enclave(id)->state, EnclaveState::Suspended);
+    // Running enclaves cannot be suspended.
+    EnclaveId other = makeMeasuredEnclave();
+    invoke(PrimitiveOp::EEnter, PrivMode::Supervisor, {other});
+    EXPECT_FALSE(rt->suspendEnclave(other));
+}
+
+} // namespace
+} // namespace hypertee

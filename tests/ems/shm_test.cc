@@ -1,0 +1,290 @@
+/** @file Shared-memory management tests (Section V). */
+
+#include <gtest/gtest.h>
+
+#include "ems/runtime.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kCsBase = 0x8000'0000;
+constexpr Addr kCsSize = 256 * 1024 * 1024;
+constexpr Addr kEmsBase = 0x10'0000'0000ULL;
+constexpr Addr kEmsSize = 16 * 1024 * 1024;
+
+struct ShmFixture : ::testing::Test
+{
+    PhysicalMemory csMem{kCsBase, kCsSize};
+    PhysicalMemory emsMem{kEmsBase, kEmsSize};
+    EnclaveBitmap bitmap{&csMem, kCsBase};
+    MemoryEncryptionEngine enc{64};
+    IHub hub{&csMem, &emsMem, &bitmap, &enc};
+    EmsPort &port = hub.emsPort();
+    Addr frameCursor = kCsBase + 0x100000;
+    std::unique_ptr<EmsRuntime> rt;
+    std::uint64_t reqId = 0;
+    EnclaveId sender = 0, receiver = 0, attacker = 0;
+
+    void
+    SetUp() override
+    {
+        EFuse fuse;
+        fuse.endorsementSeed = Bytes(32, 1);
+        fuse.sealedKey = Bytes(32, 2);
+        rt = std::make_unique<EmsRuntime>(
+            &port, &csMem, KeyManager(fuse), EmsRuntimeParams{},
+            [this](std::size_t n) {
+                std::vector<Addr> out;
+                for (std::size_t i = 0; i < n; ++i) {
+                    out.push_back(pageNumber(frameCursor));
+                    frameCursor += pageSize;
+                }
+                return out;
+            },
+            nullptr);
+        Bytes image = bytesFromString("rt"), fw = bytesFromString("fw");
+        ASSERT_TRUE(rt->secureBoot(image, Sha256::digest(image), fw,
+                                   Sha256::digest(fw)));
+        sender = makeEnclave(0x90);
+        receiver = makeEnclave(0x91);
+        attacker = makeEnclave(0x92);
+    }
+
+    PrimitiveResponse
+    invoke(PrimitiveOp op, PrivMode mode,
+           std::vector<std::uint64_t> args, EnclaveId caller = 0,
+           Bytes payload = {})
+    {
+        PrimitiveRequest req;
+        req.reqId = ++reqId;
+        req.op = op;
+        req.mode = mode;
+        req.args = std::move(args);
+        req.caller = caller;
+        req.payload = std::move(payload);
+        return rt->handle(req);
+    }
+
+    EnclaveId
+    makeEnclave(std::uint8_t fill)
+    {
+        PrimitiveResponse r = invoke(PrimitiveOp::ECreate,
+                                     PrivMode::Supervisor, {4, 8, 64});
+        EXPECT_EQ(r.status, PrimStatus::Ok);
+        EnclaveId id = static_cast<EnclaveId>(r.results.at(0));
+        invoke(PrimitiveOp::EAdd, PrivMode::Supervisor,
+               {id, EnclaveLayout::codeBase, PteRead | PteExec}, 0,
+               Bytes(pageSize, fill));
+        invoke(PrimitiveOp::EMeas, PrivMode::Supervisor, {id});
+        return id;
+    }
+
+    ShmId
+    createShm(std::size_t pages = 4,
+              std::uint64_t perms = PteRead | PteWrite)
+    {
+        PrimitiveResponse r = invoke(PrimitiveOp::EShmGet,
+                                     PrivMode::User, {pages, perms},
+                                     sender);
+        EXPECT_EQ(r.status, PrimStatus::Ok);
+        return static_cast<ShmId>(r.results.at(0));
+    }
+};
+
+TEST_F(ShmFixture, CreateMarksPagesSharedAndProtected)
+{
+    ShmId id = createShm();
+    const ShmControl *shm = rt->shm(id);
+    ASSERT_NE(shm, nullptr);
+    EXPECT_EQ(shm->creator, sender);
+    EXPECT_EQ(shm->pages.size(), 4u);
+    EXPECT_NE(shm->keyId, 0);
+    EXPECT_TRUE(enc.hasKey(shm->keyId));
+    for (Addr ppn : shm->pages) {
+        EXPECT_TRUE(bitmap.isEnclavePage(ppn));
+        const PageOwner *owner = rt->ownership().lookup(ppn);
+        ASSERT_NE(owner, nullptr);
+        EXPECT_EQ(owner->kind, PageKind::Shared);
+        EXPECT_EQ(owner->shm, id);
+    }
+}
+
+TEST_F(ShmFixture, ShmKeyDiffersFromPrivateKeys)
+{
+    ShmId id = createShm();
+    EXPECT_NE(rt->shm(id)->keyId, rt->enclave(sender)->keyId);
+}
+
+TEST_F(ShmFixture, CreatorCanAttachImmediately)
+{
+    ShmId id = createShm();
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EShmAt, PrivMode::User,
+               {id, PteRead | PteWrite}, sender);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    Addr va = r.results.at(0);
+    WalkResult walk = rt->enclavePageTable(sender)->walk(va);
+    ASSERT_TRUE(walk.valid);
+    EXPECT_EQ(walk.keyId, rt->shm(id)->keyId)
+        << "shared mapping uses the shm key domain";
+}
+
+TEST_F(ShmFixture, UnauthorizedAttachRejected)
+{
+    ShmId id = createShm();
+    PrimitiveResponse r = invoke(PrimitiveOp::EShmAt, PrivMode::User,
+                                 {id, PteRead}, receiver);
+    EXPECT_EQ(r.status, PrimStatus::NotAuthorized);
+    EXPECT_GT(rt->shmGuessRejections(), 0u);
+}
+
+TEST_F(ShmFixture, BruteForceShmIdGuessingFails)
+{
+    createShm();
+    // Attacker probes a range of ShmIDs it was never granted.
+    int granted = 0;
+    for (ShmId guess = 100; guess < 150; ++guess) {
+        PrimitiveResponse r = invoke(PrimitiveOp::EShmAt,
+                                     PrivMode::User, {guess, PteRead},
+                                     attacker);
+        granted += (r.status == PrimStatus::Ok);
+    }
+    EXPECT_EQ(granted, 0);
+    EXPECT_GE(rt->shmGuessRejections(), 50u);
+}
+
+TEST_F(ShmFixture, ShareThenAttachSucceeds)
+{
+    ShmId id = createShm();
+    ASSERT_EQ(invoke(PrimitiveOp::EShmShr, PrivMode::User,
+                     {id, receiver, PteRead | PteWrite}, sender)
+                  .status,
+              PrimStatus::Ok);
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EShmAt, PrivMode::User,
+               {id, PteRead | PteWrite}, receiver);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    EXPECT_TRUE(rt->shm(id)->attached.count(receiver));
+}
+
+TEST_F(ShmFixture, OnlyCreatorMayShare)
+{
+    ShmId id = createShm();
+    invoke(PrimitiveOp::EShmShr, PrivMode::User,
+           {id, receiver, PteRead}, sender);
+    // The receiver, though authorized to attach, may not grant the
+    // attacker access.
+    EXPECT_EQ(invoke(PrimitiveOp::EShmShr, PrivMode::User,
+                     {id, attacker, PteRead}, receiver)
+                  .status,
+              PrimStatus::NotAuthorized);
+}
+
+TEST_F(ShmFixture, PermissionClampedToGrant)
+{
+    // Section V-C: read-only receivers cannot obtain write mappings.
+    ShmId id = createShm(4, PteRead | PteWrite);
+    invoke(PrimitiveOp::EShmShr, PrivMode::User, {id, receiver, PteRead},
+           sender);
+    PrimitiveResponse r =
+        invoke(PrimitiveOp::EShmAt, PrivMode::User,
+               {id, PteRead | PteWrite}, receiver);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    WalkResult walk =
+        rt->enclavePageTable(receiver)->walk(r.results.at(0));
+    ASSERT_TRUE(walk.valid);
+    EXPECT_TRUE(walk.perms & PteRead);
+    EXPECT_FALSE(walk.perms & PteWrite);
+}
+
+TEST_F(ShmFixture, GrantCannotExceedMaxPerms)
+{
+    ShmId id = createShm(4, PteRead); // read-only region
+    invoke(PrimitiveOp::EShmShr, PrivMode::User,
+           {id, receiver, PteRead | PteWrite}, sender);
+    PrimitiveResponse r = invoke(PrimitiveOp::EShmAt, PrivMode::User,
+                                 {id, PteRead | PteWrite}, receiver);
+    ASSERT_EQ(r.status, PrimStatus::Ok);
+    WalkResult walk =
+        rt->enclavePageTable(receiver)->walk(r.results.at(0));
+    EXPECT_FALSE(walk.perms & PteWrite)
+        << "maxPerms ceiling clamps even the creator's grants";
+}
+
+TEST_F(ShmFixture, MaliciousReleaseBlocked)
+{
+    // Section V-C: a receiver cannot release/reclaim the region.
+    ShmId id = createShm();
+    invoke(PrimitiveOp::EShmShr, PrivMode::User, {id, receiver, PteRead},
+           sender);
+    invoke(PrimitiveOp::EShmAt, PrivMode::User, {id, PteRead}, receiver);
+
+    EXPECT_EQ(invoke(PrimitiveOp::EShmDes, PrivMode::User, {id},
+                     receiver)
+                  .status,
+              PrimStatus::NotAuthorized);
+    // Even the creator cannot destroy while connections are active.
+    EXPECT_EQ(invoke(PrimitiveOp::EShmDes, PrivMode::User, {id}, sender)
+                  .status,
+              PrimStatus::Busy);
+}
+
+TEST_F(ShmFixture, DetachThenDestroySucceeds)
+{
+    ShmId id = createShm();
+    invoke(PrimitiveOp::EShmShr, PrivMode::User, {id, receiver, PteRead},
+           sender);
+    PrimitiveResponse at =
+        invoke(PrimitiveOp::EShmAt, PrivMode::User, {id, PteRead},
+               receiver);
+    std::vector<Addr> pages = rt->shm(id)->pages;
+    KeyId key = rt->shm(id)->keyId;
+
+    ASSERT_EQ(invoke(PrimitiveOp::EShmDt, PrivMode::User, {id},
+                     receiver)
+                  .status,
+              PrimStatus::Ok);
+    EXPECT_FALSE(
+        rt->enclavePageTable(receiver)->walk(at.results.at(0)).valid);
+
+    ASSERT_EQ(invoke(PrimitiveOp::EShmDes, PrivMode::User, {id}, sender)
+                  .status,
+              PrimStatus::Ok);
+    EXPECT_EQ(rt->shm(id), nullptr);
+    EXPECT_FALSE(enc.hasKey(key));
+    for (Addr ppn : pages) {
+        EXPECT_FALSE(bitmap.isEnclavePage(ppn));
+        EXPECT_EQ(rt->ownership().lookup(ppn), nullptr);
+    }
+}
+
+TEST_F(ShmFixture, SharedPagesNeverReissuedAsPrivate)
+{
+    ShmId id = createShm(8);
+    std::set<Addr> shared(rt->shm(id)->pages.begin(),
+                          rt->shm(id)->pages.end());
+    // Exhaustively allocate private memory; no shared page may appear.
+    for (int i = 0; i < 20; ++i) {
+        PrimitiveResponse r =
+            invoke(PrimitiveOp::EAlloc, PrivMode::User, {4}, attacker);
+        ASSERT_EQ(r.status, PrimStatus::Ok);
+        const EnclaveControl *ctl = rt->enclave(attacker);
+        for (Addr ppn : ctl->pages)
+            EXPECT_EQ(shared.count(ppn), 0u);
+    }
+}
+
+TEST_F(ShmFixture, DoubleAttachRejected)
+{
+    ShmId id = createShm();
+    invoke(PrimitiveOp::EShmAt, PrivMode::User, {id, PteRead}, sender);
+    EXPECT_EQ(invoke(PrimitiveOp::EShmAt, PrivMode::User, {id, PteRead},
+                     sender)
+                  .status,
+              PrimStatus::AlreadyExists);
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,131 @@
+/** @file iHub unidirectional isolation and DMA whitelist tests. */
+
+#include <gtest/gtest.h>
+
+#include "fabric/ihub.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kCsBase = 0x8000'0000;
+constexpr Addr kCsSize = 64 * 1024 * 1024;
+constexpr Addr kEmsBase = 0x10'0000'0000ULL;
+constexpr Addr kEmsSize = 16 * 1024 * 1024;
+
+struct IHubTest : ::testing::Test
+{
+    PhysicalMemory csMem{kCsBase, kCsSize};
+    PhysicalMemory emsMem{kEmsBase, kEmsSize};
+    EnclaveBitmap bitmap{&csMem, kCsBase};
+    MemoryEncryptionEngine enc{8};
+    IHub hub{&csMem, &emsMem, &bitmap, &enc};
+};
+
+TEST_F(IHubTest, CsCanAccessCsMemory)
+{
+    std::uint8_t data[4] = {1, 2, 3, 4};
+    EXPECT_TRUE(hub.csWrite(kCsBase + 0x1000, data, 4));
+    std::uint8_t back[4] = {};
+    EXPECT_TRUE(hub.csRead(kCsBase + 0x1000, back, 4));
+    EXPECT_EQ(back[2], 3);
+}
+
+TEST_F(IHubTest, CsCannotTouchEmsPrivateMemory)
+{
+    // The unidirectional isolation property (Section III-A).
+    std::uint8_t data[4] = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_FALSE(hub.csWrite(kEmsBase, data, 4));
+    std::uint8_t back[4] = {};
+    EXPECT_FALSE(hub.csRead(kEmsBase + 0x100, back, 4));
+    EXPECT_EQ(hub.blockedCsAccesses(), 2u);
+    // The EMS bytes were never written.
+    EXPECT_EQ(emsMem.readBytes(kEmsBase, 4), Bytes(4, 0));
+}
+
+TEST_F(IHubTest, EmsCanAccessCsMemory)
+{
+    EmsPort &port = hub.emsPort();
+    port.writeCs(kCsBase + 0x2000, Bytes{9, 8, 7});
+    EXPECT_EQ(port.readCs(kCsBase + 0x2000, 3), (Bytes{9, 8, 7}));
+    // And the CS sees the same bytes: shared physical memory.
+    std::uint8_t back[3];
+    hub.csRead(kCsBase + 0x2000, back, 3);
+    EXPECT_EQ(back[0], 9);
+}
+
+TEST_F(IHubTest, EmsPortUpdatesBitmap)
+{
+    EmsPort &port = hub.emsPort();
+    Addr ppn = pageNumber(kCsBase) + 500;
+    EXPECT_TRUE(port.setBitmapBit(ppn, true));
+    EXPECT_TRUE(bitmap.isEnclavePage(ppn));
+}
+
+TEST_F(IHubTest, EmsPortProgramsEncryptionKeys)
+{
+    EmsPort &port = hub.emsPort();
+    EXPECT_TRUE(port.configureKey(3, Bytes(16, 0x33)));
+    EXPECT_TRUE(enc.hasKey(3));
+    port.releaseKey(3);
+    EXPECT_FALSE(enc.hasKey(3));
+}
+
+TEST_F(IHubTest, EmsPortIsExclusive)
+{
+    hub.emsPort();
+    EXPECT_DEATH(hub.emsPort(), "already taken");
+}
+
+TEST_F(IHubTest, DmaRespectsWhitelist)
+{
+    EmsPort &port = hub.emsPort();
+    ASSERT_TRUE(port.configureDmaWindow(0, /*device*/ 7,
+                                        kCsBase + 0x10000, 0x1000,
+                                        DmaRead | DmaWrite));
+
+    EXPECT_TRUE(hub.dmaAccess(7, kCsBase + 0x10000, 64, false));
+    EXPECT_TRUE(hub.dmaAccess(7, kCsBase + 0x10fc0, 64, true));
+    // Out of window / wrong device / beyond end: discarded.
+    EXPECT_FALSE(hub.dmaAccess(7, kCsBase + 0x11000, 64, false));
+    EXPECT_FALSE(hub.dmaAccess(8, kCsBase + 0x10000, 64, false));
+    EXPECT_FALSE(hub.dmaAccess(7, kCsBase + 0x10fc1, 64, false));
+    EXPECT_EQ(hub.dmaWhitelist().discarded(), 3u);
+}
+
+TEST_F(IHubTest, DmaFarBeyondWindowRejected)
+{
+    // Regression: addresses far past the window end must not slip
+    // through via unsigned underflow of the remaining-size check.
+    EmsPort &port = hub.emsPort();
+    port.configureDmaWindow(0, 7, kCsBase + 0x10000, 0x1000,
+                            DmaRead | DmaWrite);
+    EXPECT_FALSE(
+        hub.dmaAccess(7, kCsBase + 0x100000, 64, true));
+    EXPECT_FALSE(hub.dmaAccess(7, kCsBase + 0x11000 + (256 << 12), 64,
+                               false));
+    EXPECT_FALSE(hub.dmaAccess(7, ~Addr(0) - 64, 64, false));
+}
+
+TEST_F(IHubTest, DmaPermissionBitsEnforced)
+{
+    EmsPort &port = hub.emsPort();
+    ASSERT_TRUE(port.configureDmaWindow(1, 9, kCsBase + 0x20000, 0x1000,
+                                        DmaRead));
+    EXPECT_TRUE(hub.dmaAccess(9, kCsBase + 0x20000, 64, false));
+    EXPECT_FALSE(hub.dmaAccess(9, kCsBase + 0x20000, 64, true))
+        << "read-only window rejects DMA writes";
+}
+
+TEST_F(IHubTest, ClearedDmaWindowStopsMatching)
+{
+    EmsPort &port = hub.emsPort();
+    port.configureDmaWindow(0, 7, kCsBase + 0x10000, 0x1000, DmaRead);
+    EXPECT_TRUE(hub.dmaAccess(7, kCsBase + 0x10000, 64, false));
+    port.clearDmaWindow(0);
+    EXPECT_FALSE(hub.dmaAccess(7, kCsBase + 0x10000, 64, false));
+}
+
+} // namespace
+} // namespace hypertee

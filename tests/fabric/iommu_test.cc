@@ -1,0 +1,104 @@
+/** @file EMS-managed IOMMU tests (Sections V-B, IX). */
+
+#include <gtest/gtest.h>
+
+#include "fabric/iommu.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+struct IommuTest : ::testing::Test
+{
+    Iommu iommu{16};
+    IommuEmsPort &port = iommu.emsPort();
+};
+
+TEST_F(IommuTest, MappedIovaTranslates)
+{
+    ASSERT_TRUE(port.map(1, 0x1000, 0x8000'2000, true));
+    Addr pa = 0;
+    EXPECT_TRUE(iommu.translate(1, 0x1234, false, pa));
+    EXPECT_EQ(pa, 0x8000'2234u);
+}
+
+TEST_F(IommuTest, UnmappedIovaBlocked)
+{
+    Addr pa = 0;
+    EXPECT_FALSE(iommu.translate(1, 0x5000, false, pa));
+    EXPECT_EQ(iommu.blockedAccesses(), 1u);
+}
+
+TEST_F(IommuTest, WritePermissionEnforced)
+{
+    port.map(1, 0x1000, 0x8000'2000, /*writable=*/false);
+    Addr pa = 0;
+    EXPECT_TRUE(iommu.translate(1, 0x1000, false, pa));
+    EXPECT_FALSE(iommu.translate(1, 0x1000, true, pa))
+        << "read-only device window rejects DMA writes";
+}
+
+TEST_F(IommuTest, DevicesAreIsolated)
+{
+    port.map(1, 0x1000, 0x8000'2000, true);
+    Addr pa = 0;
+    EXPECT_FALSE(iommu.translate(2, 0x1000, false, pa))
+        << "device 2 cannot use device 1's mapping";
+}
+
+TEST_F(IommuTest, IotlbCachesTranslations)
+{
+    port.map(1, 0x1000, 0x8000'2000, true);
+    Addr pa = 0;
+    iommu.translate(1, 0x1000, false, pa);
+    iommu.translate(1, 0x1040, false, pa);
+    EXPECT_EQ(iommu.iotlbMisses(), 1u);
+    EXPECT_EQ(iommu.iotlbHits(), 1u);
+}
+
+TEST_F(IommuTest, UnmapShootsDownIotlb)
+{
+    // The stale-IOTLB attack: without the shootdown the device
+    // could keep using a revoked mapping.
+    port.map(1, 0x1000, 0x8000'2000, true);
+    Addr pa = 0;
+    iommu.translate(1, 0x1000, false, pa); // cached
+    ASSERT_TRUE(port.unmap(1, 0x1000));
+    EXPECT_FALSE(iommu.translate(1, 0x1000, false, pa));
+}
+
+TEST_F(IommuTest, InvalidateIotlbForcesRewalk)
+{
+    port.map(1, 0x1000, 0x8000'2000, true);
+    Addr pa = 0;
+    iommu.translate(1, 0x1000, false, pa);
+    port.invalidateIotlb();
+    iommu.translate(1, 0x1000, false, pa);
+    EXPECT_EQ(iommu.iotlbMisses(), 2u);
+}
+
+TEST_F(IommuTest, DoubleMapRejected)
+{
+    EXPECT_TRUE(port.map(1, 0x1000, 0x8000'2000, true));
+    EXPECT_FALSE(port.map(1, 0x1000, 0x8000'3000, true));
+}
+
+TEST_F(IommuTest, MisalignedMapRejected)
+{
+    EXPECT_FALSE(port.map(1, 0x1001, 0x8000'2000, true));
+    EXPECT_FALSE(port.map(1, 0x1000, 0x8000'2001, true));
+}
+
+TEST_F(IommuTest, UnmapUnknownFails)
+{
+    EXPECT_FALSE(port.unmap(1, 0x9000));
+}
+
+TEST_F(IommuTest, EmsPortIsExclusive)
+{
+    EXPECT_DEATH(iommu.emsPort(), "already taken");
+}
+
+} // namespace
+} // namespace hypertee

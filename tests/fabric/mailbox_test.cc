@@ -1,0 +1,118 @@
+/** @file Mailbox queue and binding tests. */
+
+#include <gtest/gtest.h>
+
+#include "fabric/mailbox.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+PrimitiveRequest
+makeReq(std::uint64_t id)
+{
+    PrimitiveRequest req;
+    req.reqId = id;
+    req.op = PrimitiveOp::EAlloc;
+    return req;
+}
+
+PrimitiveResponse
+makeResp(std::uint64_t id)
+{
+    PrimitiveResponse resp;
+    resp.reqId = id;
+    return resp;
+}
+
+TEST(Mailbox, RequestsDrainInFifoOrder)
+{
+    Mailbox mb;
+    mb.pushRequest(makeReq(1));
+    mb.pushRequest(makeReq(2));
+    PrimitiveRequest req;
+    ASSERT_TRUE(mb.popRequest(req));
+    EXPECT_EQ(req.reqId, 1u);
+    ASSERT_TRUE(mb.popRequest(req));
+    EXPECT_EQ(req.reqId, 2u);
+    EXPECT_FALSE(mb.popRequest(req));
+}
+
+TEST(Mailbox, CapacityBoundsRequests)
+{
+    Mailbox mb(2);
+    EXPECT_TRUE(mb.pushRequest(makeReq(1)));
+    EXPECT_TRUE(mb.pushRequest(makeReq(2)));
+    EXPECT_FALSE(mb.pushRequest(makeReq(3)));
+    EXPECT_EQ(mb.requestsRejected(), 1u);
+}
+
+TEST(Mailbox, DoorbellFiresOnEachRequest)
+{
+    Mailbox mb;
+    int rings = 0;
+    mb.setDoorbell([&] { ++rings; });
+    mb.pushRequest(makeReq(1));
+    mb.pushRequest(makeReq(2));
+    EXPECT_EQ(rings, 2);
+}
+
+TEST(Mailbox, ResponseBindingIsExclusive)
+{
+    // The Section III-C property: a request can only retrieve its
+    // own response.
+    Mailbox mb;
+    mb.pushResponse(makeResp(10));
+    mb.pushResponse(makeResp(11));
+
+    PrimitiveResponse resp;
+    EXPECT_FALSE(mb.pollResponse(12, resp)) << "no such response";
+    EXPECT_TRUE(mb.pollResponse(11, resp));
+    EXPECT_EQ(resp.reqId, 11u);
+    EXPECT_FALSE(mb.pollResponse(11, resp)) << "consumed";
+    EXPECT_TRUE(mb.pollResponse(10, resp));
+}
+
+TEST(Mailbox, PollingLeavesOtherResponsesIntact)
+{
+    Mailbox mb;
+    mb.pushResponse(makeResp(1));
+    mb.pushResponse(makeResp(2));
+    PrimitiveResponse resp;
+    mb.pollResponse(1, resp);
+    EXPECT_EQ(mb.responseDepth(), 1u);
+}
+
+TEST(MailboxDeath, DuplicateResponseIdPanics)
+{
+    Mailbox mb;
+    mb.pushResponse(makeResp(7));
+    EXPECT_DEATH(mb.pushResponse(makeResp(7)), "duplicate");
+}
+
+TEST(PrimitiveTable, PrivilegeMatchesTableII)
+{
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::ECreate),
+              PrivMode::Supervisor);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EAdd),
+              PrivMode::Supervisor);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EWb), PrivMode::Supervisor);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EMeas),
+              PrivMode::Supervisor);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EAlloc), PrivMode::User);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EShmGet), PrivMode::User);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EAttest), PrivMode::User);
+    EXPECT_EQ(requiredPrivilege(PrimitiveOp::EExit), PrivMode::User);
+}
+
+TEST(PrimitiveTable, NamesAreStable)
+{
+    EXPECT_STREQ(primitiveName(PrimitiveOp::ECreate), "ECREATE");
+    EXPECT_STREQ(primitiveName(PrimitiveOp::EShmDes), "ESHMDES");
+    EXPECT_STREQ(primStatusName(PrimStatus::NotAuthorized),
+                 "NotAuthorized");
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,98 @@
+/** @file Unit tests for the enclave memory bitmap. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bitmap.hh"
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kBase = 0x8000'0000;
+constexpr Addr kSize = 32 * 1024 * 1024;
+
+struct BitmapTest : ::testing::Test
+{
+    PhysicalMemory mem{kBase, kSize};
+    EnclaveBitmap bm{&mem, kBase};
+};
+
+TEST_F(BitmapTest, BitmapProtectsItself)
+{
+    // The bitmap's own pages must be marked as enclave memory.
+    for (Addr p = pageNumber(bm.base());
+         p < pageNumber(bm.base() + bm.regionSize()); ++p) {
+        EXPECT_TRUE(bm.isEnclavePage(p));
+    }
+}
+
+TEST_F(BitmapTest, FreshPagesAreNonEnclave)
+{
+    Addr ppn = pageNumber(kBase + bm.regionSize()) + 10;
+    EXPECT_FALSE(bm.isEnclavePage(ppn));
+}
+
+TEST_F(BitmapTest, SetAndClearRoundTrip)
+{
+    Addr ppn = pageNumber(kBase) + 1000;
+    EXPECT_TRUE(bm.setEnclavePage(ppn, true));
+    EXPECT_TRUE(bm.isEnclavePage(ppn));
+    EXPECT_TRUE(bm.setEnclavePage(ppn, false));
+    EXPECT_FALSE(bm.isEnclavePage(ppn));
+}
+
+TEST_F(BitmapTest, RedundantUpdateDoesNotCount)
+{
+    Addr ppn = pageNumber(kBase) + 2000;
+    std::uint64_t before = bm.updates();
+    EXPECT_TRUE(bm.setEnclavePage(ppn, true));
+    EXPECT_FALSE(bm.setEnclavePage(ppn, true)); // no change
+    EXPECT_EQ(bm.updates(), before + 1);
+}
+
+TEST_F(BitmapTest, AdjacentPagesIndependent)
+{
+    Addr ppn = pageNumber(kBase) + 3000;
+    bm.setEnclavePage(ppn, true);
+    EXPECT_FALSE(bm.isEnclavePage(ppn - 1));
+    EXPECT_FALSE(bm.isEnclavePage(ppn + 1));
+    EXPECT_TRUE(bm.isEnclavePage(ppn));
+}
+
+TEST_F(BitmapTest, CountsEnclavePages)
+{
+    std::uint64_t base_count = bm.enclavePageCount();
+    Addr ppn = pageNumber(kBase) + 4000;
+    bm.setEnclavePage(ppn, true);
+    bm.setEnclavePage(ppn + 1, true);
+    EXPECT_EQ(bm.enclavePageCount(), base_count + 2);
+    bm.setEnclavePage(ppn, false);
+    EXPECT_EQ(bm.enclavePageCount(), base_count + 1);
+}
+
+TEST_F(BitmapTest, ByteAddrWithinRegion)
+{
+    Addr ppn = pageNumber(kBase + kSize) - 1; // last page
+    Addr byte_addr = bm.byteAddrFor(ppn);
+    EXPECT_GE(byte_addr, bm.base());
+    EXPECT_LT(byte_addr, bm.base() + bm.regionSize());
+}
+
+TEST_F(BitmapTest, RegionSizeMatchesMemory)
+{
+    // 1 bit per 4 KiB page: 32 MiB -> 8192 pages -> 1024 bytes,
+    // rounded up to one whole page.
+    EXPECT_EQ(bm.regionSize(), pageSize);
+}
+
+TEST(BitmapDeath, LookupOutsideMemoryPanics)
+{
+    PhysicalMemory mem(kBase, kSize);
+    EnclaveBitmap bm(&mem, kBase);
+    EXPECT_DEATH(bm.isEnclavePage(pageNumber(kBase) - 1), "outside");
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,121 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(32 * 1024, 8);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1020, false).hit) << "same 64B line";
+    EXPECT_FALSE(c.access(0x1040, false).hit) << "next line";
+}
+
+TEST(Cache, LruEviction)
+{
+    // 4 lines total: 1 set x 4 ways x 64B.
+    Cache c(256, 4);
+    for (Addr i = 0; i < 4; ++i)
+        c.access(i * 64, false);
+    // Re-touch lines 1-3; line 0 is LRU.
+    for (Addr i = 1; i < 4; ++i)
+        EXPECT_TRUE(c.access(i * 64, false).hit);
+    c.access(4 * 64, false);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, DirtyEvictionSignalsWriteback)
+{
+    Cache c(256, 4); // 4 lines, one set
+    c.access(0, true); // dirty
+    for (Addr i = 1; i < 4; ++i)
+        c.access(i * 64, false);
+    CacheAccessResult res = c.access(4 * 64, false); // evicts line 0
+    EXPECT_TRUE(res.writebackNeeded);
+    EXPECT_EQ(res.writebackAddr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNeedsNoWriteback)
+{
+    Cache c(256, 4);
+    for (Addr i = 0; i < 5; ++i) {
+        CacheAccessResult res = c.access(i * 64, false);
+        EXPECT_FALSE(res.writebackNeeded);
+    }
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    Cache c(256, 4);
+    c.access(0, false);
+    c.access(0, true); // now dirty via hit
+    for (Addr i = 1; i < 4; ++i)
+        c.access(i * 64, false);
+    EXPECT_TRUE(c.access(4 * 64, false).writebackNeeded);
+}
+
+TEST(Cache, InvalidateLineReportsDirty)
+{
+    Cache c(32 * 1024, 8);
+    c.access(0x100, true);
+    c.access(0x200, false);
+    EXPECT_TRUE(c.invalidateLine(0x100));
+    EXPECT_FALSE(c.invalidateLine(0x200));
+    EXPECT_FALSE(c.invalidateLine(0x300)); // absent
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c(32 * 1024, 8);
+    for (Addr i = 0; i < 16; ++i)
+        c.access(i * 64, true);
+    c.invalidateAll();
+    for (Addr i = 0; i < 16; ++i)
+        EXPECT_FALSE(c.contains(i * 64));
+}
+
+TEST(Cache, SetsIsolateConflicts)
+{
+    // 2 sets x 2 ways.
+    Cache c(256, 2);
+    // Addresses mapping to set 0: line addresses with even line index.
+    c.access(0 * 64, false);
+    c.access(2 * 64, false);
+    c.access(4 * 64, false); // evicts one of set 0
+    // Set 1 untouched by set-0 conflicts.
+    c.access(1 * 64, false);
+    EXPECT_TRUE(c.contains(1 * 64));
+}
+
+TEST(Cache, MissRateTracksWorkingSet)
+{
+    Cache c(4096, 4); // 64 lines
+    // Working set fits: second pass all hits.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr i = 0; i < 32; ++i)
+            c.access(i * 64, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cache c(1000, 3);
+            (void)c;
+        },
+        "divide");
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,134 @@
+/** @file Tests for memory encryption and integrity engines. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_crypto.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+Bytes
+testKey(std::uint8_t seed)
+{
+    return Bytes(16, seed);
+}
+
+TEST(MemoryEncryptionEngine, RoundTripWithCorrectKey)
+{
+    MemoryEncryptionEngine eng(8);
+    ASSERT_TRUE(eng.configureKey(1, testKey(0x11)));
+    Bytes line(64, 0x5a);
+    Bytes ct = eng.transformLine(1, 0x8000'0000, line);
+    EXPECT_NE(ct, line);
+    EXPECT_EQ(eng.transformLine(1, 0x8000'0000, ct), line);
+}
+
+TEST(MemoryEncryptionEngine, KeyIdZeroBypasses)
+{
+    MemoryEncryptionEngine eng(8);
+    Bytes line(64, 0x5a);
+    EXPECT_EQ(eng.transformLine(0, 0x8000'0000, line), line);
+}
+
+TEST(MemoryEncryptionEngine, WrongKeyYieldsGarbage)
+{
+    // The Section VIII-C PTW argument: mapping enclave memory with a
+    // different KeyID cannot decrypt it.
+    MemoryEncryptionEngine eng(8);
+    eng.configureKey(1, testKey(0x11));
+    eng.configureKey(2, testKey(0x22));
+    Bytes line(64, 0x5a);
+    Bytes ct = eng.transformLine(1, 0x8000'0000, line);
+    EXPECT_NE(eng.transformLine(2, 0x8000'0000, ct), line);
+}
+
+TEST(MemoryEncryptionEngine, AddressTweakSeparatesLines)
+{
+    MemoryEncryptionEngine eng(8);
+    eng.configureKey(1, testKey(0x11));
+    Bytes line(64, 0x00);
+    EXPECT_NE(eng.transformLine(1, 0x1000, line),
+              eng.transformLine(1, 0x1040, line));
+}
+
+TEST(MemoryEncryptionEngine, SlotExhaustionAndRelease)
+{
+    MemoryEncryptionEngine eng(2);
+    EXPECT_TRUE(eng.configureKey(1, testKey(1)));
+    EXPECT_TRUE(eng.configureKey(2, testKey(2)));
+    EXPECT_FALSE(eng.configureKey(3, testKey(3))) << "table full";
+    eng.releaseKey(1);
+    EXPECT_TRUE(eng.configureKey(3, testKey(3)));
+    EXPECT_FALSE(eng.hasKey(1));
+    EXPECT_TRUE(eng.hasKey(3));
+}
+
+TEST(MemoryEncryptionEngine, ReprogramExistingSlotAllowed)
+{
+    MemoryEncryptionEngine eng(1);
+    EXPECT_TRUE(eng.configureKey(1, testKey(1)));
+    EXPECT_TRUE(eng.configureKey(1, testKey(9))) << "rekey in place";
+}
+
+TEST(MemoryEncryptionEngineDeath, UnprogrammedKeyPanics)
+{
+    MemoryEncryptionEngine eng(8);
+    Bytes line(64, 0);
+    EXPECT_DEATH(eng.transformLine(5, 0x1000, line), "unprogrammed");
+}
+
+TEST(MemoryIntegrityEngine, VerifiesUntamperedLine)
+{
+    MemoryIntegrityEngine integ(testKey(0x77));
+    std::uint8_t line[64] = {1, 2, 3};
+    integ.updateLine(0x1000, line, 64);
+    EXPECT_EQ(integ.verifyLine(0x1000, line, 64), IntegrityStatus::Ok);
+    EXPECT_EQ(integ.violations(), 0u);
+}
+
+TEST(MemoryIntegrityEngine, DetectsDataTampering)
+{
+    MemoryIntegrityEngine integ(testKey(0x77));
+    std::uint8_t line[64] = {1, 2, 3};
+    integ.updateLine(0x1000, line, 64);
+    line[10] ^= 0xff; // cold-boot style modification
+    EXPECT_EQ(integ.verifyLine(0x1000, line, 64),
+              IntegrityStatus::Violation);
+    EXPECT_EQ(integ.violations(), 1u);
+}
+
+TEST(MemoryIntegrityEngine, DetectsMacCorruption)
+{
+    MemoryIntegrityEngine integ(testKey(0x77));
+    std::uint8_t line[64] = {4, 5, 6};
+    integ.updateLine(0x2000, line, 64);
+    integ.corruptMac(0x2000);
+    EXPECT_EQ(integ.verifyLine(0x2000, line, 64),
+              IntegrityStatus::Violation);
+}
+
+TEST(MemoryIntegrityEngine, FirstTouchInitializesLazily)
+{
+    MemoryIntegrityEngine integ(testKey(0x77));
+    std::uint8_t line[64] = {};
+    EXPECT_EQ(integ.verifyLine(0x3000, line, 64), IntegrityStatus::Ok);
+    // Now it is armed: tampering detected.
+    line[0] = 1;
+    EXPECT_EQ(integ.verifyLine(0x3000, line, 64),
+              IntegrityStatus::Violation);
+}
+
+TEST(MemoryIntegrityEngine, UpdateAfterWriteIsConsistent)
+{
+    MemoryIntegrityEngine integ(testKey(0x77));
+    std::uint8_t line[64] = {1};
+    integ.updateLine(0x4000, line, 64);
+    line[0] = 2; // legitimate write-back updates the MAC
+    integ.updateLine(0x4000, line, 64);
+    EXPECT_EQ(integ.verifyLine(0x4000, line, 64), IntegrityStatus::Ok);
+}
+
+} // namespace
+} // namespace hypertee

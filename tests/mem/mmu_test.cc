@@ -1,0 +1,154 @@
+/** @file MMU tests: TLB + PTW + bitmap check (Figure 5 behaviour). */
+
+#include <gtest/gtest.h>
+
+#include "mem/mmu.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kBase = 0x8000'0000;
+constexpr Addr kSize = 64 * 1024 * 1024;
+
+struct MmuTest : ::testing::Test
+{
+    PhysicalMemory mem{kBase, kSize};
+    EnclaveBitmap bm{&mem, kBase};
+    MemHierarchy hier{HierarchyParams{}};
+    Addr nextFrame = kBase + 0x100000;
+    PageTable pt{&mem, [this] {
+                     Addr f = nextFrame;
+                     nextFrame += pageSize;
+                     return f;
+                 }};
+    Mmu mmu{32, 4, &bm, &hier};
+
+    void
+    SetUp() override
+    {
+        mmu.setPageTable(&pt);
+    }
+};
+
+TEST_F(MmuTest, TranslatesMappedPage)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead | PteWrite, 5);
+    TranslateResult res = mmu.translate(0x4000'0123, false, false);
+    EXPECT_EQ(res.fault, MemFault::None);
+    EXPECT_EQ(res.pa, kBase + 0x200000 + 0x123);
+    EXPECT_EQ(res.keyId, 5);
+    EXPECT_FALSE(res.tlbHit);
+    EXPECT_EQ(res.ptwLevels, 3);
+}
+
+TEST_F(MmuTest, SecondAccessHitsTlb)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    mmu.translate(0x4000'0000, false, false);
+    TranslateResult res = mmu.translate(0x4000'0040, false, false);
+    EXPECT_TRUE(res.tlbHit);
+    EXPECT_EQ(res.latency, 0u) << "no PTW on a TLB hit";
+}
+
+TEST_F(MmuTest, UnmappedPageFaults)
+{
+    TranslateResult res = mmu.translate(0x7000'0000, false, false);
+    EXPECT_EQ(res.fault, MemFault::PageFault);
+}
+
+TEST_F(MmuTest, WriteToReadOnlyFaults)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    TranslateResult res = mmu.translate(0x4000'0000, true, false);
+    EXPECT_EQ(res.fault, MemFault::PermissionFault);
+}
+
+TEST_F(MmuTest, ExecuteNeedsExecPermission)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    EXPECT_EQ(mmu.translate(0x4000'0000, false, true).fault,
+              MemFault::PermissionFault);
+    pt.setPerms(0x4000'0000, PteRead | PteExec);
+    mmu.tlb().flushAll();
+    EXPECT_EQ(mmu.translate(0x4000'0000, false, true).fault,
+              MemFault::None);
+}
+
+TEST_F(MmuTest, NonEnclaveAccessToEnclavePageViolates)
+{
+    Addr target = kBase + 0x200000;
+    pt.map(0x4000'0000, target, PteRead | PteWrite);
+    bm.setEnclavePage(pageNumber(target), true);
+
+    TranslateResult res = mmu.translate(0x4000'0000, false, false);
+    EXPECT_EQ(res.fault, MemFault::BitmapViolation);
+    EXPECT_EQ(mmu.bitmapViolations(), 1u);
+}
+
+TEST_F(MmuTest, EnclaveModeSkipsBitmapCheck)
+{
+    Addr target = kBase + 0x200000;
+    pt.map(0x4000'0000, target, PteRead | PteWrite);
+    bm.setEnclavePage(pageNumber(target), true);
+
+    mmu.setEnclaveMode(true);
+    TranslateResult res = mmu.translate(0x4000'0000, false, false);
+    EXPECT_EQ(res.fault, MemFault::None);
+    EXPECT_FALSE(res.bitmapChecked);
+    EXPECT_EQ(mmu.bitmapRetrievals(), 0u);
+}
+
+TEST_F(MmuTest, BitmapCheckHappensOncePerFill)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    mmu.translate(0x4000'0000, false, false);
+    EXPECT_EQ(mmu.bitmapRetrievals(), 1u);
+    // TLB hit: no new retrieval.
+    mmu.translate(0x4000'0008, false, false);
+    EXPECT_EQ(mmu.bitmapRetrievals(), 1u);
+    // After a flush the next fill checks again.
+    mmu.tlb().flushAll();
+    mmu.translate(0x4000'0000, false, false);
+    EXPECT_EQ(mmu.bitmapRetrievals(), 2u);
+}
+
+TEST_F(MmuTest, StaleTlbEntryCannotBypassNewBitmapState)
+{
+    // The security property behind EMCall's flush-on-bitmap-update:
+    // if the page later becomes enclave memory, the old entry must
+    // be flushed for the check to re-run.
+    Addr target = kBase + 0x200000;
+    pt.map(0x4000'0000, target, PteRead);
+    mmu.translate(0x4000'0000, false, false); // cached as checked
+
+    bm.setEnclavePage(pageNumber(target), true);
+    // Without a flush the stale entry would still hit:
+    EXPECT_TRUE(mmu.translate(0x4000'0000, false, false).tlbHit);
+    // EMCall flushes on bitmap change; then the access faults.
+    mmu.tlb().flushPage(0x4000'0000);
+    EXPECT_EQ(mmu.translate(0x4000'0000, false, false).fault,
+              MemFault::BitmapViolation);
+}
+
+TEST_F(MmuTest, PtwMissLatencyExceedsCachedWalk)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    TranslateResult cold = mmu.translate(0x4000'0000, false, false);
+    mmu.tlb().flushAll();
+    TranslateResult warm = mmu.translate(0x4000'0000, false, false);
+    EXPECT_GT(cold.latency, warm.latency)
+        << "second walk hits PTE lines in cache";
+}
+
+TEST_F(MmuTest, DisabledBitmapCheckSkipsRetrieval)
+{
+    pt.map(0x4000'0000, kBase + 0x200000, PteRead);
+    mmu.setBitmapCheckEnabled(false);
+    mmu.translate(0x4000'0000, false, false);
+    EXPECT_EQ(mmu.bitmapRetrievals(), 0u);
+}
+
+} // namespace
+} // namespace hypertee

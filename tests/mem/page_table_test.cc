@@ -1,0 +1,166 @@
+/** @file Unit tests for Sv39-style page tables. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kBase = 0x8000'0000;
+constexpr Addr kSize = 64 * 1024 * 1024;
+
+struct PageTableTest : ::testing::Test
+{
+    PhysicalMemory mem{kBase, kSize};
+    Addr nextFrame = kBase;
+
+    PageTable::FrameAllocator
+    allocator()
+    {
+        return [this] {
+            Addr frame = nextFrame;
+            nextFrame += pageSize;
+            return frame;
+        };
+    }
+};
+
+TEST_F(PageTableTest, MapThenWalk)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + 0x100000, PteRead | PteWrite | PteUser, 7);
+
+    WalkResult res = pt.walk(0x4000'0000 + 0x123);
+    ASSERT_TRUE(res.valid);
+    EXPECT_EQ(res.pa, kBase + 0x100000 + 0x123);
+    EXPECT_EQ(res.keyId, 7);
+    EXPECT_TRUE(res.perms & PteRead);
+    EXPECT_TRUE(res.perms & PteWrite);
+    EXPECT_FALSE(res.perms & PteExec);
+    EXPECT_EQ(res.levels, 3);
+}
+
+TEST_F(PageTableTest, UnmappedWalkIsInvalid)
+{
+    PageTable pt(&mem, allocator());
+    EXPECT_FALSE(pt.walk(0x5000'0000).valid);
+}
+
+TEST_F(PageTableTest, UnmapRemovesTranslation)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead);
+    EXPECT_TRUE(pt.unmap(0x4000'0000));
+    EXPECT_FALSE(pt.walk(0x4000'0000).valid);
+    EXPECT_FALSE(pt.unmap(0x4000'0000));
+}
+
+TEST_F(PageTableTest, ManyMappingsCoexist)
+{
+    PageTable pt(&mem, allocator());
+    for (Addr i = 0; i < 600; ++i) {
+        // Spread VAs across multiple level-1 tables.
+        Addr va = 0x1000'0000 + i * pageSize * 3;
+        pt.map(va, kBase + 0x200000 + i * pageSize, PteRead);
+    }
+    for (Addr i = 0; i < 600; ++i) {
+        Addr va = 0x1000'0000 + i * pageSize * 3;
+        WalkResult res = pt.walk(va);
+        ASSERT_TRUE(res.valid) << "mapping " << i;
+        EXPECT_EQ(res.pa, kBase + 0x200000 + i * pageSize);
+    }
+}
+
+TEST_F(PageTableTest, SeparateTablesAreIndependent)
+{
+    PageTable a(&mem, allocator());
+    PageTable b(&mem, allocator());
+    a.map(0x4000'0000, kBase + pageSize, PteRead);
+    EXPECT_TRUE(a.walk(0x4000'0000).valid);
+    EXPECT_FALSE(b.walk(0x4000'0000).valid);
+}
+
+TEST_F(PageTableTest, SetPermsUpdatesLeaf)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead | PteWrite);
+    EXPECT_TRUE(pt.setPerms(0x4000'0000, PteRead)); // drop write
+    WalkResult res = pt.walk(0x4000'0000);
+    EXPECT_TRUE(res.perms & PteRead);
+    EXPECT_FALSE(res.perms & PteWrite);
+    EXPECT_FALSE(pt.setPerms(0x7000'0000, PteRead)); // unmapped
+}
+
+TEST_F(PageTableTest, AccessedDirtyBits)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead | PteWrite);
+    EXPECT_FALSE(pt.accessedBit(0x4000'0000));
+    EXPECT_FALSE(pt.dirtyBit(0x4000'0000));
+    pt.setAccessedDirty(0x4000'0000, true, true);
+    EXPECT_TRUE(pt.accessedBit(0x4000'0000));
+    EXPECT_TRUE(pt.dirtyBit(0x4000'0000));
+    pt.clearAccessedDirty(0x4000'0000);
+    EXPECT_FALSE(pt.accessedBit(0x4000'0000));
+}
+
+TEST_F(PageTableTest, ForEachMappingEnumeratesAll)
+{
+    PageTable pt(&mem, allocator());
+    std::set<Addr> mapped;
+    for (Addr i = 0; i < 20; ++i) {
+        Addr va = 0x2000'0000 + i * pageSize;
+        pt.map(va, kBase + 0x300000 + i * pageSize, PteRead);
+        mapped.insert(va);
+    }
+    std::set<Addr> seen;
+    pt.forEachMapping([&](Addr va, const WalkResult &res) {
+        EXPECT_TRUE(res.valid);
+        seen.insert(va);
+    });
+    EXPECT_EQ(seen, mapped);
+}
+
+TEST_F(PageTableTest, WalkRecordsVisitedPteAddresses)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead);
+    WalkResult res = pt.walk(0x4000'0000);
+    ASSERT_EQ(res.levels, 3);
+    EXPECT_EQ(res.visited[2], res.pteAddr);
+    // Root-level PTE lives inside the root frame.
+    EXPECT_GE(res.visited[0], pt.root());
+    EXPECT_LT(res.visited[0], pt.root() + pageSize);
+}
+
+TEST_F(PageTableTest, TableFramesTracked)
+{
+    PageTable pt(&mem, allocator());
+    EXPECT_EQ(pt.tableFrames().size(), 1u); // root only
+    pt.map(0x4000'0000, kBase + pageSize, PteRead);
+    EXPECT_EQ(pt.tableFrames().size(), 3u); // root + 2 levels
+}
+
+TEST_F(PageTableTest, KeyIdZeroByDefault)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead);
+    EXPECT_EQ(pt.walk(0x4000'0000).keyId, 0);
+}
+
+TEST_F(PageTableTest, DoubleMapPanics)
+{
+    PageTable pt(&mem, allocator());
+    pt.map(0x4000'0000, kBase + pageSize, PteRead);
+    EXPECT_DEATH(pt.map(0x4000'0000, kBase + 2 * pageSize, PteRead),
+                 "double map");
+}
+
+} // namespace
+} // namespace hypertee

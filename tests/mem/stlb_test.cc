@@ -1,0 +1,105 @@
+/** @file Second-level TLB tests (Table III: 1024-entry L2 TLB). */
+
+#include <gtest/gtest.h>
+
+#include "mem/mmu.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+constexpr Addr kBase = 0x8000'0000;
+constexpr Addr kSize = 64 * 1024 * 1024;
+
+struct StlbTest : ::testing::Test
+{
+    PhysicalMemory mem{kBase, kSize};
+    EnclaveBitmap bm{&mem, kBase};
+    MemHierarchy hier{HierarchyParams{}};
+    Addr nextFrame = kBase + 0x100000;
+    PageTable pt{&mem, [this] {
+                     Addr f = nextFrame;
+                     nextFrame += pageSize;
+                     return f;
+                 }};
+    Mmu mmu{8, 4, &bm, &hier, /*stlb*/ 64, 8};
+
+    void
+    SetUp() override
+    {
+        mmu.setPageTable(&pt);
+        for (Addr i = 0; i < 32; ++i) {
+            pt.map(0x4000'0000 + i * pageSize,
+                   kBase + 0x400000 + i * pageSize, PteRead | PteWrite);
+        }
+    }
+};
+
+TEST_F(StlbTest, EvictedL1EntryHitsL2)
+{
+    // Touch 16 pages: the 8-entry L1 TLB evicts the early ones, but
+    // the 64-entry L2 retains them; re-touching page 0 must hit the
+    // L2 TLB and skip the walk.
+    for (Addr i = 0; i < 16; ++i)
+        mmu.translate(0x4000'0000 + i * pageSize, false, false);
+    std::uint64_t hits_before = mmu.stlbHits();
+    TranslateResult res = mmu.translate(0x4000'0000, false, false);
+    EXPECT_TRUE(res.tlbHit);
+    EXPECT_EQ(res.ptwLevels, 0) << "no page-table walk";
+    EXPECT_EQ(mmu.stlbHits(), hits_before + 1);
+}
+
+TEST_F(StlbTest, L2HitSkipsBitmapRetrieval)
+{
+    for (Addr i = 0; i < 16; ++i)
+        mmu.translate(0x4000'0000 + i * pageSize, false, false);
+    std::uint64_t retrievals = mmu.bitmapRetrievals();
+    mmu.translate(0x4000'0000, false, false); // L2 TLB hit
+    EXPECT_EQ(mmu.bitmapRetrievals(), retrievals)
+        << "the entry was checked when filled";
+}
+
+TEST_F(StlbTest, L2HitCostsLessThanWalk)
+{
+    for (Addr i = 0; i < 16; ++i)
+        mmu.translate(0x4000'0000 + i * pageSize, false, false);
+    TranslateResult l2_hit = mmu.translate(0x4000'0000, false, false);
+    mmu.flushTlbs();
+    TranslateResult walk = mmu.translate(0x4000'0000, false, false);
+    EXPECT_GT(l2_hit.latency, 0u);
+    EXPECT_GT(walk.latency, l2_hit.latency);
+}
+
+TEST_F(StlbTest, FlushTlbsEmptiesBothLevels)
+{
+    mmu.translate(0x4000'0000, false, false);
+    mmu.flushTlbs();
+    std::uint64_t hits = mmu.stlbHits();
+    TranslateResult res = mmu.translate(0x4000'0000, false, false);
+    EXPECT_FALSE(res.tlbHit);
+    EXPECT_EQ(mmu.stlbHits(), hits) << "L2 was flushed too";
+}
+
+TEST_F(StlbTest, StaleL2EntryCannotOutliveBitmapChange)
+{
+    // Same security property as the L1: after EMCall's flush, the
+    // re-walk sees the new bitmap state.
+    Addr target = kBase + 0x400000;
+    mmu.translate(0x4000'0000, false, false);
+    bm.setEnclavePage(pageNumber(target), true);
+    mmu.flushTlbs();
+    EXPECT_EQ(mmu.translate(0x4000'0000, false, false).fault,
+              MemFault::BitmapViolation);
+}
+
+TEST_F(StlbTest, DisabledStlbByDefault)
+{
+    Mmu plain(8, 4, &bm, &hier);
+    EXPECT_FALSE(plain.hasStlb());
+    plain.setPageTable(&pt);
+    plain.flushTlbs(); // must not crash without an L2
+}
+
+} // namespace
+} // namespace hypertee

@@ -1,0 +1,104 @@
+/** @file Unit tests for the TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(32, 4);
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 0, true);
+    const TlbEntry *e = tlb.lookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, pageNumber(0x8000'1000));
+    EXPECT_TRUE(e->bitmapChecked);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, OffsetWithinPageStillHits)
+{
+    Tlb tlb(32, 4);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 0, false);
+    EXPECT_NE(tlb.lookup(0x1abc), nullptr);
+    EXPECT_EQ(tlb.lookup(0x2000), nullptr);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb(4, 4); // one set, 4 ways
+    for (Addr i = 0; i < 4; ++i)
+        tlb.insert(i * 0x1000, 0x8000'0000 + i * 0x1000, PteRead, 0,
+                   false);
+    // Touch entries 1..3 so entry 0 becomes LRU.
+    for (Addr i = 1; i < 4; ++i)
+        EXPECT_NE(tlb.lookup(i * 0x1000), nullptr);
+    tlb.insert(0x9000, 0x8000'9000, PteRead, 0, false);
+    EXPECT_EQ(tlb.lookup(0x0000), nullptr) << "LRU entry evicted";
+    EXPECT_NE(tlb.lookup(0x9000), nullptr);
+}
+
+TEST(Tlb, FlushAllEmptiesEverything)
+{
+    Tlb tlb(16, 4);
+    for (Addr i = 0; i < 8; ++i)
+        tlb.insert(i * 0x1000, 0x8000'0000 + i * 0x1000, PteRead, 0,
+                   false);
+    tlb.flushAll();
+    for (Addr i = 0; i < 8; ++i)
+        EXPECT_EQ(tlb.lookup(i * 0x1000), nullptr);
+    EXPECT_EQ(tlb.flushes(), 1u);
+}
+
+TEST(Tlb, FlushPageIsTargeted)
+{
+    Tlb tlb(16, 4);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 0, false);
+    tlb.insert(0x2000, 0x8000'2000, PteRead, 0, false);
+    tlb.flushPage(0x1000);
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+    EXPECT_NE(tlb.lookup(0x2000), nullptr);
+}
+
+TEST(Tlb, ReinsertUpdatesExistingEntry)
+{
+    Tlb tlb(16, 4);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 3, false);
+    tlb.insert(0x1000, 0x8000'5000, PteRead | PteWrite, 4, true);
+    const TlbEntry *e = tlb.lookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, pageNumber(0x8000'5000));
+    EXPECT_EQ(e->keyId, 4);
+    EXPECT_TRUE(e->bitmapChecked);
+}
+
+TEST(Tlb, MissRateAccounting)
+{
+    Tlb tlb(16, 4);
+    tlb.lookup(0x1000);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 0, false);
+    tlb.lookup(0x1000);
+    tlb.lookup(0x1000);
+    tlb.lookup(0x1000);
+    EXPECT_DOUBLE_EQ(tlb.missRate(), 0.25);
+}
+
+TEST(TlbDeath, BadGeometryIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Tlb t(10, 4);
+            (void)t;
+        },
+        "divide");
+}
+
+} // namespace
+} // namespace hypertee

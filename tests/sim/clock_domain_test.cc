@@ -1,0 +1,55 @@
+/** @file Unit tests for clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock_domain.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(ClockDomain, CsCoreAt2_5GHz)
+{
+    ClockDomain cs(2'500'000'000ULL);
+    EXPECT_EQ(cs.period(), 400u); // 400 ps per cycle
+    EXPECT_EQ(cs.toTicks(10), 4000u);
+}
+
+TEST(ClockDomain, EmsCoreAt750MHz)
+{
+    ClockDomain ems(750'000'000ULL);
+    EXPECT_EQ(ems.period(), 1333u);
+    EXPECT_EQ(ems.toTicks(3), 3999u);
+}
+
+TEST(ClockDomain, ToCyclesRoundsUp)
+{
+    ClockDomain d(1'000'000'000ULL); // 1 GHz, 1000 ticks/cycle
+    EXPECT_EQ(d.toCycles(1), 1u);
+    EXPECT_EQ(d.toCycles(1000), 1u);
+    EXPECT_EQ(d.toCycles(1001), 2u);
+    EXPECT_EQ(d.toCycles(0), 0u);
+}
+
+TEST(ClockDomain, NextCycleAlignment)
+{
+    ClockDomain d(1'000'000'000ULL);
+    EXPECT_EQ(d.nextCycle(0), 0u);
+    EXPECT_EQ(d.nextCycle(1), 1000u);
+    EXPECT_EQ(d.nextCycle(1000), 1000u);
+    EXPECT_EQ(d.nextCycle(1500), 2000u);
+}
+
+TEST(ClockDomainDeath, ZeroFrequencyIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            ClockDomain d(0);
+            (void)d;
+        },
+        "non-zero");
+}
+
+} // namespace
+} // namespace hypertee

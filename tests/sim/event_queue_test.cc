@@ -1,0 +1,157 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, FiresEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickTiesBreakInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduledEventDoesNotFire)
+{
+    EventQueue eq;
+    bool fired = false;
+    Event a("a", [&] { fired = true; });
+    eq.schedule(&a, 10);
+    eq.deschedule(&a);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, RescheduleMovesTheFiringTime)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    Event a("a", [&] { fired_at = eq.now(); });
+    eq.schedule(&a, 10);
+    eq.reschedule(&a, 500);
+    eq.run();
+    EXPECT_EQ(fired_at, 500u);
+}
+
+TEST(EventQueue, EventCanScheduleAnotherEvent)
+{
+    EventQueue eq;
+    Tick second_fired_at = 0;
+    Event b("b", [&] { second_fired_at = eq.now(); });
+    Event a("a", [&] { eq.schedule(&b, eq.now() + 25); });
+    eq.schedule(&a, 100);
+    eq.run();
+    EXPECT_EQ(second_fired_at, 125u);
+}
+
+TEST(EventQueue, EventCanRescheduleItselfPeriodically)
+{
+    EventQueue eq;
+    int count = 0;
+    Event tick("tick", [&] {
+        if (++count < 5)
+            eq.schedule(&tick, eq.now() + 10);
+    });
+    eq.schedule(&tick, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunStopsAtRequestedTick)
+{
+    EventQueue eq;
+    int count = 0;
+    Event a("a", [&] { ++count; });
+    Event b("b", [&] { ++count; });
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 1000);
+    eq.run(500);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 500u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, TracksLiveAndFiredCounts)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    EXPECT_EQ(eq.size(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.eventsFired(), 2u);
+}
+
+TEST(EventQueue, AdvanceToMovesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.advanceTo(12345);
+    EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(&a, 100);
+    eq.run();
+    EXPECT_DEATH(eq.schedule(&b, 50), "past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    eq.schedule(&a, 10);
+    EXPECT_DEATH(eq.schedule(&a, 20), "already scheduled");
+}
+
+} // namespace
+} // namespace hypertee

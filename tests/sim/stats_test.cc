@@ -1,0 +1,99 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndSets)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+}
+
+TEST(Average, ComputesRunningMean)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(Distribution, TracksExtremaAndMean)
+{
+    Distribution d;
+    for (double v : {5.0, 1.0, 9.0, 3.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+}
+
+TEST(Distribution, QuantileNearestRank)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.00), 100.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+}
+
+TEST(Distribution, FractionAtOrBelow)
+{
+    Distribution d;
+    for (int i = 1; i <= 10; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.fractionAtOrBelow(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(d.fractionAtOrBelow(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.fractionAtOrBelow(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.fractionAtOrBelow(100.0), 1.0);
+}
+
+TEST(Distribution, SamplingAfterQuantileStillWorks)
+{
+    Distribution d;
+    d.sample(2);
+    d.sample(1);
+    EXPECT_DOUBLE_EQ(d.max(), 2.0);
+    d.sample(7);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    StatGroup g("core0");
+    Scalar s;
+    s.set(5);
+    Average a;
+    a.sample(2);
+    g.registerScalar("instructions", &s);
+    g.registerAverage("latency", &a);
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core0.instructions 5"), std::string::npos);
+    EXPECT_NE(out.find("core0.latency::mean 2"), std::string::npos);
+    EXPECT_NE(out.find("core0.latency::count 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace hypertee

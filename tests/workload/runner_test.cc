@@ -1,0 +1,142 @@
+/** @file Workload runner integration tests + profile calibration. */
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+SystemParams
+testSystem()
+{
+    SystemParams p;
+    p.csMemSize = 256ULL * 1024 * 1024;
+    p.csCoreCount = 1;
+    p.ems.pool.initialPages = 8192;
+    p.ems.pool.refillBatch = 2048;
+    return p;
+}
+
+WorkloadProfile
+shortProfile(std::uint64_t insts = 500'000)
+{
+    WorkloadProfile p = profileByName("aes");
+    p.instructions = insts;
+    return p;
+}
+
+TEST(WorkloadRunner, HostRunExecutesAllInstructions)
+{
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    RunStats stats = runner.runHost(shortProfile());
+    EXPECT_EQ(stats.instructions, 500'000u);
+    EXPECT_GT(stats.ipc(), 0.3);
+    EXPECT_EQ(stats.faults, 0u) << "host range fully premapped";
+}
+
+TEST(WorkloadRunner, EnclaveRunExecutesAllInstructions)
+{
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    EnclaveRunResult r = runner.runEnclave(shortProfile());
+    EXPECT_EQ(r.stats.instructions, 500'000u);
+    EXPECT_EQ(r.stats.faults, 0u) << "working set statically allocated";
+    EXPECT_GT(r.createLatency, 0u);
+    EXPECT_GT(r.measLatency, 0u);
+    EXPECT_GT(r.totalPrimitiveLatency(), 0u);
+}
+
+TEST(WorkloadRunner, EnclaveOverheadIsSmallButPositive)
+{
+    // The headline claim: ~2% enclave overhead with the crypto
+    // engine and medium EMS core (Figure 7). Accept a loose band.
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    WorkloadProfile p = shortProfile(4'000'000);
+
+    RunStats host = runner.runHost(p);
+    EnclaveRunResult enc = runner.runEnclave(p);
+
+    double overhead =
+        double(enc.stats.ticks) / host.ticks - 1.0;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, 0.30);
+}
+
+TEST(WorkloadRunner, SparseProfileFaultsAreZeroAfterEalloc)
+{
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    WorkloadProfile p = profileByName("xalancbmk_r");
+    p.instructions = 300'000;
+    p.sparsePages = 512;
+    EnclaveRunResult r = runner.runEnclave(p);
+    EXPECT_EQ(r.stats.faults, 0u);
+    EXPECT_GT(r.stats.tlbMisses, 0u);
+}
+
+TEST(WorkloadRunner, XalancbmkHasOutlierTlbMissRate)
+{
+    // Calibration check for Figure 10: xalancbmk_r's TLB miss rate
+    // (per memory access) must sit near 0.8% and clearly above a
+    // low-stress sibling.
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+
+    auto miss_rate = [&](const char *name) {
+        WorkloadProfile p = profileByName(name);
+        p.instructions = 2'000'000;
+        RunStats s = runner.runHost(p);
+        return double(s.tlbMisses) / (s.loads + s.stores);
+    };
+
+    double xalanc = miss_rate("xalancbmk_r");
+    double x264 = miss_rate("x264_r");
+    EXPECT_GT(xalanc, 0.004);
+    EXPECT_LT(xalanc, 0.016);
+    EXPECT_LT(x264, 0.003);
+    EXPECT_GT(xalanc, 3 * x264);
+}
+
+TEST(WorkloadRunner, SequentialRunsShareTheSystem)
+{
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    EnclaveRunResult a = runner.runEnclave(shortProfile(), 1);
+    EnclaveRunResult b = runner.runEnclave(shortProfile(), 2);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+}
+
+TEST(WorkloadRunner, PrimitiveBreakdownSumsToTotal)
+{
+    HyperTeeSystem sys(testSystem());
+    WorkloadRunner runner(sys);
+    EnclaveRunResult r = runner.runEnclave(shortProfile());
+    EXPECT_EQ(r.totalPrimitiveLatency(),
+              r.createLatency + r.addLatency + r.measLatency +
+                  r.enterExitLatency + r.destroyLatency);
+}
+
+TEST(WorkloadRunner, CryptoEngineShrinksMeasurementLatency)
+{
+    SystemParams with = testSystem();
+    SystemParams without = testSystem();
+    without.ems.cryptoEnginePresent = false;
+
+    HyperTeeSystem sys_with(with), sys_without(without);
+    WorkloadRunner r1(sys_with), r2(sys_without);
+    WorkloadProfile p = shortProfile();
+
+    EnclaveRunResult e1 = r1.runEnclave(p);
+    EnclaveRunResult e2 = r2.runEnclave(p);
+    EXPECT_GT(e2.measLatency, 10 * e1.measLatency)
+        << "Table IV: EMEAS dominates without the crypto engine";
+}
+
+} // namespace
+} // namespace hypertee

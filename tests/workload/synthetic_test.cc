@@ -1,0 +1,162 @@
+/** @file Synthetic workload generator tests. */
+
+#include <gtest/gtest.h>
+
+#include "workload/gemmini.hh"
+#include "workload/profiles.hh"
+#include "workload/synthetic.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(SyntheticWorkload, EmitsRequestedInstructionCount)
+{
+    WorkloadProfile p;
+    p.instructions = 1000;
+    SyntheticWorkload w(p, 0x1000'0000, 0x2000'0000, 1);
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (w.next(op))
+        ++n;
+    EXPECT_EQ(n, 1000u);
+    EXPECT_FALSE(w.next(op));
+}
+
+TEST(SyntheticWorkload, SameSeedSameStream)
+{
+    WorkloadProfile p;
+    p.instructions = 5000;
+    SyntheticWorkload a(p, 0x1000'0000, 0x2000'0000, 42);
+    SyntheticWorkload b(p, 0x1000'0000, 0x2000'0000, 42);
+    MicroOp oa, ob;
+    while (a.next(oa)) {
+        ASSERT_TRUE(b.next(ob));
+        EXPECT_EQ(oa.type, ob.type);
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.taken, ob.taken);
+    }
+}
+
+TEST(SyntheticWorkload, ResetReplaysExactly)
+{
+    WorkloadProfile p;
+    p.instructions = 2000;
+    SyntheticWorkload w(p, 0x1000'0000, 0x2000'0000, 7);
+    std::vector<Addr> first;
+    MicroOp op;
+    while (w.next(op))
+        first.push_back(op.addr ^ op.pc);
+    w.reset();
+    std::size_t i = 0;
+    while (w.next(op))
+        EXPECT_EQ(op.addr ^ op.pc, first[i++]);
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(SyntheticWorkload, MixMatchesProfile)
+{
+    WorkloadProfile p;
+    p.instructions = 200'000;
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.20;
+    SyntheticWorkload w(p, 0x1000'0000, 0x2000'0000, 3);
+    MicroOp op;
+    std::uint64_t loads = 0, stores = 0, branches = 0;
+    while (w.next(op)) {
+        loads += op.type == OpType::Load;
+        stores += op.type == OpType::Store;
+        branches += op.type == OpType::Branch;
+    }
+    EXPECT_NEAR(loads / 200'000.0, 0.30, 0.01);
+    EXPECT_NEAR(stores / 200'000.0, 0.10, 0.01);
+    EXPECT_NEAR(branches / 200'000.0, 0.20, 0.01);
+}
+
+TEST(SyntheticWorkload, AddressesStayInMappedRegions)
+{
+    WorkloadProfile p;
+    p.instructions = 100'000;
+    p.workingSetBytes = 64 * 1024;
+    p.sparseFrac = 0.05;
+    p.sparsePages = 128;
+    const Addr base = 0x1000'0000, sparse = 0x2000'0000;
+    SyntheticWorkload w(p, base, sparse, 3);
+    MicroOp op;
+    while (w.next(op)) {
+        if (op.type != OpType::Load && op.type != OpType::Store)
+            continue;
+        bool in_ws = op.addr >= base && op.addr < base + 64 * 1024;
+        bool in_sparse = op.addr >= sparse &&
+                         op.addr < sparse + 128 * pageSize;
+        EXPECT_TRUE(in_ws || in_sparse) << std::hex << op.addr;
+    }
+}
+
+TEST(Profiles, Rv8SuiteHasEightWorkloads)
+{
+    auto suite = rv8Profiles();
+    EXPECT_EQ(suite.size(), 8u);
+    EXPECT_EQ(suite.back().name, "wolfssl");
+}
+
+TEST(Profiles, SpecSuiteIncludesXalancbmkOutlier)
+{
+    auto suite = spec2017Profiles();
+    EXPECT_EQ(suite.size(), 10u);
+    double xalanc_sparse = 0, max_other = 0;
+    for (const auto &p : suite) {
+        if (p.name == "xalancbmk_r")
+            xalanc_sparse = p.sparseFrac;
+        else
+            max_other = std::max(max_other, p.sparseFrac);
+    }
+    EXPECT_GT(xalanc_sparse, 3 * max_other)
+        << "xalancbmk is the TLB-stress outlier (Figure 10)";
+}
+
+TEST(Profiles, LookupByNameWorks)
+{
+    EXPECT_EQ(profileByName("aes").name, "aes");
+    EXPECT_EQ(profileByName("xalancbmk_r").name, "xalancbmk_r");
+    EXPECT_EQ(profileByName("memstream").sequentialFrac, 1.0);
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(profileByName("doom"), "unknown workload");
+}
+
+TEST(Gemmini, InferenceTimeScalesWithMacs)
+{
+    GemminiModel g;
+    Tick small = g.inferenceTime(1'000'000, 1);
+    Tick large = g.inferenceTime(100'000'000, 1);
+    EXPECT_GT(large, small * 50);
+}
+
+TEST(Gemmini, ResNetSlowerThanMobileNet)
+{
+    GemminiModel g;
+    DnnNetwork rn = resnet50();
+    DnnNetwork mb = mobileNet();
+    EXPECT_GT(g.inferenceTime(rn.macs, rn.layers),
+              3 * g.inferenceTime(mb.macs, mb.layers));
+}
+
+TEST(Gemmini, MlpSuiteHasFourNetworks)
+{
+    EXPECT_EQ(mlpSuite().size(), 4u);
+}
+
+TEST(Nic, WireTimeMatchesLinkRate)
+{
+    NicScenario nic;
+    // 96000 bytes at 10 Gbps = 76.8 us.
+    EXPECT_NEAR(nic.wireTime() / 1e6, 76.8, 0.1);
+}
+
+} // namespace
+} // namespace hypertee
