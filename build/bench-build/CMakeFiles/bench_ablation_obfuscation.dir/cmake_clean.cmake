@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_obfuscation"
+  "../bench/bench_ablation_obfuscation.pdb"
+  "CMakeFiles/bench_ablation_obfuscation.dir/bench_ablation_obfuscation.cc.o"
+  "CMakeFiles/bench_ablation_obfuscation.dir/bench_ablation_obfuscation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

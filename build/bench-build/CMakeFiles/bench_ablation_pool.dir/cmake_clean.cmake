@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pool"
+  "../bench/bench_ablation_pool.pdb"
+  "CMakeFiles/bench_ablation_pool.dir/bench_ablation_pool.cc.o"
+  "CMakeFiles/bench_ablation_pool.dir/bench_ablation_pool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

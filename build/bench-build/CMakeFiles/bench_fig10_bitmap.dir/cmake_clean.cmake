@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_bitmap"
+  "../bench/bench_fig10_bitmap.pdb"
+  "CMakeFiles/bench_fig10_bitmap.dir/bench_fig10_bitmap.cc.o"
+  "CMakeFiles/bench_fig10_bitmap.dir/bench_fig10_bitmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_tlbflush"
+  "../bench/bench_fig11_tlbflush.pdb"
+  "CMakeFiles/bench_fig11_tlbflush.dir/bench_fig11_tlbflush.cc.o"
+  "CMakeFiles/bench_fig11_tlbflush.dir/bench_fig11_tlbflush.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tlbflush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

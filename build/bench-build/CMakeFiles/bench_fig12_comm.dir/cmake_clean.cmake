@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_comm"
+  "../bench/bench_fig12_comm.pdb"
+  "CMakeFiles/bench_fig12_comm.dir/bench_fig12_comm.cc.o"
+  "CMakeFiles/bench_fig12_comm.dir/bench_fig12_comm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

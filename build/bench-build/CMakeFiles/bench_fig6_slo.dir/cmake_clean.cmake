@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_slo"
+  "../bench/bench_fig6_slo.pdb"
+  "CMakeFiles/bench_fig6_slo.dir/bench_fig6_slo.cc.o"
+  "CMakeFiles/bench_fig6_slo.dir/bench_fig6_slo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_ems_config"
+  "../bench/bench_fig7_ems_config.pdb"
+  "CMakeFiles/bench_fig7_ems_config.dir/bench_fig7_ems_config.cc.o"
+  "CMakeFiles/bench_fig7_ems_config.dir/bench_fig7_ems_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ems_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_alloc"
+  "../bench/bench_fig8a_alloc.pdb"
+  "CMakeFiles/bench_fig8a_alloc.dir/bench_fig8a_alloc.cc.o"
+  "CMakeFiles/bench_fig8a_alloc.dir/bench_fig8a_alloc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

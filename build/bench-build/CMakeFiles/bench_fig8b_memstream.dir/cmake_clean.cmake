@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8b_memstream"
+  "../bench/bench_fig8b_memstream.pdb"
+  "CMakeFiles/bench_fig8b_memstream.dir/bench_fig8b_memstream.cc.o"
+  "CMakeFiles/bench_fig8b_memstream.dir/bench_fig8b_memstream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_memstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_wolfssl_mm"
+  "../bench/bench_fig9_wolfssl_mm.pdb"
+  "CMakeFiles/bench_fig9_wolfssl_mm.dir/bench_fig9_wolfssl_mm.cc.o"
+  "CMakeFiles/bench_fig9_wolfssl_mm.dir/bench_fig9_wolfssl_mm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wolfssl_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

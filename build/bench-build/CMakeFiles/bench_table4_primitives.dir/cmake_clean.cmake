@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_primitives"
+  "../bench/bench_table4_primitives.pdb"
+  "CMakeFiles/bench_table4_primitives.dir/bench_table4_primitives.cc.o"
+  "CMakeFiles/bench_table4_primitives.dir/bench_table4_primitives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_area"
+  "../bench/bench_table5_area.pdb"
+  "CMakeFiles/bench_table5_area.dir/bench_table5_area.cc.o"
+  "CMakeFiles/bench_table5_area.dir/bench_table5_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_defense"
+  "../bench/bench_table6_defense.pdb"
+  "CMakeFiles/bench_table6_defense.dir/bench_table6_defense.cc.o"
+  "CMakeFiles/bench_table6_defense.dir/bench_table6_defense.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cvm_migration.cpp" "examples/CMakeFiles/cvm_migration.dir/cvm_migration.cpp.o" "gcc" "examples/CMakeFiles/cvm_migration.dir/cvm_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hypertee_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/hypertee_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hypertee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hypertee_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/emcall/CMakeFiles/hypertee_emcall.dir/DependInfo.cmake"
+  "/root/repo/build/src/ems/CMakeFiles/hypertee_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hypertee_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hypertee_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_migration.dir/cvm_migration.cpp.o"
+  "CMakeFiles/cvm_migration.dir/cvm_migration.cpp.o.d"
+  "cvm_migration"
+  "cvm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_inference.dir/secure_inference.cpp.o"
+  "CMakeFiles/secure_inference.dir/secure_inference.cpp.o.d"
+  "secure_inference"
+  "secure_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

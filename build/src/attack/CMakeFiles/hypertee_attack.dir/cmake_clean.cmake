@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_attack.dir/controlled_channel.cc.o"
+  "CMakeFiles/hypertee_attack.dir/controlled_channel.cc.o.d"
+  "libhypertee_attack.a"
+  "libhypertee_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/os_manager.cc" "src/baseline/CMakeFiles/hypertee_baseline.dir/os_manager.cc.o" "gcc" "src/baseline/CMakeFiles/hypertee_baseline.dir/os_manager.cc.o.d"
+  "/root/repo/src/baseline/tee_models.cc" "src/baseline/CMakeFiles/hypertee_baseline.dir/tee_models.cc.o" "gcc" "src/baseline/CMakeFiles/hypertee_baseline.dir/tee_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

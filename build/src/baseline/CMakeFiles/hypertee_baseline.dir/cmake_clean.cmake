@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_baseline.dir/os_manager.cc.o"
+  "CMakeFiles/hypertee_baseline.dir/os_manager.cc.o.d"
+  "CMakeFiles/hypertee_baseline.dir/tee_models.cc.o"
+  "CMakeFiles/hypertee_baseline.dir/tee_models.cc.o.d"
+  "libhypertee_baseline.a"
+  "libhypertee_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_core.dir/sdk.cc.o"
+  "CMakeFiles/hypertee_core.dir/sdk.cc.o.d"
+  "CMakeFiles/hypertee_core.dir/system.cc.o"
+  "CMakeFiles/hypertee_core.dir/system.cc.o.d"
+  "libhypertee_core.a"
+  "libhypertee_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/hypertee_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/hypertee_cpu.dir/core.cc.o"
+  "CMakeFiles/hypertee_cpu.dir/core.cc.o.d"
+  "CMakeFiles/hypertee_cpu.dir/core_params.cc.o"
+  "CMakeFiles/hypertee_cpu.dir/core_params.cc.o.d"
+  "libhypertee_cpu.a"
+  "libhypertee_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/bytes.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/bytes.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/bytes.cc.o.d"
+  "/root/repo/src/crypto/crypto_engine.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/crypto_engine.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/crypto_engine.cc.o.d"
+  "/root/repo/src/crypto/ed25519.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/ed25519.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/ed25519.cc.o.d"
+  "/root/repo/src/crypto/fe25519.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/fe25519.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/fe25519.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/sha3.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha3.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha3.cc.o.d"
+  "/root/repo/src/crypto/sha512.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha512.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/sha512.cc.o.d"
+  "/root/repo/src/crypto/x25519.cc" "src/crypto/CMakeFiles/hypertee_crypto.dir/x25519.cc.o" "gcc" "src/crypto/CMakeFiles/hypertee_crypto.dir/x25519.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

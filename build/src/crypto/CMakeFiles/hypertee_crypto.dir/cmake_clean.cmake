@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_crypto.dir/aes128.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/bytes.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/bytes.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/crypto_engine.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/crypto_engine.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/ed25519.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/ed25519.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/fe25519.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/fe25519.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/hmac.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/merkle.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/sha256.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/sha3.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/sha3.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/sha512.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/sha512.cc.o.d"
+  "CMakeFiles/hypertee_crypto.dir/x25519.cc.o"
+  "CMakeFiles/hypertee_crypto.dir/x25519.cc.o.d"
+  "libhypertee_crypto.a"
+  "libhypertee_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypertee_crypto.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_emcall.dir/emcall.cc.o"
+  "CMakeFiles/hypertee_emcall.dir/emcall.cc.o.d"
+  "libhypertee_emcall.a"
+  "libhypertee_emcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_emcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ems/attestation.cc" "src/ems/CMakeFiles/hypertee_ems.dir/attestation.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/attestation.cc.o.d"
+  "/root/repo/src/ems/cfi_monitor.cc" "src/ems/CMakeFiles/hypertee_ems.dir/cfi_monitor.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/cfi_monitor.cc.o.d"
+  "/root/repo/src/ems/cvm.cc" "src/ems/CMakeFiles/hypertee_ems.dir/cvm.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/cvm.cc.o.d"
+  "/root/repo/src/ems/key_manager.cc" "src/ems/CMakeFiles/hypertee_ems.dir/key_manager.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/key_manager.cc.o.d"
+  "/root/repo/src/ems/memory_pool.cc" "src/ems/CMakeFiles/hypertee_ems.dir/memory_pool.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/memory_pool.cc.o.d"
+  "/root/repo/src/ems/ownership.cc" "src/ems/CMakeFiles/hypertee_ems.dir/ownership.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/ownership.cc.o.d"
+  "/root/repo/src/ems/runtime.cc" "src/ems/CMakeFiles/hypertee_ems.dir/runtime.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/runtime.cc.o.d"
+  "/root/repo/src/ems/service_sim.cc" "src/ems/CMakeFiles/hypertee_ems.dir/service_sim.cc.o" "gcc" "src/ems/CMakeFiles/hypertee_ems.dir/service_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/hypertee_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

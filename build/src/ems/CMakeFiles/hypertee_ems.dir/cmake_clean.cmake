@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_ems.dir/attestation.cc.o"
+  "CMakeFiles/hypertee_ems.dir/attestation.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/cfi_monitor.cc.o"
+  "CMakeFiles/hypertee_ems.dir/cfi_monitor.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/cvm.cc.o"
+  "CMakeFiles/hypertee_ems.dir/cvm.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/key_manager.cc.o"
+  "CMakeFiles/hypertee_ems.dir/key_manager.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/memory_pool.cc.o"
+  "CMakeFiles/hypertee_ems.dir/memory_pool.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/ownership.cc.o"
+  "CMakeFiles/hypertee_ems.dir/ownership.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/runtime.cc.o"
+  "CMakeFiles/hypertee_ems.dir/runtime.cc.o.d"
+  "CMakeFiles/hypertee_ems.dir/service_sim.cc.o"
+  "CMakeFiles/hypertee_ems.dir/service_sim.cc.o.d"
+  "libhypertee_ems.a"
+  "libhypertee_ems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

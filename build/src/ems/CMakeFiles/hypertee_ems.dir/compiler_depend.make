@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hypertee_ems.
+# This may be replaced when dependencies are built.

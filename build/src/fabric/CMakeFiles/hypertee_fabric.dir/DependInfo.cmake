@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/dma_whitelist.cc" "src/fabric/CMakeFiles/hypertee_fabric.dir/dma_whitelist.cc.o" "gcc" "src/fabric/CMakeFiles/hypertee_fabric.dir/dma_whitelist.cc.o.d"
+  "/root/repo/src/fabric/ihub.cc" "src/fabric/CMakeFiles/hypertee_fabric.dir/ihub.cc.o" "gcc" "src/fabric/CMakeFiles/hypertee_fabric.dir/ihub.cc.o.d"
+  "/root/repo/src/fabric/iommu.cc" "src/fabric/CMakeFiles/hypertee_fabric.dir/iommu.cc.o" "gcc" "src/fabric/CMakeFiles/hypertee_fabric.dir/iommu.cc.o.d"
+  "/root/repo/src/fabric/mailbox.cc" "src/fabric/CMakeFiles/hypertee_fabric.dir/mailbox.cc.o" "gcc" "src/fabric/CMakeFiles/hypertee_fabric.dir/mailbox.cc.o.d"
+  "/root/repo/src/fabric/primitive.cc" "src/fabric/CMakeFiles/hypertee_fabric.dir/primitive.cc.o" "gcc" "src/fabric/CMakeFiles/hypertee_fabric.dir/primitive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_fabric.dir/dma_whitelist.cc.o"
+  "CMakeFiles/hypertee_fabric.dir/dma_whitelist.cc.o.d"
+  "CMakeFiles/hypertee_fabric.dir/ihub.cc.o"
+  "CMakeFiles/hypertee_fabric.dir/ihub.cc.o.d"
+  "CMakeFiles/hypertee_fabric.dir/iommu.cc.o"
+  "CMakeFiles/hypertee_fabric.dir/iommu.cc.o.d"
+  "CMakeFiles/hypertee_fabric.dir/mailbox.cc.o"
+  "CMakeFiles/hypertee_fabric.dir/mailbox.cc.o.d"
+  "CMakeFiles/hypertee_fabric.dir/primitive.cc.o"
+  "CMakeFiles/hypertee_fabric.dir/primitive.cc.o.d"
+  "libhypertee_fabric.a"
+  "libhypertee_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bitmap.cc" "src/mem/CMakeFiles/hypertee_mem.dir/bitmap.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/bitmap.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/hypertee_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/hypertee_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/mem_crypto.cc" "src/mem/CMakeFiles/hypertee_mem.dir/mem_crypto.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/mem_crypto.cc.o.d"
+  "/root/repo/src/mem/mmu.cc" "src/mem/CMakeFiles/hypertee_mem.dir/mmu.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/mmu.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/hypertee_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/hypertee_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/phys_mem.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/hypertee_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/hypertee_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

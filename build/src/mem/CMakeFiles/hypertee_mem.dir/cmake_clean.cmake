@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_mem.dir/bitmap.cc.o"
+  "CMakeFiles/hypertee_mem.dir/bitmap.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/cache.cc.o"
+  "CMakeFiles/hypertee_mem.dir/cache.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/hypertee_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/mem_crypto.cc.o"
+  "CMakeFiles/hypertee_mem.dir/mem_crypto.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/mmu.cc.o"
+  "CMakeFiles/hypertee_mem.dir/mmu.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/page_table.cc.o"
+  "CMakeFiles/hypertee_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/hypertee_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/hypertee_mem.dir/tlb.cc.o"
+  "CMakeFiles/hypertee_mem.dir/tlb.cc.o.d"
+  "libhypertee_mem.a"
+  "libhypertee_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

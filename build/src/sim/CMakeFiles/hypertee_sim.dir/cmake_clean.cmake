@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hypertee_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hypertee_sim.dir/logging.cc.o"
+  "CMakeFiles/hypertee_sim.dir/logging.cc.o.d"
+  "CMakeFiles/hypertee_sim.dir/random.cc.o"
+  "CMakeFiles/hypertee_sim.dir/random.cc.o.d"
+  "CMakeFiles/hypertee_sim.dir/stats.cc.o"
+  "CMakeFiles/hypertee_sim.dir/stats.cc.o.d"
+  "libhypertee_sim.a"
+  "libhypertee_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertee_workload.dir/gemmini.cc.o"
+  "CMakeFiles/hypertee_workload.dir/gemmini.cc.o.d"
+  "CMakeFiles/hypertee_workload.dir/profiles.cc.o"
+  "CMakeFiles/hypertee_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/hypertee_workload.dir/runner.cc.o"
+  "CMakeFiles/hypertee_workload.dir/runner.cc.o.d"
+  "CMakeFiles/hypertee_workload.dir/synthetic.cc.o"
+  "CMakeFiles/hypertee_workload.dir/synthetic.cc.o.d"
+  "libhypertee_workload.a"
+  "libhypertee_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertee_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

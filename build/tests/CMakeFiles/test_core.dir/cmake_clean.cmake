@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/integration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/stats_dump_test.cc.o"
+  "CMakeFiles/test_core.dir/core/stats_dump_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o.d"
+  "CMakeFiles/test_core.dir/emcall/aex_test.cc.o"
+  "CMakeFiles/test_core.dir/emcall/aex_test.cc.o.d"
+  "CMakeFiles/test_core.dir/emcall/emcall_test.cc.o"
+  "CMakeFiles/test_core.dir/emcall/emcall_test.cc.o.d"
+  "CMakeFiles/test_core.dir/ems/dma_grant_test.cc.o"
+  "CMakeFiles/test_core.dir/ems/dma_grant_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes128_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o.d"
+  "/root/repo/tests/crypto/crypto_engine_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/crypto_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/crypto_engine_test.cc.o.d"
+  "/root/repo/tests/crypto/ed25519_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/ed25519_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/ed25519_test.cc.o.d"
+  "/root/repo/tests/crypto/fe25519_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/fe25519_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/fe25519_test.cc.o.d"
+  "/root/repo/tests/crypto/hmac_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o.d"
+  "/root/repo/tests/crypto/sha256_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o.d"
+  "/root/repo/tests/crypto/sha3_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/sha3_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/sha3_test.cc.o.d"
+  "/root/repo/tests/crypto/sha512_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/sha512_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/sha512_test.cc.o.d"
+  "/root/repo/tests/crypto/x25519_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/x25519_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/x25519_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/crypto_engine_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/crypto_engine_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/fe25519_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/fe25519_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha3_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha3_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha512_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha512_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/x25519_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/x25519_test.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

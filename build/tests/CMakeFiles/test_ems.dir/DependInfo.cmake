@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ems/attestation_test.cc" "tests/CMakeFiles/test_ems.dir/ems/attestation_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/attestation_test.cc.o.d"
+  "/root/repo/tests/ems/key_manager_test.cc" "tests/CMakeFiles/test_ems.dir/ems/key_manager_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/key_manager_test.cc.o.d"
+  "/root/repo/tests/ems/memory_pool_test.cc" "tests/CMakeFiles/test_ems.dir/ems/memory_pool_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/memory_pool_test.cc.o.d"
+  "/root/repo/tests/ems/ownership_test.cc" "tests/CMakeFiles/test_ems.dir/ems/ownership_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/ownership_test.cc.o.d"
+  "/root/repo/tests/ems/runtime_test.cc" "tests/CMakeFiles/test_ems.dir/ems/runtime_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/runtime_test.cc.o.d"
+  "/root/repo/tests/ems/shm_test.cc" "tests/CMakeFiles/test_ems.dir/ems/shm_test.cc.o" "gcc" "tests/CMakeFiles/test_ems.dir/ems/shm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ems/CMakeFiles/hypertee_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hypertee_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

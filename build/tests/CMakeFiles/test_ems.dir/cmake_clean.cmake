@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ems.dir/ems/attestation_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/attestation_test.cc.o.d"
+  "CMakeFiles/test_ems.dir/ems/key_manager_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/key_manager_test.cc.o.d"
+  "CMakeFiles/test_ems.dir/ems/memory_pool_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/memory_pool_test.cc.o.d"
+  "CMakeFiles/test_ems.dir/ems/ownership_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/ownership_test.cc.o.d"
+  "CMakeFiles/test_ems.dir/ems/runtime_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/runtime_test.cc.o.d"
+  "CMakeFiles/test_ems.dir/ems/shm_test.cc.o"
+  "CMakeFiles/test_ems.dir/ems/shm_test.cc.o.d"
+  "test_ems"
+  "test_ems.pdb"
+  "test_ems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

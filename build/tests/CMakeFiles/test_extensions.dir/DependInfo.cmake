@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/merkle_test.cc" "tests/CMakeFiles/test_extensions.dir/crypto/merkle_test.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/crypto/merkle_test.cc.o.d"
+  "/root/repo/tests/ems/cfi_monitor_test.cc" "tests/CMakeFiles/test_extensions.dir/ems/cfi_monitor_test.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/ems/cfi_monitor_test.cc.o.d"
+  "/root/repo/tests/ems/cvm_test.cc" "tests/CMakeFiles/test_extensions.dir/ems/cvm_test.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/ems/cvm_test.cc.o.d"
+  "/root/repo/tests/fabric/iommu_test.cc" "tests/CMakeFiles/test_extensions.dir/fabric/iommu_test.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/fabric/iommu_test.cc.o.d"
+  "/root/repo/tests/mem/stlb_test.cc" "tests/CMakeFiles/test_extensions.dir/mem/stlb_test.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/mem/stlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ems/CMakeFiles/hypertee_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hypertee_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

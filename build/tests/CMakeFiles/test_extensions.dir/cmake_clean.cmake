@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions.dir/crypto/merkle_test.cc.o"
+  "CMakeFiles/test_extensions.dir/crypto/merkle_test.cc.o.d"
+  "CMakeFiles/test_extensions.dir/ems/cfi_monitor_test.cc.o"
+  "CMakeFiles/test_extensions.dir/ems/cfi_monitor_test.cc.o.d"
+  "CMakeFiles/test_extensions.dir/ems/cvm_test.cc.o"
+  "CMakeFiles/test_extensions.dir/ems/cvm_test.cc.o.d"
+  "CMakeFiles/test_extensions.dir/fabric/iommu_test.cc.o"
+  "CMakeFiles/test_extensions.dir/fabric/iommu_test.cc.o.d"
+  "CMakeFiles/test_extensions.dir/mem/stlb_test.cc.o"
+  "CMakeFiles/test_extensions.dir/mem/stlb_test.cc.o.d"
+  "test_extensions"
+  "test_extensions.pdb"
+  "test_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/bitmap_test.cc" "tests/CMakeFiles/test_mem.dir/mem/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/bitmap_test.cc.o.d"
+  "/root/repo/tests/mem/cache_test.cc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cc.o.d"
+  "/root/repo/tests/mem/hierarchy_test.cc" "tests/CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o.d"
+  "/root/repo/tests/mem/mem_crypto_test.cc" "tests/CMakeFiles/test_mem.dir/mem/mem_crypto_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/mem_crypto_test.cc.o.d"
+  "/root/repo/tests/mem/mmu_test.cc" "tests/CMakeFiles/test_mem.dir/mem/mmu_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/mmu_test.cc.o.d"
+  "/root/repo/tests/mem/page_table_test.cc" "tests/CMakeFiles/test_mem.dir/mem/page_table_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/page_table_test.cc.o.d"
+  "/root/repo/tests/mem/phys_mem_test.cc" "tests/CMakeFiles/test_mem.dir/mem/phys_mem_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/phys_mem_test.cc.o.d"
+  "/root/repo/tests/mem/tlb_test.cc" "tests/CMakeFiles/test_mem.dir/mem/tlb_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hypertee_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hypertee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hypertee_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/bitmap_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/bitmap_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/cache_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/cache_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/mem_crypto_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/mem_crypto_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/mmu_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/mmu_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/page_table_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/page_table_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/phys_mem_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/phys_mem_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/tlb_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/tlb_test.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
