@@ -5,6 +5,11 @@
  *
  * Paper values (Enclave-Noncrypto / Enclave-Crypto):
  *   average All Primitives 10.4% -> 2.5%, EMEAS 7.8% -> 0.10%.
+ *
+ * With --trace the run emits one EMCALL span per primitive round
+ * trip; with --stats-json the per-primitive latency distributions
+ * (p50/p90/p99 across the rv8 suite) are exported for regression
+ * tracking.
  */
 
 #include "bench/bench_util.hh"
@@ -14,9 +19,13 @@
 using namespace hypertee;
 
 int
-main()
+main(int argc, char **argv)
 {
     logging_detail::setVerbose(false);
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+
     benchHeader("Table IV: enclave primitive execution time",
                 "primitive latency vs Host-Native runtime, "
                 "Enclave-Noncrypto vs Enclave-Crypto");
@@ -24,8 +33,21 @@ main()
     printRow({"benchmark", "noncrypto", "nc-EMEAS", "crypto",
               "c-EMEAS"});
 
+    // One latency distribution per primitive phase, sampled once per
+    // (profile, engine) enclave run. Units: ticks (ps).
+    StatGroup prim_stats("primitives");
+    Distribution d_create, d_add, d_meas, d_enter_exit, d_destroy;
+    prim_stats.registerDistribution("ecreate_latency", &d_create);
+    prim_stats.registerDistribution("eadd_latency", &d_add);
+    prim_stats.registerDistribution("emeas_latency", &d_meas);
+    prim_stats.registerDistribution("eenter_eexit_latency",
+                                    &d_enter_exit);
+    prim_stats.registerDistribution("edestroy_latency", &d_destroy);
+
     double sum_nc = 0, sum_nc_meas = 0, sum_c = 0, sum_c_meas = 0;
     auto suite = rv8Profiles();
+    if (opts.smoke && suite.size() > 1)
+        suite.resize(1);
     for (const auto &profile : suite) {
         // Host-Native baseline.
         HyperTeeSystem host_sys(evalSystem(true));
@@ -42,6 +64,11 @@ main()
                                   /*charge_primitives=*/false);
             all = double(r.totalPrimitiveLatency()) / host.ticks;
             meas = double(r.measLatency) / host.ticks;
+            d_create.sample(double(r.createLatency));
+            d_add.sample(double(r.addLatency));
+            d_meas.sample(double(r.measLatency));
+            d_enter_exit.sample(double(r.enterExitLatency));
+            d_destroy.sample(double(r.destroyLatency));
         };
 
         double nc_all, nc_meas, c_all, c_meas;
@@ -59,5 +86,6 @@ main()
     printRow({"Average", pct(sum_nc / n, 1), pct(sum_nc_meas / n, 1),
               pct(sum_c / n, 1), pct(sum_c_meas / n, 2)});
     std::printf("\npaper: Average 10.4%% / 7.8%% -> 2.5%% / 0.10%%\n");
-    return 0;
+
+    return finishBench(opts, {&prim_stats});
 }

@@ -11,11 +11,16 @@
 #define HYPERTEE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/stats_export.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -82,6 +87,110 @@ evalSystem(bool crypto_engine = true)
     p.ems.pool.initialPages = 16384; // 64 MiB warm pool
     p.ems.pool.refillBatch = 4096;
     return p;
+}
+
+/**
+ * Observability flags shared by every bench:
+ *   --trace=<path>             Chrome trace_event JSON of the run
+ *   --trace-categories=<list>  comma list ("all" for everything)
+ *   --stats-json=<path>        structured StatGroup export
+ *   --smoke                    shortened run for CI smoke tests
+ */
+struct BenchOptions
+{
+    std::string tracePath;
+    std::string traceCategories;
+    std::string statsJsonPath;
+    bool smoke = false;
+    bool ok = true; ///< false after an unrecognized argument
+};
+
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    auto value_of = [](const std::string &arg, const char *flag,
+                       std::string &out) {
+        std::string prefix = std::string(flag) + "=";
+        if (arg.rfind(prefix, 0) != 0)
+            return false;
+        out = arg.substr(prefix.size());
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (value_of(arg, "--trace", opts.tracePath) ||
+                   value_of(arg, "--trace-categories",
+                            opts.traceCategories) ||
+                   value_of(arg, "--stats-json", opts.statsJsonPath)) {
+            // handled by value_of
+        } else {
+            std::fprintf(stderr,
+                         "unknown option: %s\n"
+                         "usage: %s [--trace=FILE] "
+                         "[--trace-categories=LIST] "
+                         "[--stats-json=FILE] [--smoke]\n",
+                         arg.c_str(), argv[0]);
+            opts.ok = false;
+            return opts;
+        }
+    }
+    if (!opts.tracePath.empty()) {
+        auto &sink = TraceSink::global();
+        sink.setEnabled(true);
+        if (!opts.traceCategories.empty() &&
+            !sink.enableCategories(opts.traceCategories)) {
+            std::fprintf(stderr, "unknown trace category in '%s'\n",
+                         opts.traceCategories.c_str());
+            opts.ok = false;
+        }
+    }
+    return opts;
+}
+
+/**
+ * Write the requested output files. The stats JSON is validated
+ * before it hits the disk so a malformed export fails the bench (and
+ * the CI smoke test) instead of poisoning downstream tooling.
+ * @return a process exit code: 0 on success.
+ */
+inline int
+finishBench(const BenchOptions &opts,
+            const std::vector<const StatGroup *> &groups)
+{
+    int rc = 0;
+    if (!opts.statsJsonPath.empty()) {
+        std::ostringstream body;
+        dumpStatsJson(body, groups);
+        if (!jsonLooksValid(body.str())) {
+            std::fprintf(stderr, "stats export is not valid JSON\n");
+            rc = 1;
+        } else {
+            std::ofstream out(opts.statsJsonPath);
+            out << body.str();
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opts.statsJsonPath.c_str());
+                rc = 1;
+            }
+        }
+    }
+    if (!opts.tracePath.empty()) {
+        auto &sink = TraceSink::global();
+        if (!sink.writeJsonFile(opts.tracePath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.tracePath.c_str());
+            rc = 1;
+        }
+        if (sink.dropped() > 0)
+            std::fprintf(stderr,
+                         "trace: %llu events dropped at capacity\n",
+                         static_cast<unsigned long long>(
+                             sink.dropped()));
+    }
+    return rc;
 }
 
 } // namespace hypertee

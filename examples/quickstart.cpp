@@ -9,20 +9,37 @@
  * decoupled EMS did on the HostApp's behalf.
  *
  * Run: ./build/examples/quickstart
+ * Pass --trace=quickstart.json to record every primitive round trip
+ * as a Chrome trace (open in Perfetto / chrome://tracing).
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/sdk.hh"
 #include "core/system.hh"
 #include "ems/attestation.hh"
+#include "sim/trace.hh"
 
 using namespace hypertee;
 
 int
-main()
+main(int argc, char **argv)
 {
     logging_detail::setVerbose(false);
+
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            trace_path = argv[i] + 8;
+        } else {
+            std::fprintf(stderr, "usage: %s [--trace=FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!trace_path.empty())
+        TraceSink::global().setEnabled(true);
 
     std::printf("HyperTEE quickstart\n");
     std::printf("===================\n\n");
@@ -117,6 +134,17 @@ main()
     std::printf("[edestroy] enclave gone; total primitive time %.1f "
                 "us\n",
                 enclave.totalPrimitiveLatency() / 1e6);
+
+    if (!trace_path.empty()) {
+        auto &sink = TraceSink::global();
+        if (!sink.writeJsonFile(trace_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("[trace] %zu events written to %s\n",
+                    sink.eventCount(), trace_path.c_str());
+    }
 
     std::printf("\nquickstart complete.\n");
     return 0;

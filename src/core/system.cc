@@ -154,6 +154,10 @@ HyperTeeSystem::dumpStats(std::ostream &os) const
              double(core.mmu().tlb().misses()));
         line(prefix + ".dtlb.flushes",
              double(core.mmu().tlb().flushes()));
+        line(prefix + ".dtlb.flushRequests",
+             double(core.mmu().tlb().flushRequests()));
+        line(prefix + ".dtlb.invalidations",
+             double(core.mmu().tlb().invalidations()));
         if (core.mmu().hasStlb()) {
             line(prefix + ".stlb.hits", double(core.mmu().stlbHits()));
         }

@@ -66,10 +66,16 @@ TageBp::TageBp(std::size_t entries)
 std::uint64_t
 TageBp::foldedHistory(int bits) const
 {
-    // Fold the newest `bits` of history into 16 bits.
+    // Fold the newest `bits` of history into 16 bits. The history
+    // register holds 64 bits, so for the 108-bit table the fold
+    // offsets wrap modulo 64 (made explicit here: a plain shift by
+    // >= 64 is undefined behaviour). The wrapped offsets make pairs
+    // of low windows cancel, leaving the far window dominant — the
+    // folding function the timing calibration was fitted against, so
+    // it is kept bit-for-bit.
     std::uint64_t h = 0;
     for (int i = 0; i < bits; i += 16)
-        h ^= (_history >> i) & 0xffff;
+        h ^= (_history >> (i & 63)) & 0xffff;
     // Mask to the requested length when shorter than 16.
     if (bits < 16)
         h &= (1ULL << bits) - 1;

@@ -143,7 +143,8 @@ sponge256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
 
     std::uint8_t last[rate];
     std::memset(last, 0, sizeof(last));
-    std::memcpy(last, data, len);
+    if (len > 0) // empty message: data may be null
+        std::memcpy(last, data, len);
     last[len] ^= 0x06;
     last[rate - 1] ^= 0x80;
     absorb_block(last);

@@ -1,6 +1,7 @@
 #include "emcall/emcall.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -26,11 +27,37 @@ EmCall::invoke(PrimitiveOp op, PrivMode mode,
     InvokeResult result;
     result.latency = cyclesToTicks(_p.gateEntryCycles);
 
+    // The gate owns the round trip, so it owns the trace span: one
+    // "EMCALL <prim>" span covers gate entry -> mailbox enqueue ->
+    // doorbell/EMS service -> response poll -> gate exit, with the
+    // mailbox and EMS events nesting inside it on the timeline.
+    auto &trace = TraceSink::global();
+    const bool tracing = trace.on(TraceCategory::EmCall);
+    const Tick t0 = trace.now();
+    const std::string span_name =
+        tracing ? std::string("EMCALL ") + primitiveName(op)
+                : std::string();
+    if (tracing)
+        trace.begin(TraceCategory::EmCall, span_name, t0);
+
+    auto close_span = [&](bool accepted) {
+        if (tracing) {
+            trace.end(TraceCategory::EmCall, span_name,
+                      t0 + result.latency);
+            trace.arg("accepted", accepted ? 1.0 : 0.0);
+        }
+        // Keep the timeline moving even when only other categories
+        // are recording, so their events stay ordered.
+        if (trace.enabled())
+            trace.advanceTo(t0 + result.latency);
+    };
+
     // Protection 1: cross-privilege requests are blocked at the gate.
     if (mode != requiredPrivilege(op) && mode != PrivMode::Machine) {
         ++_blockedPriv;
         result.accepted = false;
         result.response.status = PrimStatus::PermissionDenied;
+        close_span(false);
         return result;
     }
 
@@ -49,9 +76,15 @@ EmCall::invoke(PrimitiveOp op, PrivMode mode,
         result.latency += _rng.below(_p.pollJitterMax);
 
     result.latency += _mailbox->transferLatency();
+    // Park the timeline at the enqueue point so the mailbox/EMS
+    // events emitted inside pushRequest land at the right offset
+    // within this span.
+    if (trace.enabled())
+        trace.advanceTo(t0 + result.latency);
     if (!_mailbox->pushRequest(req)) {
         result.accepted = false;
         result.response.status = PrimStatus::Busy;
+        close_span(false);
         return result;
     }
     ++_issued;
@@ -92,6 +125,7 @@ EmCall::invoke(PrimitiveOp op, PrivMode mode,
             _hooks.flushTlb();
     }
 
+    close_span(true);
     result.accepted = true;
     result.response = std::move(resp);
     return result;

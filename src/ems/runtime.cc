@@ -4,6 +4,7 @@
 #include "crypto/sha256.hh"
 #include "crypto/x25519.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -52,6 +53,9 @@ EmsRuntime::connectMailbox()
 void
 EmsRuntime::drain()
 {
+    HT_TRACE_INSTANT1(TraceCategory::Ems, "ems.drain",
+                      TraceSink::global().now(), "depth",
+                      _port->mailbox().requestDepth());
     PrimitiveRequest req;
     while (_port->mailbox().popRequest(req)) {
         PrimitiveResponse resp = handle(req);
@@ -228,6 +232,28 @@ EmsRuntime::scrubAndReturn(const std::vector<Addr> &ppns, Tick &service)
 
 PrimitiveResponse
 EmsRuntime::handle(const PrimitiveRequest &req)
+{
+    auto &trace = TraceSink::global();
+    if (!trace.on(TraceCategory::Ems))
+        return handleImpl(req);
+
+    // One span per primitive: [now, now + modelled service time].
+    // The end timestamp is only known after the handler ran, which
+    // is fine — Chrome/Perfetto order by ts, not emission order.
+    const Tick ts = trace.now();
+    const std::string name =
+        std::string("EMS ") + primitiveName(req.op);
+    trace.begin(TraceCategory::Ems, name, ts);
+    trace.arg("reqId", static_cast<double>(req.reqId));
+    PrimitiveResponse resp = handleImpl(req);
+    trace.end(TraceCategory::Ems, name, ts + resp.completedAt);
+    trace.arg("status",
+              static_cast<double>(static_cast<unsigned>(resp.status)));
+    return resp;
+}
+
+PrimitiveResponse
+EmsRuntime::handleImpl(const PrimitiveRequest &req)
 {
     if (!_booted) {
         PrimitiveResponse resp;

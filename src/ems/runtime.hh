@@ -90,7 +90,10 @@ class EmsRuntime
     /** Service every pending mailbox request. */
     void drain();
 
-    /** Dispatch one request (also used directly by tests). */
+    /**
+     * Dispatch one request (also used directly by tests). Emits one
+     * "EMS <prim>" trace span covering the modelled service time.
+     */
     PrimitiveResponse handle(const PrimitiveRequest &req);
 
     // ---- introspection (tests, benches, EmCall hook wiring) ----
@@ -127,6 +130,9 @@ class EmsRuntime
         const PrimitiveRequest &, Tick &);
 
     PrimitiveResponse reject(PrimStatus status);
+
+    /** handle() minus the tracing wrapper. */
+    PrimitiveResponse handleImpl(const PrimitiveRequest &req);
 
     EnclaveControl *liveEnclave(EnclaveId id);
     KeyId assignKeyId(const Bytes &key, Tick &service);

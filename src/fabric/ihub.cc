@@ -1,6 +1,7 @@
 #include "fabric/ihub.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -15,13 +16,29 @@ IHub::IHub(PhysicalMemory *cs_mem, PhysicalMemory *ems_mem,
 }
 
 bool
-IHub::csRead(Addr addr, std::uint8_t *data, Addr len)
+IHub::csAccessAllowed(Addr addr, Addr len)
 {
-    if (_emsMem->containsRange(addr, len) ||
+    // Reject any range that touches EMS private memory at all — a
+    // boundary-straddling access must die here explicitly, not
+    // incidentally via the CS containment check below — and any
+    // range not fully inside CS memory.
+    if (_emsMem->overlapsRange(addr, len) ||
         !_csMem->containsRange(addr, len)) {
         ++_blockedCs;
+        HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.csBlocked",
+                          TraceSink::global().now(), "addr", addr);
         return false;
     }
+    return true;
+}
+
+bool
+IHub::csRead(Addr addr, std::uint8_t *data, Addr len)
+{
+    if (!csAccessAllowed(addr, len))
+        return false;
+    HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.csRead",
+                      TraceSink::global().now(), "len", len);
     _csMem->read(addr, data, len);
     return true;
 }
@@ -29,11 +46,10 @@ IHub::csRead(Addr addr, std::uint8_t *data, Addr len)
 bool
 IHub::csWrite(Addr addr, const std::uint8_t *data, Addr len)
 {
-    if (_emsMem->containsRange(addr, len) ||
-        !_csMem->containsRange(addr, len)) {
-        ++_blockedCs;
+    if (!csAccessAllowed(addr, len))
         return false;
-    }
+    HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.csWrite",
+                      TraceSink::global().now(), "len", len);
     _csMem->write(addr, data, len);
     return true;
 }
@@ -57,18 +73,24 @@ IHub::dmaAccess(std::uint32_t device, Addr addr, Addr len, bool write)
 Bytes
 EmsPort::readCs(Addr addr, Addr len) const
 {
+    HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.emsRead",
+                      TraceSink::global().now(), "len", len);
     return _hub->_csMem->readBytes(addr, len);
 }
 
 void
 EmsPort::writeCs(Addr addr, const Bytes &data)
 {
+    HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.emsWrite",
+                      TraceSink::global().now(), "len", data.size());
     _hub->_csMem->writeBytes(addr, data);
 }
 
 void
 EmsPort::zeroCs(Addr addr, Addr len)
 {
+    HT_TRACE_INSTANT1(TraceCategory::IHub, "ihub.emsZero",
+                      TraceSink::global().now(), "len", len);
     _hub->_csMem->zero(addr, len);
 }
 

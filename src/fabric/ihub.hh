@@ -99,6 +99,9 @@ class IHub
   private:
     friend class EmsPort;
 
+    /** Gate check shared by csRead/csWrite; counts blocked probes. */
+    bool csAccessAllowed(Addr addr, Addr len);
+
     PhysicalMemory *_csMem;
     PhysicalMemory *_emsMem;
     EnclaveBitmap *_bitmap;

@@ -1,6 +1,7 @@
 #include "fabric/mailbox.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -15,11 +16,18 @@ Mailbox::pushRequest(const PrimitiveRequest &req)
 {
     if (_requests.size() >= _capacity) {
         ++_rejected;
+        HT_TRACE_INSTANT1(TraceCategory::Mailbox, "mailbox.reject",
+                          TraceSink::global().now(), "reqId", req.reqId);
         return false;
     }
     _requests.push_back(req);
-    if (_doorbell)
+    HT_TRACE_INSTANT1(TraceCategory::Mailbox, "mailbox.push",
+                      TraceSink::global().now(), "reqId", req.reqId);
+    if (_doorbell) {
+        HT_TRACE_INSTANT(TraceCategory::Mailbox, "mailbox.doorbell",
+                         TraceSink::global().now());
         _doorbell();
+    }
     return true;
 }
 
@@ -30,6 +38,8 @@ Mailbox::popRequest(PrimitiveRequest &req)
         return false;
     req = _requests.front();
     _requests.pop_front();
+    HT_TRACE_INSTANT1(TraceCategory::Mailbox, "mailbox.pop",
+                      TraceSink::global().now(), "reqId", req.reqId);
     return true;
 }
 
@@ -41,6 +51,8 @@ Mailbox::pushResponse(const PrimitiveResponse &resp)
     panicIf(_responses.count(resp.reqId) != 0,
             "duplicate response for request ", resp.reqId);
     _responses.emplace(resp.reqId, resp);
+    HT_TRACE_INSTANT1(TraceCategory::Mailbox, "mailbox.response",
+                      TraceSink::global().now(), "reqId", resp.reqId);
     return true;
 }
 
@@ -52,6 +64,8 @@ Mailbox::pollResponse(std::uint64_t req_id, PrimitiveResponse &resp)
         return false;
     resp = it->second;
     _responses.erase(it);
+    HT_TRACE_INSTANT1(TraceCategory::Mailbox, "mailbox.poll",
+                      TraceSink::global().now(), "reqId", req_id);
     return true;
 }
 

@@ -1,6 +1,7 @@
 #include "mem/bitmap.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -67,6 +68,9 @@ EnclaveBitmap::setEnclavePage(Addr ppn, bool enclave)
     }
     _mem->write(addr, &byte, 1);
     ++_updates;
+    HT_TRACE_INSTANT1(TraceCategory::Bitmap,
+                      enclave ? "bitmap.set" : "bitmap.clear",
+                      TraceSink::global().now(), "ppn", ppn);
     return true;
 }
 

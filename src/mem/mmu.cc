@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -72,6 +73,8 @@ Mmu::translate(Addr va, bool write, bool execute)
     }
 
     panicIf(_pt == nullptr, "translation without an active page table");
+    HT_TRACE_INSTANT1(TraceCategory::Mmu, "mmu.tlbMiss",
+                      TraceSink::global().now(), "vpn", pageNumber(va));
     WalkResult walk = _pt->walk(va);
     res.ptwLevels = walk.levels;
     // Each PTE fetch goes through the cache hierarchy. Page-table
@@ -109,6 +112,8 @@ Mmu::translate(Addr va, bool write, bool execute)
         // "one additional bitmap retrieve operation".
         ++_bitmapRetrievals;
         checked = true;
+        HT_TRACE_INSTANT1(TraceCategory::Mmu, "mmu.bitmapCheck",
+                          TraceSink::global().now(), "pa", walk.pa);
         Addr ppn = pageNumber(walk.pa);
         Addr bit_byte = _bitmap->byteAddrFor(ppn);
         if (_hierarchy) {
@@ -118,6 +123,9 @@ Mmu::translate(Addr va, bool write, bool execute)
         }
         if (_bitmap->isEnclavePage(ppn)) {
             ++_bitmapViolations;
+            HT_TRACE_INSTANT1(TraceCategory::Mmu,
+                              "mmu.bitmapViolation",
+                              TraceSink::global().now(), "pa", walk.pa);
             res.latency = upper_latency + leaf_latency + bitmap_latency;
             res.fault = MemFault::BitmapViolation;
             return res;

@@ -37,6 +37,24 @@ class PhysicalMemory
         return contains(a) && len <= _base + _size - a;
     }
 
+    /**
+     * Does [a, a+len) intersect this memory at all? Unlike
+     * containsRange this also catches ranges that merely straddle a
+     * boundary — the case the iHub must reject explicitly rather
+     * than rely on the range failing containment elsewhere. A range
+     * that wraps the address space is treated as reaching the top.
+     */
+    bool
+    overlapsRange(Addr a, Addr len) const
+    {
+        if (len == 0)
+            return false;
+        Addr end = a + len;
+        if (end < a)
+            end = ~Addr(0); // wrapped: clamp to the top of the space
+        return a < _base + _size && end > _base;
+    }
+
     /** Byte access; panics when out of range. */
     void write(Addr addr, const std::uint8_t *data, Addr len);
     void read(Addr addr, std::uint8_t *data, Addr len) const;

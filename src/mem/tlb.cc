@@ -1,6 +1,7 @@
 #include "mem/tlb.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hypertee
 {
@@ -69,18 +70,34 @@ Tlb::insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
 void
 Tlb::flushAll()
 {
-    for (auto &e : _entries)
+    ++_flushRequests;
+    std::uint64_t killed = 0;
+    for (auto &e : _entries) {
+        if (e.valid)
+            ++killed;
         e.valid = false;
+    }
+    _invalidations += killed;
+    // A full flush is one real flush operation even on an empty TLB:
+    // the hardware walks every set regardless.
     ++_flushes;
+    HT_TRACE_INSTANT1(TraceCategory::Tlb, "tlb.flushAll",
+                      TraceSink::global().now(), "invalidated", killed);
 }
 
 void
 Tlb::flushPage(Addr va)
 {
+    ++_flushRequests;
     TlbEntry *e = findEntry(pageNumber(va));
-    if (e)
-        e->valid = false;
+    if (!e)
+        return; // no matching entry: nothing was flushed
+    e->valid = false;
+    ++_invalidations;
     ++_flushes;
+    HT_TRACE_INSTANT1(TraceCategory::Tlb, "tlb.flushPage",
+                      TraceSink::global().now(), "vpn",
+                      pageNumber(va));
 }
 
 } // namespace hypertee

@@ -53,7 +53,16 @@ class Tlb
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+    /**
+     * Flush operations that invalidated at least one entry. A
+     * flushPage() that found nothing to kill does NOT count here —
+     * the Figure 11 overhead attribution depends on that distinction.
+     */
     std::uint64_t flushes() const { return _flushes; }
+    /** Every flushAll()/flushPage() call, matched or not. */
+    std::uint64_t flushRequests() const { return _flushRequests; }
+    /** Valid entries actually invalidated across all flushes. */
+    std::uint64_t invalidations() const { return _invalidations; }
 
     double
     missRate() const
@@ -75,6 +84,8 @@ class Tlb
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     std::uint64_t _flushes = 0;
+    std::uint64_t _flushRequests = 0;
+    std::uint64_t _invalidations = 0;
 };
 
 } // namespace hypertee

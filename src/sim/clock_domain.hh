@@ -19,7 +19,8 @@ class ClockDomain
   public:
     /** @param freq_hz domain frequency; must divide 1 THz reasonably. */
     explicit ClockDomain(std::uint64_t freq_hz)
-        : _freqHz(freq_hz), _period(ticksPerSecond / freq_hz)
+        : _freqHz(freq_hz),
+          _period(freq_hz ? ticksPerSecond / freq_hz : 0)
     {
         fatalIf(freq_hz == 0, "clock domain frequency must be non-zero");
         fatalIf(freq_hz > ticksPerSecond,

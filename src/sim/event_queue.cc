@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "sim/trace.hh"
+
 namespace hypertee
 {
 
@@ -51,6 +53,8 @@ EventQueue::step()
         ev->_scheduled = false;
         --_live;
         ++_fired;
+        HT_TRACE_INSTANT1(TraceCategory::Queue, ev->name(), rec.when,
+                          "fired", _fired);
         ev->_callback();
         return true;
     }

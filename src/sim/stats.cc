@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 namespace hypertee
@@ -39,7 +40,13 @@ Distribution::quantile(double q) const
     if (q == 0.0)
         return _samples.front();
     const std::size_t n = _samples.size();
-    std::size_t rank = static_cast<std::size_t>(q * n + 0.5);
+    // Nearest-rank definition: rank = ceil(q*n), clamped to [1, n].
+    // The previous q*n + 0.5 rounding under-reported upper quantiles
+    // at small n (e.g. p90 of 7 samples picked rank 6, not ceil(6.3)=7).
+    // The epsilon absorbs representation error in q*n (0.29*100 is
+    // 29.000000000000004 in binary) without shifting exact products.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n) - 1e-9));
     if (rank == 0)
         rank = 1;
     if (rank > n)

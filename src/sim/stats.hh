@@ -23,6 +23,8 @@
 namespace hypertee
 {
 
+class JsonWriter;
+
 /** A monotonically growing counter. */
 class Scalar
 {
@@ -124,6 +126,16 @@ class StatGroup
 
     /** Render "group.stat value" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Structured export (implemented in stats_export.cc): one JSON
+     * object with "scalars", "averages" and "distributions" members;
+     * distributions carry count/min/mean/p50/p90/p99/max.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** Emit the group's object into an already-open writer. */
+    void writeJsonBody(JsonWriter &w) const;
 
     const std::string &name() const { return _name; }
 

@@ -1,0 +1,375 @@
+#include "sim/stats_export.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+// ------------------------------------------------------------ JsonWriter
+
+void
+JsonWriter::separate()
+{
+    if (_pendingKey) {
+        _pendingKey = false;
+        return; // the key already emitted the comma and the colon
+    }
+    if (!_hasMember.empty()) {
+        if (_hasMember.back())
+            _os << ',';
+        _hasMember.back() = true;
+    }
+}
+
+void
+JsonWriter::writeString(const std::string &s)
+{
+    _os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': _os << "\\\""; break;
+          case '\\': _os << "\\\\"; break;
+          case '\n': _os << "\\n"; break;
+          case '\t': _os << "\\t"; break;
+          case '\r': _os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                _os << buf;
+            } else {
+                _os << c;
+            }
+        }
+    }
+    _os << '"';
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    _os << '{';
+    _hasMember.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    _hasMember.pop_back();
+    _os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    _os << '[';
+    _hasMember.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    _hasMember.pop_back();
+    _os << ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    writeString(name);
+    _os << ':';
+    _pendingKey = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    // Integral doubles print as integers; everything else with enough
+    // digits to round-trip. NaN/Inf are not valid JSON — clamp to 0
+    // rather than emit an unparseable file.
+    if (v != v || v > 1.8e308 || v < -1.8e308) {
+        _os << 0;
+        return;
+    }
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        _os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    _os << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    _os << v;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    writeString(v);
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    _os << (v ? "true" : "false");
+}
+
+// --------------------------------------------------- StatGroup::dumpJson
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    writeJsonBody(w);
+    os << '\n';
+}
+
+void
+StatGroup::writeJsonBody(JsonWriter &w) const
+{
+    w.beginObject();
+    w.member("name", _name);
+
+    w.key("scalars");
+    w.beginObject();
+    for (const auto &[stat_name, s] : _scalars)
+        w.member(stat_name, s->value());
+    w.endObject();
+
+    w.key("averages");
+    w.beginObject();
+    for (const auto &[stat_name, a] : _averages) {
+        w.key(stat_name);
+        w.beginObject();
+        w.member("count", a->count());
+        w.member("sum", a->sum());
+        w.member("mean", a->mean());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("distributions");
+    w.beginObject();
+    for (const auto &[stat_name, d] : _distributions) {
+        w.key(stat_name);
+        w.beginObject();
+        w.member("count", d->count());
+        if (d->count() > 0) {
+            w.member("min", d->min());
+            w.member("mean", d->mean());
+            w.member("p50", d->quantile(0.50));
+            w.member("p90", d->quantile(0.90));
+            w.member("p99", d->quantile(0.99));
+            w.member("max", d->max());
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+dumpStatsJson(std::ostream &os,
+              const std::vector<const StatGroup *> &groups)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    for (const StatGroup *g : groups) {
+        if (!g)
+            continue;
+        w.key(g->name());
+        g->writeJsonBody(w);
+    }
+    w.endObject();
+    os << '\n';
+}
+
+// ------------------------------------------------------- jsonLooksValid
+
+namespace
+{
+
+struct JsonChecker
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return false;
+                char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text[pos])))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        std::size_t digits = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == digits)
+            return false;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            std::size_t frac = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (pos == frac)
+                return false;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            std::size_t exp = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (pos == exp)
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            skipWs();
+            if (consume('}'))
+                return true;
+            do {
+                skipWs();
+                if (!string() || !consume(':') || !value())
+                    return false;
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos;
+            skipWs();
+            if (consume(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+} // namespace
+
+bool
+jsonLooksValid(const std::string &text)
+{
+    JsonChecker checker{text};
+    if (!checker.value())
+        return false;
+    checker.skipWs();
+    return checker.pos == text.size();
+}
+
+} // namespace hypertee

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structured (JSON) export for the statistics package.
+ *
+ * StatGroup::dumpJson lives here (stats.hh only declares it) together
+ * with the small machinery it needs: a streaming JsonWriter that
+ * handles escaping and comma placement, and a strict-subset JSON
+ * syntax checker used by tests and by the bench harness to verify
+ * that emitted files actually parse before reporting success.
+ */
+
+#ifndef HYPERTEE_SIM_STATS_EXPORT_HH
+#define HYPERTEE_SIM_STATS_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hypertee
+{
+
+class StatGroup;
+
+/**
+ * Minimal streaming JSON writer. Tracks nesting so members are
+ * comma-separated correctly; the caller is responsible for pairing
+ * begin/end calls and for calling key() before each object member.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(const std::string &name);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(bool v);
+
+    /** key(name) + value(v). */
+    template <typename T>
+    void
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void separate();
+    void writeString(const std::string &s);
+
+    std::ostream &_os;
+    /** One entry per open container: has a member been written? */
+    std::vector<bool> _hasMember;
+    bool _pendingKey = false;
+};
+
+/** Render several groups as one JSON object keyed by group name. */
+void dumpStatsJson(std::ostream &os,
+                   const std::vector<const StatGroup *> &groups);
+
+/**
+ * Strict syntax check over a complete JSON document (objects, arrays,
+ * strings, numbers, true/false/null). Returns true when @p text is a
+ * single well-formed value with only trailing whitespace after it.
+ * This is a validator, not a parser — no DOM is built.
+ */
+bool jsonLooksValid(const std::string &text);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_STATS_EXPORT_HH

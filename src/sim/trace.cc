@@ -1,0 +1,236 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace hypertee
+{
+
+namespace
+{
+
+/** JSON string escaping for event names (categories are static). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Shortest round-trippable double; avoids locale surprises. */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::EmCall: return "emcall";
+      case TraceCategory::Mailbox: return "mailbox";
+      case TraceCategory::Ems: return "ems";
+      case TraceCategory::IHub: return "ihub";
+      case TraceCategory::Bitmap: return "bitmap";
+      case TraceCategory::Mmu: return "mmu";
+      case TraceCategory::Tlb: return "tlb";
+      case TraceCategory::Queue: return "queue";
+      case TraceCategory::NumCategories: break;
+    }
+    return "?";
+}
+
+TraceSink &
+TraceSink::global()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+TraceSink::TraceSink()
+{
+    // Low-volume protocol categories default on (they only cost when
+    // the sink itself is enabled); the per-memory-access categories
+    // default off so a trace of a billion-instruction run stays sane.
+    for (auto &on : _catEnabled)
+        on = true;
+    setCategoryEnabled(TraceCategory::Mmu, false);
+    setCategoryEnabled(TraceCategory::Tlb, false);
+    setCategoryEnabled(TraceCategory::Queue, false);
+}
+
+void
+TraceSink::setCategoryEnabled(TraceCategory cat, bool on)
+{
+    if (cat < TraceCategory::NumCategories)
+        _catEnabled[static_cast<unsigned>(cat)] = on;
+}
+
+bool
+TraceSink::categoryEnabled(TraceCategory cat) const
+{
+    return cat < TraceCategory::NumCategories &&
+           _catEnabled[static_cast<unsigned>(cat)];
+}
+
+bool
+TraceSink::enableCategories(const std::string &list)
+{
+    bool all_known = true;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            for (auto &on : _catEnabled)
+                on = true;
+            continue;
+        }
+        bool found = false;
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(TraceCategory::NumCategories);
+             ++c) {
+            if (name == traceCategoryName(TraceCategory(c))) {
+                _catEnabled[c] = true;
+                found = true;
+                break;
+            }
+        }
+        all_known = all_known && found;
+    }
+    return all_known;
+}
+
+bool
+TraceSink::record(TraceCategory cat, char phase, std::string &&name,
+                  Tick ts)
+{
+    // The macros pre-check on(), but direct callers get the same
+    // gating: a disabled sink (or category) records nothing.
+    if (!on(cat)) {
+        _lastDropped = true;
+        return false;
+    }
+    if (_events.size() >= _capacity) {
+        ++_dropped;
+        _lastDropped = true;
+        return false;
+    }
+    _events.push_back(TraceEvent{phase, cat, std::move(name), ts, {}});
+    _lastDropped = false;
+    return true;
+}
+
+void
+TraceSink::begin(TraceCategory cat, std::string name, Tick ts)
+{
+    record(cat, 'B', std::move(name), ts);
+}
+
+void
+TraceSink::end(TraceCategory cat, std::string name, Tick ts)
+{
+    record(cat, 'E', std::move(name), ts);
+}
+
+void
+TraceSink::instant(TraceCategory cat, std::string name, Tick ts)
+{
+    record(cat, 'i', std::move(name), ts);
+}
+
+void
+TraceSink::arg(const char *key, double value)
+{
+    if (!_lastDropped && !_events.empty())
+        _events.back().args.emplace_back(key, value);
+}
+
+void
+TraceSink::clear()
+{
+    _events.clear();
+    _dropped = 0;
+    _lastDropped = false;
+    _timeline = 0;
+}
+
+void
+TraceSink::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : _events) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n{\"name\":";
+        writeJsonString(os, ev.name);
+        os << ",\"cat\":\"" << traceCategoryName(ev.cat) << '"';
+        os << ",\"ph\":\"" << ev.phase << '"';
+        // Chrome expects microseconds; ticks are picoseconds.
+        os << ",\"ts\":";
+        writeJsonNumber(os, static_cast<double>(ev.ts) / 1e6);
+        os << ",\"pid\":0,\"tid\":0";
+        if (!ev.args.empty()) {
+            os << ",\"args\":{";
+            bool first_arg = true;
+            for (const auto &[key, value] : ev.args) {
+                if (!first_arg)
+                    os << ',';
+                first_arg = false;
+                writeJsonString(os, key);
+                os << ':';
+                writeJsonNumber(os, value);
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceSink::writeJsonFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f);
+    f.flush();
+    return f.good();
+}
+
+} // namespace hypertee

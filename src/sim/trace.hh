@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Primitive-level trace events (Chrome trace_event format).
+ *
+ * Every headline number in the paper is a measurement of where cycles
+ * go inside an enclave-management round trip; this sink records
+ * begin/end/instant events with tick timestamps so a single bench run
+ * can be opened in Perfetto / chrome://tracing and show the full life
+ * of every EMCall primitive: gate entry, mailbox enqueue, doorbell,
+ * EMS handler span, response poll, gate exit.
+ *
+ * Design constraints:
+ *  - zero cost when disabled: instrumentation sites go through the
+ *    HT_TRACE_* macros, which compile out entirely under
+ *    -DHYPERTEE_TRACE_DISABLED and otherwise reduce to two boolean
+ *    loads when the sink (or the event's category) is off;
+ *  - the functional model has no global clock, so the sink keeps a
+ *    monotonic timeline cursor that the EMCall gate (the component
+ *    that owns round-trip latency) advances; instrumented components
+ *    below it stamp events at the current cursor.
+ */
+
+#ifndef HYPERTEE_SIM_TRACE_HH
+#define HYPERTEE_SIM_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** Event categories; each can be enabled/disabled independently. */
+enum class TraceCategory : unsigned
+{
+    EmCall = 0, ///< primitive round-trip spans (gate side)
+    Mailbox,    ///< push/pop/doorbell/response traffic
+    Ems,        ///< EMS runtime handler spans, one per primitive
+    IHub,       ///< CS-side gateway accesses and blocks
+    Bitmap,     ///< enclave-bitmap bit flips
+    Mmu,        ///< TLB misses, PTW, bitmap checks (high volume)
+    Tlb,        ///< flushes and invalidations (high volume)
+    Queue,      ///< event-queue firings (high volume)
+    NumCategories,
+};
+
+/** Lower-case category name, e.g. "mailbox". */
+const char *traceCategoryName(TraceCategory cat);
+
+/** One recorded event; `phase` follows the Chrome convention. */
+struct TraceEvent
+{
+    char phase; ///< 'B' begin, 'E' end, 'i' instant
+    TraceCategory cat;
+    std::string name;
+    Tick ts;
+    /** Optional numeric arguments rendered into the "args" object. */
+    std::vector<std::pair<std::string, double>> args;
+};
+
+class TraceSink
+{
+  public:
+    /** The process-wide sink every HT_TRACE macro records into. */
+    static TraceSink &global();
+
+    TraceSink();
+
+    /** Master switch; off by default (benches enable it on --trace). */
+    void setEnabled(bool on) { _enabled = on; }
+    bool enabled() const { return _enabled; }
+
+    void setCategoryEnabled(TraceCategory cat, bool on);
+    bool categoryEnabled(TraceCategory cat) const;
+
+    /**
+     * Enable categories from a comma-separated list of names
+     * ("mailbox,ems"); "all" enables everything, including the
+     * high-volume mmu/tlb/queue categories that default to off.
+     * @return false when a name was not recognized.
+     */
+    bool enableCategories(const std::string &list);
+
+    /** Fast gate the macros use: sink on AND category on. */
+    bool
+    on(TraceCategory cat) const
+    {
+        return _enabled && _catEnabled[static_cast<unsigned>(cat)];
+    }
+
+    // ---- timeline cursor ----
+    /** Current position on the synthetic timeline, in ticks. */
+    Tick now() const { return _timeline; }
+    /** Move the cursor forward; requests to move back are ignored. */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > _timeline)
+            _timeline = t;
+    }
+
+    // ---- recording ----
+    void begin(TraceCategory cat, std::string name, Tick ts);
+    void end(TraceCategory cat, std::string name, Tick ts);
+    void instant(TraceCategory cat, std::string name, Tick ts);
+    /** Attach a numeric argument to the most recent event. */
+    void arg(const char *key, double value);
+
+    /**
+     * Drop-oldest-nothing cap: once `capacity` events are recorded,
+     * further events are counted in dropped() instead of stored, so a
+     * runaway workload cannot eat the host's memory.
+     */
+    void setCapacity(std::size_t capacity) { _capacity = capacity; }
+    std::uint64_t dropped() const { return _dropped; }
+
+    std::size_t eventCount() const { return _events.size(); }
+    const std::vector<TraceEvent> &events() const { return _events; }
+
+    /** Forget all events, drops, and the timeline cursor. */
+    void clear();
+
+    /** Emit the Chrome trace_event JSON ("traceEvents" array form). */
+    void writeJson(std::ostream &os) const;
+
+    /** Convenience: writeJson to @p path; false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    bool record(TraceCategory cat, char phase, std::string &&name,
+                Tick ts);
+
+    bool _enabled = false;
+    bool _catEnabled[static_cast<unsigned>(TraceCategory::NumCategories)];
+    std::vector<TraceEvent> _events;
+    std::size_t _capacity = 1'000'000;
+    std::uint64_t _dropped = 0;
+    /** True when the latest record() was dropped at capacity, so a
+     *  following arg() does not decorate an unrelated event. */
+    bool _lastDropped = false;
+    Tick _timeline = 0;
+};
+
+} // namespace hypertee
+
+// The macros evaluate their arguments only when the category is live,
+// so instrumentation can build names without paying for them in the
+// (default) disabled configuration.
+#ifndef HYPERTEE_TRACE_DISABLED
+
+#define HT_TRACE_BEGIN(cat, name, ts)                                    \
+    do {                                                                 \
+        auto &ht_sink_ = ::hypertee::TraceSink::global();                \
+        if (ht_sink_.on(cat))                                            \
+            ht_sink_.begin(cat, name, ts);                               \
+    } while (0)
+
+#define HT_TRACE_END(cat, name, ts)                                      \
+    do {                                                                 \
+        auto &ht_sink_ = ::hypertee::TraceSink::global();                \
+        if (ht_sink_.on(cat))                                            \
+            ht_sink_.end(cat, name, ts);                                 \
+    } while (0)
+
+#define HT_TRACE_INSTANT(cat, name, ts)                                  \
+    do {                                                                 \
+        auto &ht_sink_ = ::hypertee::TraceSink::global();                \
+        if (ht_sink_.on(cat))                                            \
+            ht_sink_.instant(cat, name, ts);                             \
+    } while (0)
+
+/** Instant with one numeric argument. */
+#define HT_TRACE_INSTANT1(cat, name, ts, key, value)                     \
+    do {                                                                 \
+        auto &ht_sink_ = ::hypertee::TraceSink::global();                \
+        if (ht_sink_.on(cat)) {                                          \
+            ht_sink_.instant(cat, name, ts);                             \
+            ht_sink_.arg(key, static_cast<double>(value));               \
+        }                                                                \
+    } while (0)
+
+#else
+
+#define HT_TRACE_BEGIN(cat, name, ts) ((void)0)
+#define HT_TRACE_END(cat, name, ts) ((void)0)
+#define HT_TRACE_INSTANT(cat, name, ts) ((void)0)
+#define HT_TRACE_INSTANT1(cat, name, ts, key, value) ((void)0)
+
+#endif // HYPERTEE_TRACE_DISABLED
+
+#endif // HYPERTEE_SIM_TRACE_HH

@@ -44,6 +44,40 @@ TEST_F(IHubTest, CsCannotTouchEmsPrivateMemory)
     EXPECT_EQ(emsMem.readBytes(kEmsBase, 4), Bytes(4, 0));
 }
 
+TEST_F(IHubTest, CsAccessStraddlingOutOfCsIsBlocked)
+{
+    // A burst that starts inside CS memory but runs past its end must
+    // be rejected whole, not partially performed.
+    std::uint8_t buf[16] = {};
+    EXPECT_FALSE(hub.csRead(kCsBase + kCsSize - 8, buf, 16));
+    EXPECT_FALSE(hub.csWrite(kCsBase + kCsSize - 8, buf, 16));
+    EXPECT_EQ(hub.blockedCsAccesses(), 2u);
+}
+
+TEST(IHubAdjacent, StraddleIntoAdjacentEmsMemoryIsBlocked)
+{
+    // Regression (defense in depth): with the EMS region placed
+    // directly after CS memory, a CS burst crossing the boundary
+    // must hit the explicit EMS-overlap check, not rely on the CS
+    // containment test alone.
+    PhysicalMemory cs{kCsBase, kCsSize};
+    PhysicalMemory ems{kCsBase + kCsSize, kEmsSize};
+    EnclaveBitmap bm{&cs, kCsBase};
+    MemoryEncryptionEngine enc{8};
+    IHub hub{&cs, &ems, &bm, &enc};
+
+    std::uint8_t data[32] = {0xa5};
+    // Straddles the CS/EMS boundary.
+    EXPECT_FALSE(hub.csWrite(kCsBase + kCsSize - 16, data, 32));
+    // Starts exactly at the EMS base.
+    EXPECT_FALSE(hub.csWrite(kCsBase + kCsSize, data, 32));
+    std::uint8_t back[32] = {};
+    EXPECT_FALSE(hub.csRead(kCsBase + kCsSize - 1, back, 2));
+    EXPECT_EQ(hub.blockedCsAccesses(), 3u);
+    // Not a single EMS byte changed.
+    EXPECT_EQ(ems.readBytes(kCsBase + kCsSize, 32), Bytes(32, 0));
+}
+
 TEST_F(IHubTest, EmsCanAccessCsMemory)
 {
     EmsPort &port = hub.emsPort();

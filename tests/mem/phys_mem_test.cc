@@ -80,6 +80,28 @@ TEST(PhysicalMemory, ContainsRange)
     EXPECT_FALSE(mem.containsRange(kBase - 1, 1));
 }
 
+TEST(PhysicalMemory, OverlapsRange)
+{
+    PhysicalMemory mem(kBase, kSize);
+    // Fully inside / covering.
+    EXPECT_TRUE(mem.overlapsRange(kBase, kSize));
+    EXPECT_TRUE(mem.overlapsRange(kBase + 100, 1));
+    // Partial overlaps at either edge.
+    EXPECT_TRUE(mem.overlapsRange(kBase - 16, 32));
+    EXPECT_TRUE(mem.overlapsRange(kBase + kSize - 16, 32));
+    // Straddling the whole region.
+    EXPECT_TRUE(mem.overlapsRange(kBase - 16, kSize + 32));
+    // Adjacent but disjoint.
+    EXPECT_FALSE(mem.overlapsRange(kBase - 16, 16));
+    EXPECT_FALSE(mem.overlapsRange(kBase + kSize, 16));
+    // Empty ranges never overlap.
+    EXPECT_FALSE(mem.overlapsRange(kBase, 0));
+    // Address arithmetic that wraps Addr clamps to the top instead
+    // of wrapping back below the region.
+    EXPECT_TRUE(mem.overlapsRange(kBase + 1, ~Addr(0)));
+    EXPECT_FALSE(mem.overlapsRange(~Addr(0) - 8, 64));
+}
+
 TEST(PhysicalMemoryDeath, OutOfRangeAccessPanics)
 {
     PhysicalMemory mem(kBase, kSize);

@@ -65,6 +65,46 @@ TEST(Tlb, FlushPageIsTargeted)
     tlb.flushPage(0x1000);
     EXPECT_EQ(tlb.lookup(0x1000), nullptr);
     EXPECT_NE(tlb.lookup(0x2000), nullptr);
+    EXPECT_EQ(tlb.flushes(), 1u);
+    EXPECT_EQ(tlb.flushRequests(), 1u);
+    EXPECT_EQ(tlb.invalidations(), 1u);
+}
+
+TEST(Tlb, FlushPageMissIsNotCountedAsFlush)
+{
+    // Regression: a flushPage that matches no entry used to bump
+    // flushes(), inflating the Figure 11 flush attribution. It is
+    // now only a flush *request*.
+    Tlb tlb(16, 4);
+    tlb.insert(0x1000, 0x8000'1000, PteRead, 0, false);
+    tlb.flushPage(0x5000);
+    EXPECT_EQ(tlb.flushes(), 0u);
+    EXPECT_EQ(tlb.flushRequests(), 1u);
+    EXPECT_EQ(tlb.invalidations(), 0u);
+    EXPECT_NE(tlb.lookup(0x1000), nullptr) << "entry untouched";
+
+    // A second no-op flush of the same page still counts a request.
+    tlb.flushPage(0x5000);
+    EXPECT_EQ(tlb.flushRequests(), 2u);
+    EXPECT_EQ(tlb.flushes(), 0u);
+}
+
+TEST(Tlb, FlushAllCountsInvalidatedEntries)
+{
+    Tlb tlb(16, 4);
+    for (Addr i = 0; i < 5; ++i)
+        tlb.insert(i * 0x1000, 0x8000'0000 + i * 0x1000, PteRead, 0,
+                   false);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.flushes(), 1u);
+    EXPECT_EQ(tlb.flushRequests(), 1u);
+    EXPECT_EQ(tlb.invalidations(), 5u);
+
+    // flushAll of an empty TLB is still a full hardware walk.
+    tlb.flushAll();
+    EXPECT_EQ(tlb.flushes(), 2u);
+    EXPECT_EQ(tlb.flushRequests(), 2u);
+    EXPECT_EQ(tlb.invalidations(), 5u);
 }
 
 TEST(Tlb, ReinsertUpdatesExistingEntry)

@@ -1,0 +1,113 @@
+/** @file Unit tests for the JSON stats export. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+#include "sim/stats_export.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+TEST(JsonChecker, AcceptsWellFormedJson)
+{
+    EXPECT_TRUE(jsonLooksValid("{}"));
+    EXPECT_TRUE(jsonLooksValid("[1, 2.5, -3e-2, \"s\", true, null]"));
+    EXPECT_TRUE(jsonLooksValid("{\"a\": {\"b\": [\"\\u0041\\n\"]}}"));
+}
+
+TEST(JsonChecker, RejectsMalformedJson)
+{
+    EXPECT_FALSE(jsonLooksValid(""));
+    EXPECT_FALSE(jsonLooksValid("{"));
+    EXPECT_FALSE(jsonLooksValid("{\"a\": 1,}"));
+    EXPECT_FALSE(jsonLooksValid("{\"a\" 1}"));
+    EXPECT_FALSE(jsonLooksValid("[1 2]"));
+    EXPECT_FALSE(jsonLooksValid("{} trailing"));
+    EXPECT_FALSE(jsonLooksValid("nul"));
+}
+
+TEST(StatGroupJson, RoundTripsThroughValidator)
+{
+    StatGroup g("ems");
+    Scalar issued;
+    issued.set(42);
+    Average depth;
+    depth.sample(1);
+    depth.sample(3);
+    Distribution lat;
+    for (int i = 1; i <= 100; ++i)
+        lat.sample(i * 1000.0);
+    g.registerScalar("issued", &issued);
+    g.registerAverage("queue_depth", &depth);
+    g.registerDistribution("latency", &lat);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string json = os.str();
+    ASSERT_TRUE(jsonLooksValid(json)) << json;
+
+    EXPECT_NE(json.find("\"name\""), std::string::npos);
+    EXPECT_NE(json.find("\"ems\""), std::string::npos);
+    EXPECT_NE(json.find("\"issued\""), std::string::npos);
+    EXPECT_NE(json.find("42"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean\""), std::string::npos);
+    // Distribution quantiles: p50 = 50000, p90 = 90000, p99 = 99000.
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("50000"), std::string::npos);
+    EXPECT_NE(json.find("\"p90\""), std::string::npos);
+    EXPECT_NE(json.find("90000"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("99000"), std::string::npos);
+    EXPECT_NE(json.find("\"min\""), std::string::npos);
+    EXPECT_NE(json.find("\"max\""), std::string::npos);
+}
+
+TEST(StatGroupJson, EmptyDistributionOmitsQuantiles)
+{
+    StatGroup g("idle");
+    Distribution d;
+    g.registerDistribution("unused", &d);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string json = os.str();
+    ASSERT_TRUE(jsonLooksValid(json)) << json;
+    EXPECT_NE(json.find("\"count\""), std::string::npos);
+    EXPECT_EQ(json.find("\"p50\""), std::string::npos);
+    EXPECT_EQ(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(StatGroupJson, EmptyGroupIsStillValid)
+{
+    StatGroup g("empty");
+    std::ostringstream os;
+    g.dumpJson(os);
+    EXPECT_TRUE(jsonLooksValid(os.str())) << os.str();
+}
+
+TEST(DumpStatsJson, MultipleGroupsKeyedByName)
+{
+    StatGroup a("alpha"), b("beta");
+    Scalar s1, s2;
+    s1.set(1);
+    s2.set(2);
+    a.registerScalar("x", &s1);
+    b.registerScalar("y", &s2);
+
+    std::ostringstream os;
+    dumpStatsJson(os, {&a, &b});
+    std::string json = os.str();
+    ASSERT_TRUE(jsonLooksValid(json)) << json;
+    EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"beta\""), std::string::npos);
+    EXPECT_NE(json.find("\"x\""), std::string::npos);
+    EXPECT_NE(json.find("\"y\""), std::string::npos);
+}
+
+} // namespace
+} // namespace hypertee

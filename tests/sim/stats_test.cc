@@ -55,6 +55,42 @@ TEST(Distribution, QuantileNearestRank)
     EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
 }
 
+TEST(Distribution, QuantileSingleSample)
+{
+    Distribution d;
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.99), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+}
+
+TEST(Distribution, QuantileEdgeRanks)
+{
+    Distribution d;
+    for (int i = 1; i <= 7; ++i)
+        d.sample(i);
+    // q=0 clamps to the first sample, q=1 must hit the last.
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 7.0);
+    // Nearest-rank p90 of 7 samples: ceil(0.9 * 7) = 7. The old
+    // round-half-up formula picked rank 6 here.
+    EXPECT_DOUBLE_EQ(d.quantile(0.9), 7.0);
+}
+
+TEST(Distribution, QuantileMedianEvenCount)
+{
+    Distribution d;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        d.sample(v);
+    // Nearest-rank median of even n is the lower middle:
+    // ceil(0.5 * 4) = rank 2.
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 20.0);
+    // ceil(0.29 * 100)-style representation error must not push the
+    // rank up: 0.75 * 4 = 3 exactly.
+    EXPECT_DOUBLE_EQ(d.quantile(0.75), 30.0);
+}
+
 TEST(Distribution, FractionAtOrBelow)
 {
     Distribution d;
