@@ -240,4 +240,10 @@ bench-build/CMakeFiles/bench_table6_defense.dir/bench_table6_defense.cc.o: \
  /root/repo/src/ems/attestation.hh /root/repo/src/ems/key_manager.hh \
  /root/repo/src/ems/cost_model.hh /root/repo/src/ems/enclave_control.hh \
  /root/repo/src/crypto/sha256.hh /root/repo/src/ems/memory_pool.hh \
- /root/repo/src/ems/ownership.hh /root/repo/bench/bench_util.hh
+ /root/repo/src/ems/ownership.hh /root/repo/bench/bench_util.hh \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/sim/stats_export.hh \
+ /root/repo/src/sim/trace.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

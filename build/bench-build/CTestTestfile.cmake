@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_observability_smoke "/root/repo/build/bench/bench_table4_primitives" "--smoke" "--trace=/root/repo/build/bench/smoke_trace.json" "--stats-json=/root/repo/build/bench/smoke_stats.json")
+set_tests_properties(bench_observability_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")

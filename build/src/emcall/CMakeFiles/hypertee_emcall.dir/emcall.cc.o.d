@@ -218,4 +218,6 @@ src/emcall/CMakeFiles/hypertee_emcall.dir/emcall.cc.o: \
  /root/repo/src/sim/random.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/trace.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

@@ -227,4 +227,6 @@ src/ems/CMakeFiles/hypertee_ems.dir/runtime.cc.o: \
  /root/repo/src/crypto/aes128.hh /root/repo/src/crypto/x25519.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/trace.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

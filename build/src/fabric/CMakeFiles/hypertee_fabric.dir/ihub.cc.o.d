@@ -217,4 +217,6 @@ src/fabric/CMakeFiles/hypertee_fabric.dir/ihub.cc.o: \
  /root/repo/src/mem/mem_crypto.hh /root/repo/src/crypto/aes128.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/trace.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

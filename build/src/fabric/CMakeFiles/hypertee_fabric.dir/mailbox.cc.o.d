@@ -179,4 +179,6 @@ src/fabric/CMakeFiles/hypertee_fabric.dir/mailbox.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/trace.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

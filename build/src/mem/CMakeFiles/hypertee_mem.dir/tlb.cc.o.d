@@ -176,4 +176,6 @@ src/mem/CMakeFiles/hypertee_mem.dir/tlb.cc.o: /root/repo/src/mem/tlb.cc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/types.hh
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/types.hh \
+ /root/repo/src/sim/trace.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -12,6 +12,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/hypertee_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/hypertee_sim.dir/logging.cc.o.d"
   "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/hypertee_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/hypertee_sim.dir/random.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/hypertee_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/hypertee_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/stats_export.cc" "src/sim/CMakeFiles/hypertee_sim.dir/stats_export.cc.o" "gcc" "src/sim/CMakeFiles/hypertee_sim.dir/stats_export.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/hypertee_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/hypertee_sim.dir/trace.cc.o.d"
   )
 
 # Targets to which this target links.

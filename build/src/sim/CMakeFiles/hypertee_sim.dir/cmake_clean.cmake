@@ -7,6 +7,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/hypertee_sim.dir/random.cc.o.d"
   "CMakeFiles/hypertee_sim.dir/stats.cc.o"
   "CMakeFiles/hypertee_sim.dir/stats.cc.o.d"
+  "CMakeFiles/hypertee_sim.dir/stats_export.cc.o"
+  "CMakeFiles/hypertee_sim.dir/stats_export.cc.o.d"
+  "CMakeFiles/hypertee_sim.dir/trace.cc.o"
+  "CMakeFiles/hypertee_sim.dir/trace.cc.o.d"
   "libhypertee_sim.a"
   "libhypertee_sim.pdb"
 )

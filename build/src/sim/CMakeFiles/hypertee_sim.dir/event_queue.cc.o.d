@@ -175,4 +175,6 @@ src/sim/CMakeFiles/hypertee_sim.dir/event_queue.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/types.hh
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/types.hh \
+ /root/repo/src/sim/trace.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -11,7 +11,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/clock_domain_test.cc" "tests/CMakeFiles/test_sim.dir/sim/clock_domain_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/clock_domain_test.cc.o.d"
   "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
   "/root/repo/tests/sim/random_test.cc" "tests/CMakeFiles/test_sim.dir/sim/random_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/random_test.cc.o.d"
+  "/root/repo/tests/sim/stats_export_test.cc" "tests/CMakeFiles/test_sim.dir/sim/stats_export_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_export_test.cc.o.d"
   "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/sim/trace_test.cc" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,8 +5,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/random_test.cc.o"
   "CMakeFiles/test_sim.dir/sim/random_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/stats_export_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/stats_export_test.cc.o.d"
   "CMakeFiles/test_sim.dir/sim/stats_test.cc.o"
   "CMakeFiles/test_sim.dir/sim/stats_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cc.o.d"
   "test_sim"
   "test_sim.pdb"
   "test_sim[1]_tests.cmake"
