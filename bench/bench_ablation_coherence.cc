@@ -73,8 +73,9 @@ main()
             cost.perPageMapTime(r.pages);
         Tick flush = linesTouched(r.op, r.pages) * flush_per_line;
         printRow({primitiveName(r.op), std::to_string(r.pages),
-                  num(service / 1e6, 1), num(flush / 1e6, 2),
-                  pct(double(flush) / (service + flush), 1)},
+                  num(double(service) / 1e6, 1),
+                  num(double(flush) / 1e6, 2),
+                  pct(double(flush) / double(service + flush), 1)},
                  14);
     }
     std::printf("\nexpected: the explicit flush stays a small share "

@@ -62,7 +62,7 @@ runWithPool(bool warm)
     }
     victim.exit();
 
-    return {out.accuracy(secret), total / 1e6 / reps,
+    return {out.accuracy(secret), double(total) / 1e6 / reps,
             sys.osPoolGrants() - grants_before};
 }
 

@@ -38,15 +38,18 @@ main()
         WorkloadRunner bitmap_runner(bitmap_sys);
         RunStats bitmap = bitmap_runner.runHost(profile);
 
-        double overhead = double(bitmap.ticks) / native.ticks - 1.0;
+        double overhead =
+            double(bitmap.ticks) / double(native.ticks) - 1.0;
         double miss_rate =
-            double(bitmap.tlbMisses) / (bitmap.loads + bitmap.stores);
+            double(bitmap.tlbMisses) /
+            double(bitmap.loads + bitmap.stores);
         sum += overhead;
         printRow({profile.name, pct(miss_rate, 2),
-                  num(native.ticks / 1e9, 2),
-                  num(bitmap.ticks / 1e9, 2), pct(overhead, 1)});
+                  num(double(native.ticks) / 1e9, 2),
+                  num(double(bitmap.ticks) / 1e9, 2), pct(overhead, 1)});
     }
-    printRow({"Average", "", "", "", pct(sum / suite.size(), 1)});
+    printRow({"Average", "", "", "",
+              pct(sum / double(suite.size()), 1)});
     std::printf("\npaper: 1.9%% average, xalancbmk_r 4.6%% (TLB miss "
                 "rate 0.8%% vs <0.2%% elsewhere)\n");
     return 0;

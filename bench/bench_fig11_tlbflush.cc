@@ -49,7 +49,8 @@ runWithSwitchRate(HyperTeeSystem &sys, const WorkloadProfile &profile,
     const std::uint64_t probe = 500'000;
     RunStats head = core.run(stream, probe);
     total.add(head);
-    double ticks_per_inst = double(head.ticks) / head.instructions;
+    double ticks_per_inst =
+        double(head.ticks) / double(head.instructions);
     double insts_per_second = ticksPerSecond / ticks_per_inst;
     std::uint64_t quantum =
         static_cast<std::uint64_t>(insts_per_second / hz);
@@ -94,7 +95,7 @@ main()
         std::vector<std::string> row = {std::to_string(mb) + "MB"};
         for (double hz : {100.0, 150.0, 200.0, 400.0}) {
             Tick t = fresh_ticks(hz);
-            row.push_back(pct(double(t) / base - 1.0, 2));
+            row.push_back(pct(double(t) / double(base) - 1.0, 2));
         }
         printRow(row);
     }

@@ -38,7 +38,7 @@ Tick
 sharedMemoryMove(std::uint64_t bytes)
 {
     // 12.8 GB/s on-chip copy/DMA path.
-    return static_cast<Tick>(bytes / 12.8);
+    return static_cast<Tick>(double(bytes) / 12.8);
 }
 
 /** One-time cost of establishing the shared region (HyperTEE). */
@@ -61,10 +61,10 @@ dnnRow(const DnnNetwork &net, const GemminiModel &gemmini)
                     shmSetupCost();
 
     double crypto_share =
-        double(softwareCrypto(net.transferBytes)) / conventional;
-    printRow({net.name, num(conventional / 1e9, 2),
-              num(hypertee / 1e9, 2), pct(crypto_share, 1),
-              num(double(conventional) / hypertee, 1) + "x"});
+        double(softwareCrypto(net.transferBytes)) / double(conventional);
+    printRow({net.name, num(double(conventional) / 1e9, 2),
+              num(double(hypertee) / 1e9, 2), pct(crypto_share, 1),
+              num(double(conventional) / double(hypertee), 1) + "x"});
 }
 
 } // namespace
@@ -100,10 +100,10 @@ main()
                     sharedMemoryMove(nic.bytesPerBurst) +
                     shmSetupCost();
     double crypto_share =
-        double(softwareCrypto(nic.bytesPerBurst)) / conventional;
-    printRow({"nic-burst", num(conventional / 1e9, 3),
-              num(hypertee / 1e9, 3), pct(crypto_share, 1),
-              num(double(conventional) / hypertee, 1) + "x"});
+        double(softwareCrypto(nic.bytesPerBurst)) / double(conventional);
+    printRow({"nic-burst", num(double(conventional) / 1e9, 3),
+              num(double(hypertee) / 1e9, 3), pct(crypto_share, 1),
+              num(double(conventional) / double(hypertee), 1) + "x"});
 
     std::printf("\npaper: ResNet50 >4.0x (sw crypto >74.7%%), "
                 "MobileNet >3.3x, MLPs >27.7x, NIC ~50x (crypto "

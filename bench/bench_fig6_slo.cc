@@ -50,7 +50,8 @@ struct EmsConfig
 };
 
 void
-runCurve(unsigned cs_cores, const EmsConfig &ems)
+runCurve(unsigned cs_cores, const EmsConfig &ems, StatGroup &stats,
+         std::vector<std::unique_ptr<Distribution>> &curve_lats)
 {
     const std::uint64_t total_allocs = 16384;
     EmsCostModel cost(ems.cost);
@@ -88,10 +89,16 @@ runCurve(unsigned cs_cores, const EmsConfig &ems)
     }
     sim.run();
 
-    Distribution lat;
+    // One exported latency distribution per curve, so --stats-json
+    // carries the p50/p90/p99 behind every SLO row.
+    curve_lats.push_back(std::make_unique<Distribution>());
+    Distribution &lat = *curve_lats.back();
+    stats.registerDistribution(std::to_string(cs_cores) + "xCS_" +
+                                   ems.name + "_latency",
+                               &lat);
     for (unsigned c = 0; c < cs_cores; ++c) {
         for (Tick t : sim.latencies("cs" + std::to_string(c)))
-            lat.sample(double(t));
+            lat.sample(static_cast<double>(t));
     }
 
     double baseline = double(hostMallocP99());
@@ -105,8 +112,12 @@ runCurve(unsigned cs_cores, const EmsConfig &ems)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+
     benchHeader("Figure 6: concurrent primitive SLO curves",
                 "fraction of 16384 concurrent 2MB EALLOCs resolved "
                 "within x times the non-enclave p99 baseline");
@@ -116,25 +127,30 @@ main()
     EmsConfig two_med = {"2xOoO", 2, emsMediumCost()};
     EmsConfig four_med = {"4xOoO", 4, emsMediumCost()};
 
+    StatGroup slo_stats("fig6_slo");
+    std::vector<std::unique_ptr<Distribution>> curve_lats;
+
     printRow({"CS", "EMS", "1x", "2x", "4x", "8x", "16x", "32x",
               "64x"},
              12);
     // High-end embedded: 4 CS cores.
-    runCurve(4, one_weak);
-    runCurve(4, two_weak);
-    // Desktop: 16 CS cores.
-    runCurve(16, one_weak);
-    runCurve(16, two_weak);
-    runCurve(16, two_med);
-    // High-performance: 32 and 64 CS cores.
-    runCurve(32, two_weak);
-    runCurve(32, two_med);
-    runCurve(32, four_med);
-    runCurve(64, two_med);
-    runCurve(64, four_med);
+    runCurve(4, one_weak, slo_stats, curve_lats);
+    runCurve(4, two_weak, slo_stats, curve_lats);
+    if (!opts.smoke) {
+        // Desktop: 16 CS cores.
+        runCurve(16, one_weak, slo_stats, curve_lats);
+        runCurve(16, two_weak, slo_stats, curve_lats);
+        runCurve(16, two_med, slo_stats, curve_lats);
+        // High-performance: 32 and 64 CS cores.
+        runCurve(32, two_weak, slo_stats, curve_lats);
+        runCurve(32, two_med, slo_stats, curve_lats);
+        runCurve(32, four_med, slo_stats, curve_lats);
+        runCurve(64, two_med, slo_stats, curve_lats);
+        runCurve(64, four_med, slo_stats, curve_lats);
+    }
 
     std::printf("\npaper: a single in-order EMS core suffices for 4 "
                 "CS cores; dual in-order for 16; dual OoO tracks the "
                 "quad-OoO curve for 32/64.\n");
-    return 0;
+    return finishBench(opts, {&slo_stats});
 }

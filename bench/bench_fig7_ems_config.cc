@@ -32,7 +32,7 @@ overheadFor(const WorkloadProfile &profile, const EmsCostParams &cost)
     WorkloadRunner enc_runner(enc_sys);
     EnclaveRunResult r = enc_runner.runEnclave(profile);
 
-    return double(r.stats.ticks) / host.ticks - 1.0;
+    return double(r.stats.ticks) / double(host.ticks) - 1.0;
 }
 
 } // namespace
@@ -67,9 +67,10 @@ main()
         }
         printRow(row);
     }
-    printRow({"Average", pct(configs[0].sum / suite.size(), 1),
-              pct(configs[1].sum / suite.size(), 1),
-              pct(configs[2].sum / suite.size(), 1)});
+    double n = double(suite.size());
+    printRow({"Average", pct(configs[0].sum / n, 1),
+              pct(configs[1].sum / n, 1),
+              pct(configs[2].sum / n, 1)});
     std::printf("\npaper: weak 5.7%%, medium 2.0%%, strong 1.9%%\n");
     return 0;
 }

@@ -56,8 +56,8 @@ main()
             enclave.free(va, pages);
         }
 
-        double host_us = host_total / 1e6 / reps;
-        double enc_us = enclave_total / 1e6 / reps;
+        double host_us = double(host_total) / 1e6 / reps;
+        double enc_us = double(enclave_total) / 1e6 / reps;
         printRow({std::to_string(kb) + "KB", num(host_us, 1),
                   num(enc_us, 1), pct(enc_us / host_us - 1.0, 1)});
     }

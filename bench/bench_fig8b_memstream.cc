@@ -44,11 +44,14 @@ main()
             enc_runner.runEnclave(profile, 1,
                                   /*charge_primitives=*/false);
 
-        double overhead = double(enc.stats.ticks) / host.ticks - 1.0;
+        double overhead =
+            double(enc.stats.ticks) / double(host.ticks) - 1.0;
         sum += overhead;
         ++count;
-        printRow({std::to_string(mb) + "MB", num(host.ticks / 1e9, 2),
-                  num(enc.stats.ticks / 1e9, 2), pct(overhead, 1)});
+        printRow({std::to_string(mb) + "MB",
+                  num(double(host.ticks) / 1e9, 2),
+                  num(double(enc.stats.ticks) / 1e9, 2),
+                  pct(overhead, 1)});
     }
     printRow({"Average", "", "", pct(sum / count, 1)});
     std::printf("\npaper: 3.1%% average latency overhead\n");

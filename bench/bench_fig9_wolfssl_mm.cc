@@ -57,10 +57,11 @@ main()
         enclave.free(va, 4);
     }
 
-    double overhead = double(enc.ticks) / host.ticks - 1.0;
+    double overhead = double(enc.ticks) / double(host.ticks) - 1.0;
     printRow({"scenario", "time(ms)", "overhead"}, 20);
-    printRow({"Host-Native", num(host.ticks / 1e9, 2), "-"}, 20);
-    printRow({"Enclave-M_encrypt", num(enc.ticks / 1e9, 2),
+    printRow({"Host-Native", num(double(host.ticks) / 1e9, 2), "-"},
+             20);
+    printRow({"Enclave-M_encrypt", num(double(enc.ticks) / 1e9, 2),
               pct(overhead, 2)},
              20);
     std::printf("\npaper: 0.9%% overhead for wolfSSL with all memory "

@@ -62,8 +62,9 @@ main(int argc, char **argv)
             EnclaveRunResult r =
                 runner.runEnclave(profile, 1,
                                   /*charge_primitives=*/false);
-            all = double(r.totalPrimitiveLatency()) / host.ticks;
-            meas = double(r.measLatency) / host.ticks;
+            all = double(r.totalPrimitiveLatency()) /
+                  double(host.ticks);
+            meas = double(r.measLatency) / double(host.ticks);
             d_create.sample(double(r.createLatency));
             d_add.sample(double(r.addLatency));
             d_meas.sample(double(r.measLatency));

@@ -61,7 +61,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("[ecreate] enclave %u created, %.1f us\n", enclave.id(),
-                enclave.lastLatency() / 1e6);
+                double(enclave.lastLatency()) / 1e6);
 
     // 3. Load the enclave binary (EADD extends the measurement).
     Bytes program(3 * pageSize);
@@ -76,7 +76,7 @@ main(int argc, char **argv)
     Bytes measurement = enclave.measure();
     std::printf("[emeas] measurement %s… (%.1f us)\n",
                 toHex(measurement).substr(0, 16).c_str(),
-                enclave.lastLatency() / 1e6);
+                double(enclave.lastLatency()) / 1e6);
 
     // 5. Enter the enclave: EMCall atomically switches the core to
     //    the private page table and sets IS_ENCLAVE.
@@ -93,7 +93,7 @@ main(int argc, char **argv)
     std::printf("[ealloc] 8 pages at 0x%llx, %.1f us, OS-visible "
                 "events: %llu\n",
                 (unsigned long long)heap,
-                enclave.lastLatency() / 1e6,
+                double(enclave.lastLatency()) / 1e6,
                 (unsigned long long)(sys.osPoolGrants() -
                                      grants_before));
 
@@ -133,7 +133,7 @@ main(int argc, char **argv)
     enclave.destroy();
     std::printf("[edestroy] enclave gone; total primitive time %.1f "
                 "us\n",
-                enclave.totalPrimitiveLatency() / 1e6);
+                double(enclave.totalPrimitiveLatency()) / 1e6);
 
     if (!trace_path.empty()) {
         auto &sink = TraceSink::global();

@@ -115,13 +115,13 @@ main()
         CryptoEngine sw_crypto(cp, false);
 
         Tick compute = gemmini.inferenceTime(net.macs, net.layers);
-        Tick move = static_cast<Tick>(net.transferBytes / 12.8);
+        Tick move = static_cast<Tick>(double(net.transferBytes) / 12.8);
         Tick conventional =
             compute + 2 * sw_crypto.aesTime(net.transferBytes) + move;
         Tick hypertee = compute + move;
         std::printf("%-16s%-14.2f%-14.2f%.1fx\n", net.name.c_str(),
-                    conventional / 1e9, hypertee / 1e9,
-                    double(conventional) / hypertee);
+                    double(conventional) / 1e9, double(hypertee) / 1e9,
+                    double(conventional) / double(hypertee));
     };
     report(resnet50());
     report(mobileNet());

@@ -18,7 +18,8 @@ AttackOutcome::accuracy(const std::vector<bool> &secret) const
     std::size_t correct = 0;
     for (std::size_t i = 0; i < secret.size(); ++i)
         correct += (recovered[i] == secret[i]);
-    return static_cast<double>(correct) / secret.size();
+    return static_cast<double>(correct) /
+           static_cast<double>(secret.size());
 }
 
 std::vector<bool>
@@ -247,7 +248,7 @@ timingChannelAccuracy(unsigned ems_cores, bool obfuscation,
     std::size_t correct = 0;
     for (std::size_t i = 0; i < bits; ++i)
         correct += ((observed[i] > threshold) == secret[i]);
-    return static_cast<double>(correct) / bits;
+    return static_cast<double>(correct) / static_cast<double>(bits);
 }
 
 } // namespace hypertee

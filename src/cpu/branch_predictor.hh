@@ -36,7 +36,8 @@ class BranchPredictor
     double
     mispredictRate() const
     {
-        return _lookups ? static_cast<double>(_mispredicts) / _lookups
+        return _lookups ? static_cast<double>(_mispredicts) /
+                              static_cast<double>(_lookups)
                         : 0.0;
     }
 

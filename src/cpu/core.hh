@@ -45,7 +45,9 @@ struct RunStats
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
     }
 
     /** Merge another chunk's counters into this one. */

@@ -17,11 +17,13 @@ CryptoEngine::bulkTime(std::uint64_t bytes, double engine_bps,
                        double sw_cycles_per_byte) const
 {
     if (_present) {
-        double seconds = (bytes * 8.0) / engine_bps;
+        double seconds =
+            (static_cast<double>(bytes) * 8.0) / engine_bps;
         return _p.engineSetupTicks +
                static_cast<Tick>(std::llround(seconds * ticksPerSecond));
     }
-    return cyclesToTicks(bytes * sw_cycles_per_byte);
+    return cyclesToTicks(static_cast<Cycles>(
+        static_cast<double>(bytes) * sw_cycles_per_byte));
 }
 
 Tick

@@ -45,7 +45,7 @@ class EmsCostModel
     {
         double cycles = static_cast<double>(insts) / _p.effectiveIpc;
         return static_cast<Tick>(cycles *
-                                 (double(ticksPerSecond) / _p.freqHz));
+                                 (double(ticksPerSecond) / double(_p.freqHz)));
     }
 
     /** Fixed dispatch budget per primitive (no per-page terms). */

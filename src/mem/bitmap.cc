@@ -63,7 +63,7 @@ EnclaveBitmap::setEnclavePage(Addr ppn, bool enclave)
         byte |= std::uint8_t(1) << bit;
         ++_enclavePages;
     } else {
-        byte &= ~(std::uint8_t(1) << bit);
+        byte = static_cast<std::uint8_t>(byte & ~(1 << bit));
         --_enclavePages;
     }
     _mem->write(addr, &byte, 1);

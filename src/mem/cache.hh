@@ -55,7 +55,9 @@ class Cache
     missRate() const
     {
         std::uint64_t total = _hits + _misses;
-        return total ? static_cast<double>(_misses) / total : 0.0;
+        return total ? static_cast<double>(_misses) /
+                           static_cast<double>(total)
+                     : 0.0;
     }
 
     std::size_t sizeBytes() const { return _sets * _ways * _lineBytes; }

@@ -71,7 +71,7 @@ Random::between(std::uint64_t lo, std::uint64_t hi)
 double
 Random::real()
 {
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 bool

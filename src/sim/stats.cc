@@ -61,7 +61,8 @@ Distribution::fractionAtOrBelow(double threshold) const
         return 0.0;
     ensureSorted();
     auto it = std::upper_bound(_samples.begin(), _samples.end(), threshold);
-    return static_cast<double>(it - _samples.begin()) / _samples.size();
+    return static_cast<double>(it - _samples.begin()) /
+           static_cast<double>(_samples.size());
 }
 
 void

@@ -49,7 +49,11 @@ class Average
         ++_count;
     }
 
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double
+    mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
     std::uint64_t count() const { return _count; }
     double sum() const { return _sum; }
 
@@ -82,7 +86,7 @@ class Distribution
         double s = 0;
         for (double v : _samples)
             s += v;
-        return s / _samples.size();
+        return s / static_cast<double>(_samples.size());
     }
 
     double min() const;

@@ -1,6 +1,7 @@
 #include "sim/stats_export.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -95,7 +96,7 @@ JsonWriter::value(double v)
     // Integral doubles print as integers; everything else with enough
     // digits to round-trip. NaN/Inf are not valid JSON — clamp to 0
     // rather than emit an unparseable file.
-    if (v != v || v > 1.8e308 || v < -1.8e308) {
+    if (!std::isfinite(v)) {
         _os << 0;
         return;
     }

@@ -88,7 +88,8 @@ struct NicScenario
     Tick
     wireTime() const
     {
-        return static_cast<Tick>(bytesPerBurst * 8.0 / linkBps *
+        return static_cast<Tick>(static_cast<double>(bytesPerBurst) *
+                                 8.0 / linkBps *
                                  ticksPerSecond);
     }
 };

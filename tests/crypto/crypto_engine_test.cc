@@ -14,7 +14,7 @@ TEST(CryptoEngine, EngineShaMatchesTableThroughput)
     CryptoEngine eng({}, true);
     // 16.1 Gbps: 1 MiB should take ~521 us plus setup.
     Tick t = eng.shaTime(1 << 20);
-    double us = t / 1e6;
+    double us = double(t) / 1e6;
     EXPECT_NEAR(us, (1 << 20) * 8.0 / 16.1e9 * 1e6 + 0.2, 1.0);
 }
 
@@ -22,7 +22,7 @@ TEST(CryptoEngine, EngineAesMatchesTableThroughput)
 {
     CryptoEngine eng({}, true);
     Tick t = eng.aesTime(1 << 20);
-    double s = t / 1e12;
+    double s = double(t) / 1e12;
     EXPECT_NEAR(s, (1 << 20) * 8.0 / 1.24e9, 1e-4);
 }
 
@@ -43,7 +43,7 @@ TEST(CryptoEngine, SignRateMatchesTable)
 {
     CryptoEngine eng({}, true);
     // 123 ops/s -> ~8.1 ms per signature.
-    double ms = eng.signTime() / 1e9;
+    double ms = double(eng.signTime()) / 1e9;
     EXPECT_NEAR(ms, 1000.0 / 123.0, 0.5);
 }
 
@@ -67,7 +67,8 @@ TEST(CryptoEngine, CostScalesLinearlyWithSize)
     CryptoEngine sw({}, false);
     Tick one = sw.aesTime(1000);
     Tick ten = sw.aesTime(10000);
-    EXPECT_NEAR(static_cast<double>(ten) / one, 10.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(ten) / static_cast<double>(one),
+                10.0, 0.01);
 }
 
 } // namespace

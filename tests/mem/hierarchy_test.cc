@@ -113,7 +113,7 @@ TEST(MemHierarchy, StreamingOverheadMatchesFig8bScale)
         t_plain += plain.access(a, false, 1);
         t_prot += prot.access(a, false, 1);
     }
-    double overhead = double(t_prot - t_plain) / t_plain;
+    double overhead = double(t_prot - t_plain) / double(t_plain);
     EXPECT_GT(overhead, 0.01);
     EXPECT_LT(overhead, 0.15);
 }

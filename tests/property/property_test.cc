@@ -243,10 +243,10 @@ allWrongModes()
 
 INSTANTIATE_TEST_SUITE_P(AllPrimitives, PrivilegeLattice,
                          ::testing::ValuesIn(allWrongModes()),
-                         [](const auto &info) {
+                         [](const auto &test_info) {
                              return std::string(primitiveName(
-                                        info.param.op)) +
-                                    (info.param.wrongMode ==
+                                        test_info.param.op)) +
+                                    (test_info.param.wrongMode ==
                                              PrivMode::User
                                          ? "_fromUser"
                                          : "_fromSupervisor");

@@ -1,0 +1,21 @@
+// Fixture: direct physical-memory write with no ownership check in
+// the enclosing function. Linted as if it lived in src/emcall/.
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+
+class Gate
+{
+  public:
+    void
+    leak(Addr addr, const std::uint8_t *data, Addr len)
+    {
+        _mem->write(addr, data, len); // no bitmap/range check: BAD
+    }
+
+  private:
+    PhysicalMemory *_mem = nullptr;
+};
+
+} // namespace hypertee

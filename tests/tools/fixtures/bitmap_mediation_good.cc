@@ -1,0 +1,24 @@
+// Fixture: the same access, mediated by an explicit range check.
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+
+class Gate
+{
+  public:
+    bool
+    guarded(Addr addr, const std::uint8_t *data, Addr len)
+    {
+        if (_ems->overlapsRange(addr, len))
+            return false;
+        _mem->write(addr, data, len); // mediated: OK
+        return true;
+    }
+
+  private:
+    PhysicalMemory *_mem = nullptr;
+    PhysicalMemory *_ems = nullptr;
+};
+
+} // namespace hypertee

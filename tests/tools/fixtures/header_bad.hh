@@ -1,0 +1,11 @@
+// Fixture: no include guard, and a namespace dumped on every
+// includer. Two header-hygiene findings expected.
+#include <string>
+
+using namespace std; // BAD
+
+inline string
+greet()
+{
+    return "hi";
+}

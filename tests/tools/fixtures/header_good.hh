@@ -1,0 +1,18 @@
+// Fixture: properly guarded header.
+#ifndef HTLINT_FIXTURE_HEADER_GOOD_HH
+#define HTLINT_FIXTURE_HEADER_GOOD_HH
+
+#include <string>
+
+namespace hypertee
+{
+
+inline std::string
+greet()
+{
+    return "hi";
+}
+
+} // namespace hypertee
+
+#endif // HTLINT_FIXTURE_HEADER_GOOD_HH

@@ -1,0 +1,13 @@
+// Fixture: #pragma once also satisfies the guard requirement.
+#pragma once
+
+namespace hypertee
+{
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace hypertee

@@ -1,0 +1,11 @@
+// Fixture: raw owning new in a free function.
+namespace hypertee
+{
+
+int *
+makeCounter()
+{
+    return new int(0); // BAD: ownership is untracked
+}
+
+} // namespace hypertee

@@ -1,0 +1,34 @@
+// Fixture: new inside the constructor of a SimObject-derived
+// factory is the one sanctioned place for a raw allocation.
+#include <memory>
+#include <string>
+
+#include "sim/sim_object.hh"
+
+namespace hypertee
+{
+
+class Widget
+{
+};
+
+class WidgetFactory : public SimObject
+{
+  public:
+    WidgetFactory(std::string name, EventQueue *eq)
+        : SimObject(std::move(name), eq)
+    {
+        _widget.reset(new Widget()); // OK: SimObject factory ctor
+    }
+
+  private:
+    std::unique_ptr<Widget> _widget;
+};
+
+std::unique_ptr<Widget>
+makeWidget()
+{
+    return std::make_unique<Widget>(); // OK: make_unique
+}
+
+} // namespace hypertee

@@ -1,0 +1,18 @@
+// Fixture: a Distribution sampled but never registered -- it would
+// silently vanish from the stats JSON export.
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+void
+runBench()
+{
+    StatGroup g("bench");
+    Scalar ops;
+    Distribution lat; // BAD: never registered
+    g.registerScalar("ops", &ops);
+    lat.sample(1.0);
+}
+
+} // namespace hypertee

@@ -1,0 +1,14 @@
+#include "stat_registration_good.hh"
+
+namespace hypertee
+{
+
+void
+Component::regStats(StatGroup &g)
+{
+    g.registerScalar("hits", &_hits);
+    g.registerScalar("misses", &_misses);
+    g.registerDistribution("latency", &_latency);
+}
+
+} // namespace hypertee

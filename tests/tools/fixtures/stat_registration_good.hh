@@ -1,0 +1,23 @@
+// Fixture: stat members declared in a header, registered in the
+// paired .cc -- the cross-file case the rule must see through.
+#ifndef HTLINT_FIXTURE_STAT_REGISTRATION_GOOD_HH
+#define HTLINT_FIXTURE_STAT_REGISTRATION_GOOD_HH
+
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+class Component
+{
+  public:
+    void regStats(StatGroup &g);
+
+  private:
+    Scalar _hits, _misses;
+    Distribution _latency;
+};
+
+} // namespace hypertee
+
+#endif // HTLINT_FIXTURE_STAT_REGISTRATION_GOOD_HH

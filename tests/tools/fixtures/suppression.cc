@@ -1,0 +1,20 @@
+// Fixture: both suppression forms. The first violation is excused by
+// a same-line comment, the second by an own-line comment above it;
+// the third has no excuse and must still be reported.
+#include <cstdlib>
+
+namespace hypertee
+{
+
+unsigned long
+excused()
+{
+    unsigned long a =
+        static_cast<unsigned long>(rand()); // htlint: allow(no-wallclock)
+    // htlint: allow(no-wallclock)
+    unsigned long b = static_cast<unsigned long>(rand());
+    unsigned long c = static_cast<unsigned long>(rand()); // BAD: reported
+    return a + b + c;
+}
+
+} // namespace hypertee

@@ -1,0 +1,15 @@
+// Fixture: a span opened but never closed -- the Chrome trace would
+// nest every later event inside it.
+#include "sim/trace.hh"
+
+namespace hypertee
+{
+
+void
+unbalanced(Tick t)
+{
+    HT_TRACE_BEGIN(TraceCategory::EmCall, "span", t);
+    // BAD: early return path never emits HT_TRACE_END
+}
+
+} // namespace hypertee

@@ -1,0 +1,16 @@
+// Fixture: balanced spans, including an end issued from a cleanup
+// lambda (the emcall gate pattern).
+#include "sim/trace.hh"
+
+namespace hypertee
+{
+
+void
+balanced(Tick t)
+{
+    HT_TRACE_BEGIN(TraceCategory::EmCall, "span", t);
+    auto close = [&] { HT_TRACE_END(TraceCategory::EmCall, "span", t); };
+    close();
+}
+
+} // namespace hypertee

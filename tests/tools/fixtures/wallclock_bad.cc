@@ -1,0 +1,21 @@
+// Fixture: every flavour of nondeterminism the rule must catch.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace hypertee
+{
+
+unsigned long
+nondeterministic()
+{
+    auto t0 = std::chrono::steady_clock::now(); // BAD: chrono
+    std::random_device rd;                      // BAD: random_device
+    unsigned long seed = rd() + std::time(nullptr); // BAD: time()
+    seed += static_cast<unsigned long>(rand());     // BAD: rand()
+    (void)t0;
+    return seed;
+}
+
+} // namespace hypertee

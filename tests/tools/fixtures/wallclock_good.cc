@@ -1,0 +1,26 @@
+// Fixture: deterministic time and randomness, plus identifiers that
+// merely *look* like libc calls and must not be flagged.
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace hypertee
+{
+
+class Widget
+{
+  public:
+    Tick time() const { return _when; } // declaration, not a call
+
+  private:
+    Tick _when = 0;
+};
+
+Tick
+deterministic(EventQueue &eq, Random &rng, const Widget &w)
+{
+    Tick now = eq.now();
+    Tick jitter = rng.below(100);
+    return now + jitter + w.time(); // member call: OK
+}
+
+} // namespace hypertee

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * htlint rule coverage: every rule must (a) fire on a fixture that
+ * violates its invariant and (b) stay quiet on the compliant
+ * counterpart; suppression comments must silence findings.
+ *
+ * Fixtures live in tests/tools/fixtures/ and are linted in-process
+ * under a pretend src/-relative path so path-scoped rules apply.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/htlint/driver.hh"
+
+using namespace hypertee::htlint;
+
+namespace
+{
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(HTLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** Lint fixture files under pretend project-relative paths. */
+std::vector<Diagnostic>
+lintAs(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    Project proj;
+    for (const auto &[name, rel] : files)
+        EXPECT_TRUE(proj.addFile(fixture(name), rel))
+            << "unreadable fixture " << name;
+    return proj.run();
+}
+
+int
+countRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    int n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+TEST(HtlintBitmapMediation, FlagsUncheckedAccess)
+{
+    auto diags = lintAs({{"bitmap_mediation_bad.cc",
+                          "src/emcall/bitmap_mediation_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 1);
+}
+
+TEST(HtlintBitmapMediation, AcceptsMediatedAccess)
+{
+    auto diags = lintAs({{"bitmap_mediation_good.cc",
+                          "src/emcall/bitmap_mediation_good.cc"}});
+    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 0);
+}
+
+TEST(HtlintBitmapMediation, ExemptsMemAndIhub)
+{
+    // The same unchecked access is legal inside the mediation layer
+    // itself.
+    auto diags =
+        lintAs({{"bitmap_mediation_bad.cc", "src/mem/phys_user.cc"},
+                {"bitmap_mediation_bad.cc", "src/fabric/ihub.cc"}});
+    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 0);
+}
+
+TEST(HtlintStatRegistration, FlagsUnregisteredStat)
+{
+    auto diags = lintAs({{"stat_registration_bad.cc",
+                          "bench/stat_registration_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "stat-registration"), 1);
+    ASSERT_GE(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("'lat'"), std::string::npos);
+}
+
+TEST(HtlintStatRegistration, SeesRegistrationInPairedFile)
+{
+    auto diags = lintAs(
+        {{"stat_registration_good.hh",
+          "src/comp/stat_registration_good.hh"},
+         {"stat_registration_good.cc",
+          "src/comp/stat_registration_good.cc"}});
+    EXPECT_EQ(countRule(diags, "stat-registration"), 0);
+}
+
+TEST(HtlintNoWallclock, FlagsChronoTimeRandRandomDevice)
+{
+    auto diags =
+        lintAs({{"wallclock_bad.cc", "src/sim/wallclock_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "no-wallclock"), 4);
+}
+
+TEST(HtlintNoWallclock, AcceptsEventQueueAndSimRandom)
+{
+    auto diags =
+        lintAs({{"wallclock_good.cc", "src/sim/wallclock_good.cc"}});
+    EXPECT_EQ(countRule(diags, "no-wallclock"), 0);
+}
+
+TEST(HtlintNoWallclock, OnlyAppliesToSrc)
+{
+    // Benches and tools may measure host time; the invariant guards
+    // the simulator proper.
+    auto diags =
+        lintAs({{"wallclock_bad.cc", "tools/x/wallclock_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "no-wallclock"), 0);
+}
+
+TEST(HtlintTracePairing, FlagsUnbalancedSpan)
+{
+    auto diags = lintAs(
+        {{"trace_pairing_bad.cc", "src/emcall/trace_pairing_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "trace-pairing"), 1);
+}
+
+TEST(HtlintTracePairing, AcceptsBalancedSpanViaLambda)
+{
+    auto diags = lintAs({{"trace_pairing_good.cc",
+                          "src/emcall/trace_pairing_good.cc"}});
+    EXPECT_EQ(countRule(diags, "trace-pairing"), 0);
+}
+
+TEST(HtlintNoRawOwningNew, FlagsFreeFunctionNew)
+{
+    auto diags =
+        lintAs({{"raw_new_bad.cc", "src/core/raw_new_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "no-raw-owning-new"), 1);
+}
+
+TEST(HtlintNoRawOwningNew, AcceptsSimObjectFactoryCtor)
+{
+    auto diags =
+        lintAs({{"raw_new_good.cc", "src/core/raw_new_good.cc"}});
+    EXPECT_EQ(countRule(diags, "no-raw-owning-new"), 0);
+}
+
+TEST(HtlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace)
+{
+    auto diags = lintAs({{"header_bad.hh", "src/core/header_bad.hh"}});
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 2);
+}
+
+TEST(HtlintHeaderHygiene, AcceptsGuardedHeaders)
+{
+    auto diags =
+        lintAs({{"header_good.hh", "src/core/header_good.hh"},
+                {"header_pragma_once.hh",
+                 "src/core/header_pragma_once.hh"}});
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 0);
+}
+
+TEST(HtlintSuppression, AllowCommentSilencesFinding)
+{
+    // Three rand() calls: one excused same-line, one by an own-line
+    // comment above, one reported.
+    auto diags =
+        lintAs({{"suppression.cc", "src/sim/suppression.cc"}});
+    EXPECT_EQ(countRule(diags, "no-wallclock"), 1);
+}
+
+TEST(HtlintSuppression, AllowFileSilencesWholeFile)
+{
+    Project proj;
+    proj.addText("// htlint: allow-file(no-wallclock)\n"
+                 "unsigned f() { return rand(); }\n",
+                 "src/sim/allow_file.cc");
+    EXPECT_EQ(countRule(proj.run(), "no-wallclock"), 0);
+}
+
+TEST(HtlintDriver, RuleFilterRunsOnlySelectedRules)
+{
+    Project proj;
+    proj.addText("unsigned f() { return rand(); }\n"
+                 "int *g() { return new int(3); }\n",
+                 "src/sim/two_rules.cc");
+    auto all = proj.run();
+    EXPECT_EQ(countRule(all, "no-wallclock"), 1);
+    EXPECT_EQ(countRule(all, "no-raw-owning-new"), 1);
+    auto only = proj.run({"no-wallclock"});
+    EXPECT_EQ(countRule(only, "no-wallclock"), 1);
+    EXPECT_EQ(countRule(only, "no-raw-owning-new"), 0);
+}
+
+TEST(HtlintDriver, EveryRuleHasNameAndDescription)
+{
+    EXPECT_GE(allRules().size(), 6u);
+    for (const RuleInfo &r : allRules()) {
+        EXPECT_NE(r.name, nullptr);
+        EXPECT_GT(std::string(r.description).size(), 10u);
+    }
+}
+
+} // namespace

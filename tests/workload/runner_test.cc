@@ -63,7 +63,7 @@ TEST(WorkloadRunner, EnclaveOverheadIsSmallButPositive)
     EnclaveRunResult enc = runner.runEnclave(p);
 
     double overhead =
-        double(enc.stats.ticks) / host.ticks - 1.0;
+        double(enc.stats.ticks) / double(host.ticks) - 1.0;
     EXPECT_GT(overhead, 0.0);
     EXPECT_LT(overhead, 0.30);
 }
@@ -92,7 +92,7 @@ TEST(WorkloadRunner, XalancbmkHasOutlierTlbMissRate)
         WorkloadProfile p = profileByName(name);
         p.instructions = 2'000'000;
         RunStats s = runner.runHost(p);
-        return double(s.tlbMisses) / (s.loads + s.stores);
+        return double(s.tlbMisses) / double(s.loads + s.stores);
     };
 
     double xalanc = miss_rate("xalancbmk_r");

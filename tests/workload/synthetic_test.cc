@@ -70,9 +70,9 @@ TEST(SyntheticWorkload, MixMatchesProfile)
         stores += op.type == OpType::Store;
         branches += op.type == OpType::Branch;
     }
-    EXPECT_NEAR(loads / 200'000.0, 0.30, 0.01);
-    EXPECT_NEAR(stores / 200'000.0, 0.10, 0.01);
-    EXPECT_NEAR(branches / 200'000.0, 0.20, 0.01);
+    EXPECT_NEAR(double(loads) / 200'000.0, 0.30, 0.01);
+    EXPECT_NEAR(double(stores) / 200'000.0, 0.10, 0.01);
+    EXPECT_NEAR(double(branches) / 200'000.0, 0.20, 0.01);
 }
 
 TEST(SyntheticWorkload, AddressesStayInMappedRegions)
@@ -155,7 +155,7 @@ TEST(Nic, WireTimeMatchesLinkRate)
 {
     NicScenario nic;
     // 96000 bytes at 10 Gbps = 76.8 us.
-    EXPECT_NEAR(nic.wireTime() / 1e6, 76.8, 0.1);
+    EXPECT_NEAR(double(nic.wireTime()) / 1e6, 76.8, 0.1);
 }
 
 } // namespace

@@ -1,0 +1,271 @@
+#include "tools/htlint/driver.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace hypertee::htlint
+{
+
+// ---------------------------------------------------------------- Project
+
+bool
+Project::addFile(const std::string &path, const std::string &rel_path)
+{
+    auto f = std::make_unique<SourceFile>();
+    if (!f->load(path, rel_path))
+        return false;
+    indexFile(*f);
+    _byRelPath[rel_path] = _files.size();
+    _files.push_back(std::move(f));
+    return true;
+}
+
+void
+Project::addText(std::string text, const std::string &rel_path)
+{
+    auto f = std::make_unique<SourceFile>();
+    f->loadText(std::move(text), rel_path);
+    indexFile(*f);
+    _byRelPath[rel_path] = _files.size();
+    _files.push_back(std::move(f));
+}
+
+void
+Project::indexFile(const SourceFile &f)
+{
+    for (const Block &b : f.blocks()) {
+        if (b.kind == Block::Kind::Type && !b.name.empty() &&
+            !b.bases.empty()) {
+            auto &bases = _classBases[b.name];
+            bases.insert(bases.end(), b.bases.begin(),
+                         b.bases.end());
+        }
+    }
+    // Functions declared to return PhysicalMemory& / PhysicalMemory*
+    // (accessors like HyperTeeSystem::csMem) -- the mediation rule
+    // treats calls through them as direct physical-memory access.
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].inDirective ||
+            toks[i].kind != TokKind::Identifier ||
+            toks[i].text != "PhysicalMemory")
+            continue;
+        if (toks[i + 1].text != "&" && toks[i + 1].text != "*")
+            continue;
+        if (toks[i + 2].kind != TokKind::Identifier ||
+            toks[i + 3].text != "(")
+            continue;
+        if (f.enclosingFunction(i) >= 0)
+            continue; // local variable with ctor args, not a decl
+        _physMemAccessors.insert(toks[i + 2].text);
+    }
+}
+
+const SourceFile *
+Project::pairOf(const SourceFile &file) const
+{
+    const std::string &rel = file.relPath();
+    auto swap_ext = [&](const char *from,
+                        const char *to) -> const SourceFile * {
+        std::string f(from);
+        if (rel.size() <= f.size() ||
+            rel.compare(rel.size() - f.size(), f.size(), f) != 0)
+            return nullptr;
+        std::string other =
+            rel.substr(0, rel.size() - f.size()) + to;
+        auto it = _byRelPath.find(other);
+        return it == _byRelPath.end() ? nullptr
+                                      : _files[it->second].get();
+    };
+    if (const SourceFile *p = swap_ext(".cc", ".hh"))
+        return p;
+    if (const SourceFile *p = swap_ext(".hh", ".cc"))
+        return p;
+    if (const SourceFile *p = swap_ext(".cpp", ".hpp"))
+        return p;
+    if (const SourceFile *p = swap_ext(".hpp", ".cpp"))
+        return p;
+    return nullptr;
+}
+
+const std::vector<std::string> &
+Project::basesOf(const std::string &class_name) const
+{
+    static const std::vector<std::string> none;
+    auto it = _classBases.find(class_name);
+    return it == _classBases.end() ? none : it->second;
+}
+
+bool
+Project::derivesFrom(const std::string &class_name,
+                     const std::string &base) const
+{
+    std::vector<std::string> todo = {class_name};
+    std::set<std::string> seen;
+    while (!todo.empty()) {
+        std::string cur = todo.back();
+        todo.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        for (const std::string &b : basesOf(cur)) {
+            if (b == base)
+                return true;
+            todo.push_back(b);
+        }
+    }
+    return false;
+}
+
+std::vector<Diagnostic>
+Project::run(const std::set<std::string> &rules) const
+{
+    std::vector<Diagnostic> out;
+    for (const auto &f : _files) {
+        for (const RuleInfo &r : allRules()) {
+            if (!rules.empty() && !rules.count(r.name))
+                continue;
+            r.check(*f, *this, out);
+        }
+    }
+    // Drop suppressed findings.
+    std::vector<Diagnostic> kept;
+    for (Diagnostic &d : out) {
+        auto it = _byRelPath.find(d.file);
+        if (it != _byRelPath.end() &&
+            _files[it->second]->suppressed(d.rule, d.line))
+            continue;
+        kept.push_back(std::move(d));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return kept;
+}
+
+// ------------------------------------------------------------------- CLI
+
+bool
+parseArgs(int argc, const char *const *argv, Options &opts,
+          std::ostream &err)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            opts.listRules = true;
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            std::string list = arg.substr(8);
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                std::string name =
+                    comma == std::string::npos
+                        ? list.substr(start)
+                        : list.substr(start, comma - start);
+                if (!name.empty())
+                    opts.rules.insert(name);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            err << "usage: htlint [--rules=r1,r2] [--list-rules] "
+                   "<files-or-dirs>...\n";
+            return false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            err << "htlint: unknown option '" << arg << "'\n";
+            return false;
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+    if (!opts.listRules && opts.paths.empty()) {
+        err << "usage: htlint [--rules=r1,r2] [--list-rules] "
+               "<files-or-dirs>...\n";
+        return false;
+    }
+    for (const std::string &r : opts.rules) {
+        bool known = false;
+        for (const RuleInfo &info : allRules())
+            known = known || r == info.name;
+        if (!known) {
+            err << "htlint: unknown rule '" << r << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &paths, std::ostream &err)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    auto wanted = [](const fs::path &p) {
+        std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+               ext == ".hpp" || ext == ".h";
+    };
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 !ec && it != end; it.increment(ec)) {
+                if (it->is_regular_file(ec) && wanted(it->path()))
+                    files.push_back(
+                        it->path().lexically_normal()
+                            .generic_string());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(
+                fs::path(p).lexically_normal().generic_string());
+        } else {
+            err << "htlint: cannot read '" << p << "'\n";
+            return {};
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+    return files;
+}
+
+int
+runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
+{
+    if (opts.listRules) {
+        for (const RuleInfo &r : allRules())
+            out << r.name << "\n    " << r.description << "\n";
+        return 0;
+    }
+    std::vector<std::string> files = collectFiles(opts.paths, err);
+    if (files.empty()) {
+        err << "htlint: no input files\n";
+        return 2;
+    }
+    Project proj;
+    for (const std::string &f : files) {
+        if (!proj.addFile(f, f)) {
+            err << "htlint: cannot read '" << f << "'\n";
+            return 2;
+        }
+    }
+    std::vector<Diagnostic> diags = proj.run(opts.rules);
+    for (const Diagnostic &d : diags)
+        out << d.file << ":" << d.line << ": [" << d.rule << "] "
+            << d.message << "\n";
+    if (diags.empty()) {
+        out << "htlint: clean (" << files.size() << " files)\n";
+        return 0;
+    }
+    out << "htlint: " << diags.size() << " violation(s) in "
+        << files.size() << " files (suppress with "
+           "'// htlint: allow(<rule>)')\n";
+    return 1;
+}
+
+} // namespace hypertee::htlint

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * File collection and the command-line entry point, separated from
+ * main() so the fixture tests can drive the linter in-process.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_DRIVER_HH
+#define HYPERTEE_TOOLS_HTLINT_DRIVER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tools/htlint/rules.hh"
+
+namespace hypertee::htlint
+{
+
+struct Options
+{
+    /** Rules to run; empty = all. */
+    std::set<std::string> rules;
+    /** Directories/files to scan, relative to the working dir. */
+    std::vector<std::string> paths;
+    bool listRules = false;
+};
+
+/** Parse argv; returns false (and explains on @p err) on bad usage. */
+bool parseArgs(int argc, const char *const *argv, Options &opts,
+               std::ostream &err);
+
+/**
+ * Recursively collect .cc/.hh/.cpp/.hpp/.h files under each of
+ * @p paths (files are taken as-is), sorted for deterministic output.
+ */
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &paths, std::ostream &err);
+
+/**
+ * Run the linter: load every file, run the selected rules, print
+ * diagnostics to @p out. Returns the process exit code: 0 clean,
+ * 1 violations found, 2 usage/IO error.
+ */
+int runHtlint(const Options &opts, std::ostream &out,
+              std::ostream &err);
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_DRIVER_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for htlint.
+ *
+ * Produces identifier / number / string / char / punctuation tokens
+ * with line numbers and paren/brace nesting depths, plus the comment
+ * stream (needed for `// htlint: allow(rule)` suppressions).
+ * Preprocessor directives are tokenized but flagged, so macro bodies
+ * (which legally contain unbalanced-looking braces) never disturb the
+ * scope analysis built on top of this.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_LEXER_HH
+#define HYPERTEE_TOOLS_HTLINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hypertee::htlint
+{
+
+enum class TokKind
+{
+    Identifier,
+    Number,
+    String,
+    CharLit,
+    Punct,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;          ///< 1-based source line
+    bool inDirective = false; ///< inside a preprocessor directive
+    /** () nesting depth at this token, directives excluded. */
+    int parenDepth = 0;
+    /** {} nesting depth at this token, directives excluded. */
+    int braceDepth = 0;
+};
+
+struct Comment
+{
+    int line = 0;    ///< line the comment starts on
+    int endLine = 0; ///< line the comment ends on (block comments)
+    std::string text;
+    /** True when only whitespace precedes the comment on its line. */
+    bool ownLine = false;
+};
+
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/** Tokenize @p text; never fails (unknown bytes become punctuation). */
+LexedFile lex(const std::string &text);
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_LEXER_HH

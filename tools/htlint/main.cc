@@ -1,0 +1,20 @@
+/**
+ * @file
+ * htlint entry point. See tools/htlint/README.md for the rule list
+ * and suppression syntax. Exit codes: 0 clean, 1 violations found,
+ * 2 usage or I/O error.
+ */
+
+#include <iostream>
+
+#include "tools/htlint/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hypertee::htlint;
+    Options opts;
+    if (!parseArgs(argc, argv, opts, std::cerr))
+        return 2;
+    return runHtlint(opts, std::cout, std::cerr);
+}

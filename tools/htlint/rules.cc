@@ -1,0 +1,463 @@
+/**
+ * @file
+ * The built-in htlint rules. Each encodes one HyperTEE invariant;
+ * tools/htlint/README.md documents the invariant each protects and
+ * how to suppress a finding.
+ */
+
+#include "tools/htlint/rules.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace hypertee::htlint
+{
+
+namespace
+{
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+inSrcOrBench(const SourceFile &f)
+{
+    return startsWith(f.relPath(), "src/") ||
+           startsWith(f.relPath(), "bench/");
+}
+
+void
+report(std::vector<Diagnostic> &out, const SourceFile &f, int line,
+       const char *rule, std::string message)
+{
+    out.push_back({f.relPath(), line, rule, std::move(message)});
+}
+
+bool
+isAccessMethod(const std::string &s)
+{
+    static const std::array<const char *, 7> names = {
+        "read",      "write",      "zero",   "read64",
+        "write64",   "readBytes",  "writeBytes"};
+    return std::find_if(names.begin(), names.end(), [&](const char *n) {
+               return s == n;
+           }) != names.end();
+}
+
+bool
+isMediationGuard(const std::string &s)
+{
+    return s == "overlapsRange" || s == "containsRange" ||
+           s == "isEnclavePage" || s == "isEnclaveAddr" ||
+           s == "csAccessAllowed";
+}
+
+/**
+ * Names of variables/members of type PhysicalMemory declared in
+ * @p f (plain, pointer, reference, or unique_ptr/shared_ptr).
+ */
+std::set<std::string>
+physMemVars(const SourceFile &f)
+{
+    std::set<std::string> vars;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            t.text != "PhysicalMemory")
+            continue;
+        if (i > 0 && (toks[i - 1].text == "class" ||
+                      toks[i - 1].text == "struct"))
+            continue; // forward declaration
+        if (i + 1 < toks.size() && toks[i + 1].text == "::")
+            continue; // qualified use, not a declaration
+        std::size_t j = i + 1;
+        // unique_ptr<PhysicalMemory> name
+        if (i > 0 && toks[i - 1].text == "<" && j < toks.size() &&
+            toks[j].text == ">")
+            ++j;
+        while (j < toks.size() && (toks[j].text == "*" ||
+                                   toks[j].text == "&" ||
+                                   toks[j].text == "const"))
+            ++j;
+        if (j >= toks.size() ||
+            toks[j].kind != TokKind::Identifier)
+            continue;
+        // `PhysicalMemory name(...)` at class/namespace scope is a
+        // function declaration, inside a function it is a variable
+        // with constructor arguments.
+        if (j + 1 < toks.size() && toks[j + 1].text == "(" &&
+            f.enclosingFunction(i) < 0)
+            continue;
+        vars.insert(toks[j].text);
+    }
+    return vars;
+}
+
+// ------------------------------------------------------ bitmap-mediation
+
+void
+checkBitmapMediation(const SourceFile &f, const Project &proj,
+                     std::vector<Diagnostic> &out)
+{
+    if (!inSrcOrBench(f) || startsWith(f.relPath(), "src/mem/") ||
+        f.relPath() == "src/fabric/ihub.cc")
+        return;
+
+    std::set<std::string> vars = physMemVars(f);
+    if (const SourceFile *pair = proj.pairOf(f)) {
+        std::set<std::string> pv = physMemVars(*pair);
+        vars.insert(pv.begin(), pv.end());
+    }
+    const auto &toks = f.tokens();
+
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            !isAccessMethod(t.text))
+            continue;
+        if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+            continue;
+        const Token &sep = toks[i - 1];
+        if (sep.text != "." && sep.text != "->")
+            continue;
+        const Token &recv = toks[i - 2];
+        bool phys = false;
+        if (recv.kind == TokKind::Identifier && vars.count(recv.text)) {
+            phys = true;
+        } else if (recv.text == ")" && i >= 4 &&
+                   toks[i - 3].text == "(" &&
+                   toks[i - 4].kind == TokKind::Identifier &&
+                   proj.physMemAccessors().count(toks[i - 4].text)) {
+            phys = true; // e.g. sys.csMem().write(...)
+        }
+        if (!phys)
+            continue;
+
+        int fb = f.enclosingFunction(i);
+        bool guarded = false;
+        if (fb >= 0) {
+            const Block &blk =
+                f.blocks()[static_cast<std::size_t>(fb)];
+            for (std::size_t k = blk.open + 1; k < i; ++k) {
+                const Token &g = toks[k];
+                if (!g.inDirective &&
+                    g.kind == TokKind::Identifier &&
+                    isMediationGuard(g.text)) {
+                    guarded = true;
+                    break;
+                }
+            }
+        }
+        if (!guarded)
+            report(out, f, t.line, "bitmap-mediation",
+                   "direct PhysicalMemory::" + t.text +
+                       " outside src/mem/ without a preceding "
+                       "ownership-bitmap/range check "
+                       "(overlapsRange/containsRange/isEnclavePage/"
+                       "csAccessAllowed) in the same function");
+    }
+}
+
+// ------------------------------------------------------ stat-registration
+
+bool
+isStatType(const std::string &s)
+{
+    return s == "Scalar" || s == "Average" || s == "Distribution";
+}
+
+/** Identifiers appearing inside registerScalar/... call arguments. */
+std::set<std::string>
+registeredStatNames(const SourceFile &f)
+{
+    std::set<std::string> names;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier ||
+            (t.text != "registerScalar" &&
+             t.text != "registerAverage" &&
+             t.text != "registerDistribution"))
+            continue;
+        if (toks[i + 1].text != "(")
+            continue;
+        int depth = toks[i + 1].parenDepth;
+        for (std::size_t j = i + 2; j < toks.size(); ++j) {
+            if (toks[j].text == ")" && toks[j].parenDepth == depth)
+                break;
+            if (toks[j].kind == TokKind::Identifier)
+                names.insert(toks[j].text);
+        }
+    }
+    return names;
+}
+
+void
+checkStatRegistration(const SourceFile &f, const Project &proj,
+                      std::vector<Diagnostic> &out)
+{
+    const auto &toks = f.tokens();
+    std::set<std::string> registered = registeredStatNames(f);
+    if (const SourceFile *pair = proj.pairOf(f)) {
+        std::set<std::string> pr = registeredStatNames(*pair);
+        registered.insert(pr.begin(), pr.end());
+    }
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            !isStatType(t.text) || t.parenDepth > 0)
+            continue;
+        if (i > 0 && (toks[i - 1].text == "class" ||
+                      toks[i - 1].text == "struct" ||
+                      toks[i - 1].text == "<"))
+            continue; // class definition or template argument
+        std::size_t j = i + 1;
+        if (j < toks.size() &&
+            (toks[j].text == "*" || toks[j].text == "&"))
+            continue; // pointer/reference, not an owned stat
+        // Walk the declarator list: name (, name)* up to ';'.
+        while (j < toks.size() &&
+               toks[j].kind == TokKind::Identifier) {
+            const std::string &name = toks[j].text;
+            if (j + 1 < toks.size() && toks[j + 1].text == "(")
+                break; // function returning a stat type
+            if (!registered.count(name))
+                report(out, f, toks[j].line, "stat-registration",
+                       t.text + " '" + name +
+                           "' is never registered with a StatGroup "
+                           "(register" + t.text +
+                           ") -- it would be silently missing from "
+                           "the stats export");
+            if (j + 1 < toks.size() && toks[j + 1].text == "," &&
+                j + 2 < toks.size() &&
+                toks[j + 2].kind == TokKind::Identifier) {
+                j += 2;
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+// ----------------------------------------------------------- no-wallclock
+
+void
+checkNoWallclock(const SourceFile &f, const Project &,
+                 std::vector<Diagnostic> &out)
+{
+    if (!startsWith(f.relPath(), "src/"))
+        return;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier)
+            continue;
+        if (t.text == "chrono" || t.text == "random_device" ||
+            t.text == "gettimeofday" || t.text == "clock_gettime" ||
+            t.text == "timespec_get" || t.text == "mt19937" ||
+            t.text == "mt19937_64") {
+            report(out, f, t.line, "no-wallclock",
+                   "'" + t.text +
+                       "' breaks determinism -- simulated time comes "
+                       "from EventQueue, randomness from "
+                       "sim/random.hh");
+            continue;
+        }
+        if (t.text == "time" || t.text == "rand" ||
+            t.text == "srand" || t.text == "clock") {
+            if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+                continue;
+            bool member_call =
+                i > 0 &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->");
+            bool non_std_qualified =
+                i > 1 && toks[i - 1].text == "::" &&
+                toks[i - 2].kind == TokKind::Identifier &&
+                toks[i - 2].text != "std";
+            // A preceding type token means this is a *declaration*
+            // of a same-named function (e.g. `const ClockDomain
+            // &clock() const`), not a call into libc.
+            static const std::set<std::string> not_types = {
+                "return", "co_return", "case", "else", "do",
+                "throw", "co_yield", "new", "delete", "sizeof",
+            };
+            bool declaration =
+                i > 0 &&
+                ((toks[i - 1].kind == TokKind::Identifier &&
+                  !not_types.count(toks[i - 1].text)) ||
+                 toks[i - 1].text == "&" || toks[i - 1].text == "*");
+            if (member_call || non_std_qualified || declaration)
+                continue;
+            report(out, f, t.line, "no-wallclock",
+                   "call to '" + t.text +
+                       "()' breaks determinism -- simulated time "
+                       "comes from EventQueue, randomness from "
+                       "sim/random.hh");
+        }
+    }
+}
+
+// ---------------------------------------------------------- trace-pairing
+
+void
+checkTracePairing(const SourceFile &f, const Project &,
+                  std::vector<Diagnostic> &out)
+{
+    const auto &toks = f.tokens();
+    for (const Block &blk : f.blocks()) {
+        if (blk.kind != Block::Kind::Function)
+            continue;
+        int begins = 0;
+        int ends = 0;
+        for (std::size_t i = blk.open + 1;
+             i < blk.close && i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.inDirective || t.kind != TokKind::Identifier)
+                continue;
+            // Only count macros/calls belonging to *this* function,
+            // not to nested function definitions (local classes).
+            if (f.enclosingFunction(i) !=
+                static_cast<int>(&blk - f.blocks().data()))
+                continue;
+            if (t.text == "HT_TRACE_BEGIN") {
+                ++begins;
+            } else if (t.text == "HT_TRACE_END") {
+                ++ends;
+            } else if ((t.text == "begin" || t.text == "end") &&
+                       i > 0 && i + 2 < toks.size() &&
+                       (toks[i - 1].text == "." ||
+                        toks[i - 1].text == "->") &&
+                       toks[i + 1].text == "(" &&
+                       toks[i + 2].text == "TraceCategory") {
+                // TraceSink::begin/end called directly.
+                (t.text == "begin" ? begins : ends)++;
+            }
+        }
+        if (begins != ends)
+            report(out, f, toks[blk.open].line, "trace-pairing",
+                   "function '" + blk.name + "' opens " +
+                       std::to_string(begins) +
+                       " trace span(s) but closes " +
+                       std::to_string(ends) +
+                       " -- unbalanced spans corrupt the Chrome "
+                       "trace nesting");
+    }
+}
+
+// ------------------------------------------------------ no-raw-owning-new
+
+void
+checkNoRawOwningNew(const SourceFile &f, const Project &proj,
+                    std::vector<Diagnostic> &out)
+{
+    if (!inSrcOrBench(f))
+        return;
+    const auto &toks = f.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            t.text != "new")
+            continue;
+        if (i > 0 && (toks[i - 1].text == "." ||
+                      toks[i - 1].text == "->" ||
+                      toks[i - 1].text == "::"))
+            continue; // member/qualified name, not the operator
+        int fb = f.enclosingFunction(i);
+        if (fb >= 0) {
+            const Block &blk =
+                f.blocks()[static_cast<std::size_t>(fb)];
+            bool is_ctor = !blk.className.empty() &&
+                           blk.name == blk.className;
+            if (is_ctor &&
+                proj.derivesFrom(blk.className, "SimObject"))
+                continue;
+        }
+        report(out, f, t.line, "no-raw-owning-new",
+               "raw 'new' outside a SimObject factory constructor "
+               "-- use std::make_unique or a container");
+    }
+}
+
+// --------------------------------------------------------- header-hygiene
+
+void
+checkHeaderHygiene(const SourceFile &f, const Project &,
+                   std::vector<Diagnostic> &out)
+{
+    if (!f.isHeader())
+        return;
+    const auto &toks = f.tokens();
+
+    bool has_pragma_once = false;
+    std::string ifndef_name;
+    bool has_guard = false;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "#" || !toks[i].inDirective)
+            continue;
+        if (toks[i + 1].text == "pragma" &&
+            toks[i + 2].text == "once")
+            has_pragma_once = true;
+        if (toks[i + 1].text == "ifndef" && ifndef_name.empty() &&
+            toks[i + 2].kind == TokKind::Identifier)
+            ifndef_name = toks[i + 2].text;
+        if (toks[i + 1].text == "define" && !ifndef_name.empty() &&
+            toks[i + 2].text == ifndef_name)
+            has_guard = true;
+    }
+    if (!has_pragma_once && !has_guard)
+        report(out, f, 1, "header-hygiene",
+               "header has neither '#pragma once' nor a matching "
+               "#ifndef/#define include guard");
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].inDirective &&
+            toks[i].kind == TokKind::Identifier &&
+            toks[i].text == "using" &&
+            toks[i + 1].text == "namespace")
+            report(out, f, toks[i].line, "header-hygiene",
+                   "'using namespace' in a header leaks into every "
+                   "includer");
+    }
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"bitmap-mediation",
+         "PhysicalMemory accesses outside src/mem/ and the iHub must "
+         "be preceded by an ownership-bitmap/range check",
+         &checkBitmapMediation},
+        {"stat-registration",
+         "every Scalar/Average/Distribution must be registered with "
+         "a StatGroup so the JSON export sees it",
+         &checkStatRegistration},
+        {"no-wallclock",
+         "no std::chrono / time() / rand() / std::random_device in "
+         "src/ -- time comes from EventQueue, randomness from "
+         "sim/random.hh",
+         &checkNoWallclock},
+        {"trace-pairing",
+         "HT_TRACE begin/end (and TraceSink::begin/end) must balance "
+         "within each function",
+         &checkTracePairing},
+        {"no-raw-owning-new",
+         "no raw owning 'new' outside SimObject factory "
+         "constructors",
+         &checkNoRawOwningNew},
+        {"header-hygiene",
+         "headers need an include guard and must not contain "
+         "'using namespace'",
+         &checkHeaderHygiene},
+    };
+    return rules;
+}
+
+} // namespace hypertee::htlint

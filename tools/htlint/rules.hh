@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Rule framework: a diagnostic, the rule registry, and the Project
+ * (the full set of files under analysis, so cross-file rules can pair
+ * a header with its implementation and look up class hierarchies).
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_RULES_HH
+#define HYPERTEE_TOOLS_HTLINT_RULES_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/htlint/source_file.hh"
+
+namespace hypertee::htlint
+{
+
+struct Diagnostic
+{
+    std::string file; ///< project-relative path
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+class Project
+{
+  public:
+    /** Load @p path, reporting it as @p rel_path; false on I/O error. */
+    bool addFile(const std::string &path, const std::string &rel_path);
+
+    /** Add analysis of in-memory text (fixture tests). */
+    void addText(std::string text, const std::string &rel_path);
+
+    const std::vector<std::unique_ptr<SourceFile>> &files() const
+    {
+        return _files;
+    }
+
+    /**
+     * The sibling of @p file across the header/implementation split
+     * (foo.cc <-> foo.hh, foo.cpp <-> foo.hpp); nullptr when the
+     * project does not contain it.
+     */
+    const SourceFile *pairOf(const SourceFile &file) const;
+
+    /** Direct base-class names of @p class_name, project-wide. */
+    const std::vector<std::string> &
+    basesOf(const std::string &class_name) const;
+
+    /** Does @p class_name derive (transitively) from @p base? */
+    bool derivesFrom(const std::string &class_name,
+                     const std::string &base) const;
+
+    /**
+     * Names of functions declared to return `PhysicalMemory &` or
+     * `PhysicalMemory *` anywhere in the project (e.g. csMem), so the
+     * mediation rule can see through accessor calls.
+     */
+    const std::set<std::string> &physMemAccessors() const
+    {
+        return _physMemAccessors;
+    }
+
+    /** Run every rule in @p rules (all when empty); suppressions and
+     *  ordering applied. */
+    std::vector<Diagnostic>
+    run(const std::set<std::string> &rules = {}) const;
+
+  private:
+    void indexFile(const SourceFile &f);
+
+    std::vector<std::unique_ptr<SourceFile>> _files;
+    std::map<std::string, std::size_t> _byRelPath;
+    std::map<std::string, std::vector<std::string>> _classBases;
+    std::set<std::string> _physMemAccessors;
+};
+
+using RuleFn = void (*)(const SourceFile &, const Project &,
+                        std::vector<Diagnostic> &);
+
+struct RuleInfo
+{
+    const char *name;
+    const char *description;
+    RuleFn check;
+};
+
+/** All built-in rules, in reporting order. */
+const std::vector<RuleInfo> &allRules();
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_RULES_HH
