@@ -9,6 +9,9 @@
  * EMS-managed shared enclave memory at plaintext speed (the MKTME
  * line latency is part of the DMA path).
  *
+ * Each workload row is an independent shard fanned across --jobs
+ * workers; the merged output is byte-identical for any job count.
+ *
  * Paper: ResNet50 >4.0x, MobileNet >3.3x, MLPs >27.7x, NIC ~50x.
  */
 
@@ -50,41 +53,40 @@ shmSetupCost()
     return Tick(4) * 3'000'000 / 100;
 }
 
-void
-dnnRow(const DnnNetwork &net, const GemminiModel &gemmini)
+BenchShardResult
+makeRow(const std::string &name, Tick conventional, Tick hypertee,
+        Tick crypto_time, int ms_decimals)
 {
-    Tick compute = gemmini.inferenceTime(net.macs, net.layers);
-    Tick conventional =
-        compute + softwareCrypto(net.transferBytes) +
-        sharedMemoryMove(net.transferBytes);
-    Tick hypertee = compute + sharedMemoryMove(net.transferBytes) +
-                    shmSetupCost();
-
-    double crypto_share =
-        double(softwareCrypto(net.transferBytes)) / double(conventional);
-    printRow({net.name, num(double(conventional) / 1e9, 2),
-              num(double(hypertee) / 1e9, 2), pct(crypto_share, 1),
-              num(double(conventional) / double(hypertee), 1) + "x"});
+    BenchShardResult result;
+    result.stats.scalar(name + "_conventional_ticks")
+        .set(double(conventional));
+    result.stats.scalar(name + "_hypertee_ticks")
+        .set(double(hypertee));
+    double crypto_share = double(crypto_time) / double(conventional);
+    result.rows.push_back(
+        {name, num(double(conventional) / 1e9, ms_decimals),
+         num(double(hypertee) / 1e9, ms_decimals),
+         pct(crypto_share, 1),
+         num(double(conventional) / double(hypertee), 1) + "x"});
+    return result;
 }
 
-} // namespace
-
-int
-main()
+BenchShardResult
+dnnRow(const DnnNetwork &net)
 {
-    benchHeader("Figure 12: enclave communication speedup",
-                "conventional (software enc/dec) vs HyperTEE shared "
-                "encrypted memory");
-
     GemminiModel gemmini;
+    Tick compute = gemmini.inferenceTime(net.macs, net.layers);
+    Tick crypto_time = softwareCrypto(net.transferBytes);
+    Tick conventional = compute + crypto_time +
+                        sharedMemoryMove(net.transferBytes);
+    Tick hypertee = compute + sharedMemoryMove(net.transferBytes) +
+                    shmSetupCost();
+    return makeRow(net.name, conventional, hypertee, crypto_time, 2);
+}
 
-    printRow({"workload", "conv(ms)", "hyper(ms)", "sw-crypto",
-              "speedup"});
-    dnnRow(resnet50(), gemmini);
-    dnnRow(mobileNet(), gemmini);
-    for (const DnnNetwork &mlp : mlpSuite())
-        dnnRow(mlp, gemmini);
-
+BenchShardResult
+nicRow()
+{
     // NIC scenario: almost no computation, the whole transmission is
     // staged buffers; conventional designs pay sw crypto on >98% of
     // the time.
@@ -93,20 +95,48 @@ main()
     // the critical path of a burst.
     Tick wire = nic.wireTime() / 3;
     Tick driver = Tick(nic.perBurstSetup) * 400; // CS cycles
-    Tick conventional = wire + driver +
-                        softwareCrypto(nic.bytesPerBurst) +
+    Tick crypto_time = softwareCrypto(nic.bytesPerBurst);
+    Tick conventional = wire + driver + crypto_time +
                         sharedMemoryMove(nic.bytesPerBurst);
     Tick hypertee = wire + driver +
                     sharedMemoryMove(nic.bytesPerBurst) +
                     shmSetupCost();
-    double crypto_share =
-        double(softwareCrypto(nic.bytesPerBurst)) / double(conventional);
-    printRow({"nic-burst", num(double(conventional) / 1e9, 3),
-              num(double(hypertee) / 1e9, 3), pct(crypto_share, 1),
-              num(double(conventional) / double(hypertee), 1) + "x"});
+    return makeRow("nic-burst", conventional, hypertee, crypto_time,
+                   3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+
+    benchHeader("Figure 12: enclave communication speedup",
+                "conventional (software enc/dec) vs HyperTEE shared "
+                "encrypted memory");
+
+    std::vector<DnnNetwork> networks = {resnet50(), mobileNet()};
+    for (const DnnNetwork &mlp : mlpSuite())
+        networks.push_back(mlp);
+
+    printRow({"workload", "conv(ms)", "hyper(ms)", "sw-crypto",
+              "speedup"});
+    // Shards: one per network plus the trailing NIC scenario.
+    ShardStats merged = runShardedBench(
+        opts, networks.size() + 1, 14, [&](ShardContext &ctx) {
+            return ctx.index < networks.size()
+                       ? dnnRow(networks[ctx.index])
+                       : nicRow();
+        });
 
     std::printf("\npaper: ResNet50 >4.0x (sw crypto >74.7%%), "
                 "MobileNet >3.3x, MLPs >27.7x, NIC ~50x (crypto "
                 ">98%%)\n");
-    return 0;
+
+    StatGroup fig12_stats("fig12_comm");
+    merged.registerWith(fig12_stats);
+    return finishBench(opts, {&fig12_stats});
 }

@@ -10,6 +10,11 @@
  * curve row reports the fraction of enclave-mode requests resolved
  * within x times that baseline.
  *
+ * Every curve is an independent simulation (its own EmsServiceSim,
+ * EventQueue and seeds), so the sweep fans curves across --jobs
+ * worker shards; the merged output is byte-identical for any job
+ * count.
+ *
  * Paper conclusions the output should reproduce: 1 in-order EMS core
  * suffices for <=4 CS cores; 2 in-order for 16; 2 OoO for 32/64
  * (matching the 4-core OoO curve closely).
@@ -49,10 +54,17 @@ struct EmsConfig
     EmsCostParams cost;
 };
 
-void
-runCurve(unsigned cs_cores, const EmsConfig &ems, StatGroup &stats,
-         std::vector<std::unique_ptr<Distribution>> &curve_lats)
+struct CurveSpec
 {
+    unsigned csCores;
+    EmsConfig ems;
+};
+
+BenchShardResult
+runCurve(const CurveSpec &spec)
+{
+    const unsigned cs_cores = spec.csCores;
+    const EmsConfig &ems = spec.ems;
     const std::uint64_t total_allocs = 16384;
     EmsCostModel cost(ems.cost);
 
@@ -91,11 +103,9 @@ runCurve(unsigned cs_cores, const EmsConfig &ems, StatGroup &stats,
 
     // One exported latency distribution per curve, so --stats-json
     // carries the p50/p90/p99 behind every SLO row.
-    curve_lats.push_back(std::make_unique<Distribution>());
-    Distribution &lat = *curve_lats.back();
-    stats.registerDistribution(std::to_string(cs_cores) + "xCS_" +
-                                   ems.name + "_latency",
-                               &lat);
+    BenchShardResult result;
+    Distribution &lat = result.stats.distribution(
+        std::to_string(cs_cores) + "xCS_" + ems.name + "_latency");
     for (unsigned c = 0; c < cs_cores; ++c) {
         for (Tick t : sim.latencies("cs" + std::to_string(c)))
             lat.sample(static_cast<double>(t));
@@ -106,7 +116,8 @@ runCurve(unsigned cs_cores, const EmsConfig &ems, StatGroup &stats,
                                     ems.name};
     for (double x : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
         row.push_back(pct(lat.fractionAtOrBelow(x * baseline), 1));
-    printRow(row, 12);
+    result.rows.push_back(std::move(row));
+    return result;
 }
 
 } // namespace
@@ -127,27 +138,33 @@ main(int argc, char **argv)
     EmsConfig two_med = {"2xOoO", 2, emsMediumCost()};
     EmsConfig four_med = {"4xOoO", 4, emsMediumCost()};
 
-    StatGroup slo_stats("fig6_slo");
-    std::vector<std::unique_ptr<Distribution>> curve_lats;
+    std::vector<CurveSpec> curves = {
+        // High-end embedded: 4 CS cores.
+        {4, one_weak},
+        {4, two_weak},
+    };
+    if (!opts.smoke) {
+        // Desktop: 16 CS cores.
+        curves.push_back({16, one_weak});
+        curves.push_back({16, two_weak});
+        curves.push_back({16, two_med});
+        // High-performance: 32 and 64 CS cores.
+        curves.push_back({32, two_weak});
+        curves.push_back({32, two_med});
+        curves.push_back({32, four_med});
+        curves.push_back({64, two_med});
+        curves.push_back({64, four_med});
+    }
 
     printRow({"CS", "EMS", "1x", "2x", "4x", "8x", "16x", "32x",
               "64x"},
              12);
-    // High-end embedded: 4 CS cores.
-    runCurve(4, one_weak, slo_stats, curve_lats);
-    runCurve(4, two_weak, slo_stats, curve_lats);
-    if (!opts.smoke) {
-        // Desktop: 16 CS cores.
-        runCurve(16, one_weak, slo_stats, curve_lats);
-        runCurve(16, two_weak, slo_stats, curve_lats);
-        runCurve(16, two_med, slo_stats, curve_lats);
-        // High-performance: 32 and 64 CS cores.
-        runCurve(32, two_weak, slo_stats, curve_lats);
-        runCurve(32, two_med, slo_stats, curve_lats);
-        runCurve(32, four_med, slo_stats, curve_lats);
-        runCurve(64, two_med, slo_stats, curve_lats);
-        runCurve(64, four_med, slo_stats, curve_lats);
-    }
+    ShardStats merged = runShardedBench(
+        opts, curves.size(), 12,
+        [&](ShardContext &ctx) { return runCurve(curves[ctx.index]); });
+
+    StatGroup slo_stats("fig6_slo");
+    merged.registerWith(slo_stats);
 
     std::printf("\npaper: a single in-order EMS core suffices for 4 "
                 "CS cores; dual in-order for 16; dual OoO tracks the "

@@ -3,6 +3,12 @@
  * Figure 7: enclave performance overhead under the three EMS core
  * configurations of Table III.
  *
+ * Every (benchmark, EMS config) cell is an independent simulation,
+ * so the sweep shards per benchmark across --jobs workers; each
+ * shard runs its Host-Native baseline plus the three enclave
+ * configurations and the merged output is byte-identical for any
+ * job count.
+ *
  * Paper: weak 5.7%, medium 2.0%, strong 1.9% average overhead on
  * RV8 + wolfSSL (medium beats weak by 3.7%, strong adds only 0.1%).
  */
@@ -16,6 +22,12 @@ using namespace hypertee;
 
 namespace
 {
+
+struct ConfigSpec
+{
+    const char *name;
+    EmsCostParams cost;
+};
 
 double
 overheadFor(const WorkloadProfile &profile, const EmsCostParams &cost)
@@ -35,42 +47,74 @@ overheadFor(const WorkloadProfile &profile, const EmsCostParams &cost)
     return double(r.stats.ticks) / double(host.ticks) - 1.0;
 }
 
+BenchShardResult
+runProfile(const WorkloadProfile &profile,
+           const std::vector<ConfigSpec> &configs)
+{
+    BenchShardResult result;
+    std::vector<std::string> row = {profile.name};
+    for (const ConfigSpec &cfg : configs) {
+        double ov = overheadFor(profile, cfg.cost);
+        result.stats
+            .scalar(profile.name + std::string("_") + cfg.name +
+                    "_overhead")
+            .set(ov);
+        row.push_back(pct(ov, 1));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     logging_detail::setVerbose(false);
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
+
     benchHeader("Figure 7: overhead per EMS core configuration",
                 "enclave runtime vs Host-Native for weak / medium / "
                 "strong EMS cores");
 
     printRow({"benchmark", "weak", "medium", "strong"});
 
-    struct ConfigRow
-    {
-        const char *name;
-        EmsCostParams cost;
-        double sum = 0;
-    };
-    ConfigRow configs[3] = {{"weak", emsWeakCost()},
-                            {"medium", emsMediumCost()},
-                            {"strong", emsStrongCost()}};
+    std::vector<ConfigSpec> configs = {{"weak", emsWeakCost()},
+                                       {"medium", emsMediumCost()},
+                                       {"strong", emsStrongCost()}};
 
     auto suite = rv8Profiles();
-    for (const auto &profile : suite) {
-        std::vector<std::string> row = {profile.name};
-        for (auto &cfg : configs) {
-            double ov = overheadFor(profile, cfg.cost);
-            cfg.sum += ov;
-            row.push_back(pct(ov, 1));
-        }
-        printRow(row);
+    if (opts.smoke) {
+        // Two benchmarks at a twentieth of the instruction budget:
+        // enough to exercise every config and the sharded merge.
+        suite.resize(2);
+        for (auto &profile : suite)
+            profile.instructions /= 20;
     }
+
+    ShardStats merged = runShardedBench(
+        opts, suite.size(), 14, [&](ShardContext &ctx) {
+            return runProfile(suite[ctx.index], configs);
+        });
+
     double n = double(suite.size());
-    printRow({"Average", pct(configs[0].sum / n, 1),
-              pct(configs[1].sum / n, 1),
-              pct(configs[2].sum / n, 1)});
+    std::vector<std::string> avg_row = {"Average"};
+    for (const ConfigSpec &cfg : configs) {
+        double sum = 0;
+        for (const auto &profile : suite) {
+            const Scalar *s = merged.findScalar(
+                profile.name + std::string("_") + cfg.name +
+                "_overhead");
+            sum += s ? s->value() : 0.0;
+        }
+        avg_row.push_back(pct(sum / n, 1));
+    }
+    printRow(avg_row);
     std::printf("\npaper: weak 5.7%%, medium 2.0%%, strong 1.9%%\n");
-    return 0;
+
+    StatGroup fig7_stats("fig7_ems_config");
+    merged.registerWith(fig7_stats);
+    return finishBench(opts, {&fig7_stats});
 }

@@ -11,6 +11,7 @@
 #define HYPERTEE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,6 +19,8 @@
 
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/stats_export.hh"
 #include "sim/trace.hh"
@@ -90,11 +93,17 @@ evalSystem(bool crypto_engine = true)
 }
 
 /**
- * Observability flags shared by every bench:
+ * Observability and parallelism flags shared by every bench:
  *   --trace=<path>             Chrome trace_event JSON of the run
  *   --trace-categories=<list>  comma list ("all" for everything)
  *   --stats-json=<path>        structured StatGroup export
  *   --smoke                    shortened run for CI smoke tests
+ *   --jobs=<n>                 worker threads for sharded sweeps
+ *                              (0 = all host cores); results are
+ *                              byte-identical for every n
+ *   --seed=<n>                 global seed the per-shard RNG streams
+ *                              are split from
+ * Values may also be given as a separate argument (`--jobs 8`).
  */
 struct BenchOptions
 {
@@ -102,6 +111,8 @@ struct BenchOptions
     std::string traceCategories;
     std::string statsJsonPath;
     bool smoke = false;
+    unsigned jobs = 1;
+    std::uint64_t seed = 42;
     bool ok = true; ///< false after an unrecognized argument
 };
 
@@ -109,33 +120,69 @@ inline BenchOptions
 parseBenchOptions(int argc, char **argv)
 {
     BenchOptions opts;
-    auto value_of = [](const std::string &arg, const char *flag,
-                       std::string &out) {
+    std::string jobs_str, seed_str;
+    int i = 1;
+    // --flag=value in one argument or --flag value in two.
+    auto value_of = [&](const std::string &arg, const char *flag,
+                        std::string &out) {
         std::string prefix = std::string(flag) + "=";
-        if (arg.rfind(prefix, 0) != 0)
-            return false;
-        out = arg.substr(prefix.size());
-        return true;
+        if (arg.rfind(prefix, 0) == 0) {
+            out = arg.substr(prefix.size());
+            return true;
+        }
+        if (arg == flag && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
     };
-    for (int i = 1; i < argc; ++i) {
+    auto parse_unsigned = [](const std::string &text,
+                             std::uint64_t &out) {
+        if (text.empty())
+            return false;
+        char *end = nullptr;
+        out = std::strtoull(text.c_str(), &end, 10);
+        return end != nullptr && *end == '\0';
+    };
+    for (; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
             opts.smoke = true;
         } else if (value_of(arg, "--trace", opts.tracePath) ||
                    value_of(arg, "--trace-categories",
                             opts.traceCategories) ||
-                   value_of(arg, "--stats-json", opts.statsJsonPath)) {
+                   value_of(arg, "--stats-json", opts.statsJsonPath) ||
+                   value_of(arg, "--jobs", jobs_str) ||
+                   value_of(arg, "--seed", seed_str)) {
             // handled by value_of
         } else {
             std::fprintf(stderr,
                          "unknown option: %s\n"
                          "usage: %s [--trace=FILE] "
                          "[--trace-categories=LIST] "
-                         "[--stats-json=FILE] [--smoke]\n",
+                         "[--stats-json=FILE] [--smoke] "
+                         "[--jobs=N] [--seed=N]\n",
                          arg.c_str(), argv[0]);
             opts.ok = false;
             return opts;
         }
+    }
+    if (!jobs_str.empty()) {
+        std::uint64_t jobs = 0;
+        if (!parse_unsigned(jobs_str, jobs)) {
+            std::fprintf(stderr, "bad --jobs value '%s'\n",
+                         jobs_str.c_str());
+            opts.ok = false;
+            return opts;
+        }
+        opts.jobs = jobs == 0 ? defaultJobCount()
+                              : static_cast<unsigned>(jobs);
+    }
+    if (!seed_str.empty() && !parse_unsigned(seed_str, opts.seed)) {
+        std::fprintf(stderr, "bad --seed value '%s'\n",
+                     seed_str.c_str());
+        opts.ok = false;
+        return opts;
     }
     if (!opts.tracePath.empty()) {
         auto &sink = TraceSink::global();
@@ -148,6 +195,41 @@ parseBenchOptions(int argc, char **argv)
         }
     }
     return opts;
+}
+
+/**
+ * What one bench shard produces: the table rows it would have
+ * printed in a sequential run, plus its mergeable stats.
+ */
+struct BenchShardResult
+{
+    std::vector<std::vector<std::string>> rows;
+    ShardStats stats;
+};
+
+/**
+ * Fan @p count independent shard bodies across opts.jobs workers,
+ * then render rows and merge stats in shard-index order, so stdout
+ * and the stats export are byte-identical for every --jobs value.
+ * @return the merged stats; keep them alive until finishBench (the
+ * StatGroup registration is by pointer).
+ */
+template <typename Fn>
+inline ShardStats
+runShardedBench(const BenchOptions &opts, std::size_t count,
+                int row_width, Fn &&body)
+{
+    std::vector<BenchShardResult> results =
+        shardMap<BenchShardResult>(
+            count, opts.jobs, opts.seed,
+            [&](ShardContext &ctx) { return body(ctx); });
+    ShardStats merged;
+    for (const BenchShardResult &r : results) {
+        for (const auto &row : r.rows)
+            printRow(row, row_width);
+        merged.merge(r.stats);
+    }
+    return merged;
 }
 
 /**

@@ -1,0 +1,102 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace hypertee
+{
+
+namespace
+{
+
+ShardContext
+makeContext(std::size_t index, std::size_t count, unsigned jobs,
+            std::uint64_t global_seed)
+{
+    ShardContext ctx;
+    ctx.index = index;
+    ctx.count = count;
+    ctx.jobs = jobs;
+    ctx.seed = shardSeed(global_seed, index);
+    ctx.rng = Random(ctx.seed);
+    return ctx;
+}
+
+} // namespace
+
+unsigned
+defaultJobCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+runShards(std::size_t count, unsigned jobs,
+          std::uint64_t global_seed,
+          const std::function<void(ShardContext &)> &body)
+{
+    if (count == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobCount();
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, count));
+
+    if (workers <= 1) {
+        // Reference semantics: no pool, no atomics, same contexts.
+        for (std::size_t i = 0; i < count; ++i) {
+            ShardContext ctx = makeContext(i, count, jobs, global_seed);
+            traceSetCurrentShard(static_cast<unsigned>(i));
+            body(ctx);
+        }
+        traceSetCurrentShard(0);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            ShardContext ctx = makeContext(i, count, jobs, global_seed);
+            traceSetCurrentShard(static_cast<unsigned>(i));
+            try {
+                body(ctx);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                // Park the counter past the end so idle workers stop
+                // picking up new shards after a failure.
+                next.store(count);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    traceSetCurrentShard(0);
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace hypertee

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sharded parallel simulation driver.
+ *
+ * runShards() runs N independent shards on a fixed-size worker pool.
+ * The determinism contract: every per-shard input (ShardContext,
+ * including the SplitMix64-split RNG stream) depends only on the
+ * shard index and the global seed, and shard bodies touch no shared
+ * mutable state, so the set of per-shard results is bit-identical
+ * for any `jobs` value and any thread scheduling. Callers combine
+ * results in shard-index order (see ShardStats::merge), which makes
+ * the merged output byte-identical to a sequential run.
+ *
+ * `jobs == 1` never spawns a thread: the single-threaded run is the
+ * reference semantics the parallel runs are tested against.
+ */
+
+#ifndef HYPERTEE_SIM_PARALLEL_HH
+#define HYPERTEE_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/shard.hh"
+
+namespace hypertee
+{
+
+/**
+ * Number of worker threads for `--jobs=0` ("use the host"): the
+ * hardware concurrency, with a floor of 1 when it is unknown.
+ */
+unsigned defaultJobCount();
+
+/**
+ * Run @p body once per shard index in [0, count) across
+ * min(jobs, count) pooled worker threads (inline on the calling
+ * thread when that is 1). Trace events recorded inside a shard are
+ * tagged with its index (see traceSetCurrentShard).
+ *
+ * The first exception thrown by a shard body stops the dispatch of
+ * further shards and is rethrown on the calling thread after the
+ * pool joins.
+ */
+void runShards(std::size_t count, unsigned jobs,
+               std::uint64_t global_seed,
+               const std::function<void(ShardContext &)> &body);
+
+/**
+ * runShards() collecting one Result per shard, returned in shard
+ * order: result[i] came from shard i no matter which worker ran it.
+ * Result must be default-constructible; each shard writes only its
+ * own slot.
+ */
+template <typename Result, typename Fn>
+std::vector<Result>
+shardMap(std::size_t count, unsigned jobs, std::uint64_t global_seed,
+         Fn &&body)
+{
+    std::vector<Result> results(count);
+    runShards(count, jobs, global_seed, [&](ShardContext &ctx) {
+        results[ctx.index] = body(ctx);
+    });
+    return results;
+}
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_PARALLEL_HH

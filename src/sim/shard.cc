@@ -1,0 +1,83 @@
+#include "sim/shard.hh"
+
+namespace hypertee
+{
+
+std::uint64_t
+shardSeed(std::uint64_t global_seed, std::uint64_t shard_index)
+{
+    // SplitMix64 increments: walk the stream selected by the global
+    // seed out to the shard's position, then one extra scramble so
+    // indices 0,1,2,... do not hand neighbouring stream positions to
+    // neighbouring shards.
+    std::uint64_t z = global_seed +
+                      (shard_index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+    return z ^ (z >> 33);
+}
+
+Scalar &
+ShardStats::scalar(const std::string &name)
+{
+    return _scalars[name];
+}
+
+Average &
+ShardStats::average(const std::string &name)
+{
+    return _averages[name];
+}
+
+Distribution &
+ShardStats::distribution(const std::string &name)
+{
+    return _distributions[name];
+}
+
+const Scalar *
+ShardStats::findScalar(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? nullptr : &it->second;
+}
+
+const Average *
+ShardStats::findAverage(const std::string &name) const
+{
+    auto it = _averages.find(name);
+    return it == _averages.end() ? nullptr : &it->second;
+}
+
+const Distribution *
+ShardStats::findDistribution(const std::string &name) const
+{
+    auto it = _distributions.find(name);
+    return it == _distributions.end() ? nullptr : &it->second;
+}
+
+void
+ShardStats::merge(const ShardStats &other)
+{
+    for (const auto &[name, s] : other._scalars)
+        _scalars[name].merge(s);
+    for (const auto &[name, a] : other._averages)
+        _averages[name].merge(a);
+    for (const auto &[name, d] : other._distributions)
+        _distributions[name].merge(d);
+}
+
+void
+ShardStats::registerWith(StatGroup &group) const
+{
+    for (const auto &[name, s] : _scalars)
+        group.registerScalar(name, &s);
+    for (const auto &[name, a] : _averages)
+        group.registerAverage(name, &a);
+    for (const auto &[name, d] : _distributions)
+        group.registerDistribution(name, &d);
+}
+
+} // namespace hypertee

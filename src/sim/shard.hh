@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-shard simulation state for the parallel driver.
+ *
+ * A shard is one independent unit of simulation work (one SLO curve,
+ * one workload profile, one allocation-size sweep point). Each shard
+ * owns every mutable object it touches — its own System/EventQueue
+ * via whatever it constructs, its own Random stream via ShardContext
+ * — so shards can run on any worker thread in any order and still
+ * produce bit-identical results. The htlint `shard-isolation` rule
+ * enforces the "no shared mutable singletons" half of that contract.
+ *
+ * ShardStats is the result side: a shard accumulates named stats it
+ * owns by value; the driver merges shard results in shard-index
+ * order, which reproduces the exact stat stream of a sequential run
+ * (Scalar sums, Average sum/count pairs, Distribution sample
+ * concatenation).
+ */
+
+#ifndef HYPERTEE_SIM_SHARD_HH
+#define HYPERTEE_SIM_SHARD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+/**
+ * Derive the RNG seed of shard @p shard_index from @p global_seed.
+ *
+ * SplitMix64-style stream split: the global seed selects a SplitMix64
+ * stream and the shard index selects a position in it, then one more
+ * mixing round decorrelates neighbouring indices. The result depends
+ * only on (global_seed, shard_index) — never on thread count or
+ * scheduling — so per-shard Random streams are reproducible and
+ * pairwise independent for any worker-pool size.
+ */
+std::uint64_t shardSeed(std::uint64_t global_seed,
+                        std::uint64_t shard_index);
+
+/** Everything a shard body may depend on besides its own locals. */
+struct ShardContext
+{
+    std::size_t index = 0; ///< this shard's id in [0, count)
+    std::size_t count = 1; ///< total shards in the run
+    unsigned jobs = 1;     ///< worker threads serving the run
+    std::uint64_t seed = 0; ///< shardSeed(global_seed, index)
+    Random rng{0};          ///< private stream seeded with `seed`
+};
+
+/**
+ * Mergeable, owning stat container for shard results.
+ *
+ * Unlike StatGroup (which only holds pointers to component-owned
+ * stats), ShardStats owns its Scalars/Averages/Distributions so a
+ * shard's results survive the shard body and can be merged across
+ * shards. Accessors create-on-first-use; merge() combines by name.
+ */
+class ShardStats
+{
+  public:
+    Scalar &scalar(const std::string &name);
+    Average &average(const std::string &name);
+    Distribution &distribution(const std::string &name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const Scalar *findScalar(const std::string &name) const;
+    const Average *findAverage(const std::string &name) const;
+    const Distribution *findDistribution(const std::string &name) const;
+
+    /**
+     * Fold @p other into this container. Stats present on both sides
+     * merge element-wise (sum / sum+count / sample concatenation);
+     * stats present only in @p other are copied. Merging shard
+     * results in shard-index order is the determinism contract: the
+     * outcome is independent of which worker ran which shard.
+     */
+    void merge(const ShardStats &other);
+
+    /**
+     * Register every owned stat with @p group for export. The
+     * container must outlive @p group's dumps (registration is by
+     * pointer).
+     */
+    void registerWith(StatGroup &group) const;
+
+    bool
+    empty() const
+    {
+        return _scalars.empty() && _averages.empty() &&
+               _distributions.empty();
+    }
+
+  private:
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Average> _averages;
+    std::map<std::string, Distribution> _distributions;
+};
+
+} // namespace hypertee
+
+#endif // HYPERTEE_SIM_SHARD_HH

@@ -54,6 +54,14 @@ Distribution::quantile(double q) const
     return _samples[rank - 1];
 }
 
+void
+Distribution::merge(const Distribution &other)
+{
+    _samples.insert(_samples.end(), other._samples.begin(),
+                    other._samples.end());
+    _sorted = false;
+}
+
 double
 Distribution::fractionAtOrBelow(double threshold) const
 {

@@ -34,6 +34,9 @@ class Scalar
     void set(double v) { _value = v; }
     double value() const { return _value; }
 
+    /** Shard merge: counts accumulated in parallel shards add up. */
+    void merge(const Scalar &other) { _value += other._value; }
+
   private:
     double _value = 0;
 };
@@ -56,6 +59,17 @@ class Average
     }
     std::uint64_t count() const { return _count; }
     double sum() const { return _sum; }
+
+    /**
+     * Shard merge: the combined mean weights every sample equally, as
+     * if all shards had sampled into one Average.
+     */
+    void
+    merge(const Average &other)
+    {
+        _sum += other._sum;
+        _count += other._count;
+    }
 
   private:
     double _sum = 0;
@@ -99,6 +113,15 @@ class Distribution
     double fractionAtOrBelow(double threshold) const;
 
     const std::vector<double> &samples() const { return _samples; }
+
+    /**
+     * Shard merge: append @p other's samples in their insertion
+     * order, so merging shards 0..N-1 in index order reproduces the
+     * exact sample sequence of a sequential run. Quantiles over the
+     * merged distribution equal quantiles of the concatenated sample
+     * set (nearest-rank; sorting makes them order-insensitive).
+     */
+    void merge(const Distribution &other);
 
     void
     clear()

@@ -48,7 +48,30 @@ writeJsonNumber(std::ostream &os, double v)
     os << buf;
 }
 
+/**
+ * Per-thread recording state: the shard tag stamped onto events and
+ * the index of the last event this thread recorded (for arg()),
+ * validated against the sink generation so clear() invalidates it.
+ */
+constexpr std::size_t noLastEvent = ~std::size_t(0);
+
+thread_local unsigned t_shard = 0;
+thread_local std::size_t t_lastIndex = noLastEvent;
+thread_local std::uint64_t t_lastGeneration = 0;
+
 } // namespace
+
+void
+traceSetCurrentShard(unsigned shard)
+{
+    t_shard = shard;
+}
+
+unsigned
+traceCurrentShard()
+{
+    return t_shard;
+}
 
 const char *
 traceCategoryName(TraceCategory cat)
@@ -140,16 +163,19 @@ TraceSink::record(TraceCategory cat, char phase, std::string &&name,
     // The macros pre-check on(), but direct callers get the same
     // gating: a disabled sink (or category) records nothing.
     if (!on(cat)) {
-        _lastDropped = true;
+        t_lastIndex = noLastEvent;
         return false;
     }
+    std::lock_guard<std::mutex> lock(_mutex);
     if (_events.size() >= _capacity) {
-        ++_dropped;
-        _lastDropped = true;
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        t_lastIndex = noLastEvent;
         return false;
     }
-    _events.push_back(TraceEvent{phase, cat, std::move(name), ts, {}});
-    _lastDropped = false;
+    _events.push_back(
+        TraceEvent{phase, cat, std::move(name), ts, t_shard, {}});
+    t_lastIndex = _events.size() - 1;
+    t_lastGeneration = _generation;
     return true;
 }
 
@@ -174,22 +200,34 @@ TraceSink::instant(TraceCategory cat, std::string name, Tick ts)
 void
 TraceSink::arg(const char *key, double value)
 {
-    if (!_lastDropped && !_events.empty())
-        _events.back().args.emplace_back(key, value);
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (t_lastIndex != noLastEvent &&
+        t_lastGeneration == _generation &&
+        t_lastIndex < _events.size())
+        _events[t_lastIndex].args.emplace_back(key, value);
 }
 
 void
 TraceSink::clear()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _events.clear();
-    _dropped = 0;
-    _lastDropped = false;
-    _timeline = 0;
+    _dropped.store(0, std::memory_order_relaxed);
+    ++_generation;
+    _timeline.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events.size();
 }
 
 void
 TraceSink::writeJson(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
     for (const TraceEvent &ev : _events) {
@@ -203,7 +241,7 @@ TraceSink::writeJson(std::ostream &os) const
         // Chrome expects microseconds; ticks are picoseconds.
         os << ",\"ts\":";
         writeJsonNumber(os, static_cast<double>(ev.ts) / 1e6);
-        os << ",\"pid\":0,\"tid\":0";
+        os << ",\"pid\":0,\"tid\":" << ev.tid;
         if (!ev.args.empty()) {
             os << ",\"args\":{";
             bool first_arg = true;

@@ -17,14 +17,26 @@
  *  - the functional model has no global clock, so the sink keeps a
  *    monotonic timeline cursor that the EMCall gate (the component
  *    that owns round-trip latency) advances; instrumented components
- *    below it stamp events at the current cursor.
+ *    below it stamp events at the current cursor;
+ *  - recording is thread-safe so parallel simulation shards
+ *    (sim/parallel.hh) can trace concurrently: events are tagged
+ *    with the recording shard's id (rendered as the Chrome "tid", so
+ *    Perfetto shows one row per shard) and the buffer is guarded by
+ *    a mutex. Event *order* in the file follows recording order and
+ *    is therefore scheduling-dependent under --jobs > 1; timestamps
+ *    and tids are not. Enable/disable, categories, capacity and
+ *    clear() are configuration and must be called while the process
+ *    is single-threaded (benches do this before the worker pool
+ *    starts).
  */
 
 #ifndef HYPERTEE_SIM_TRACE_HH
 #define HYPERTEE_SIM_TRACE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -59,9 +71,20 @@ struct TraceEvent
     TraceCategory cat;
     std::string name;
     Tick ts;
+    /** Recording shard id (Chrome "tid"); 0 outside shard bodies. */
+    unsigned tid = 0;
     /** Optional numeric arguments rendered into the "args" object. */
     std::vector<std::pair<std::string, double>> args;
 };
+
+/**
+ * Tag trace events recorded by the calling thread with @p shard
+ * (thread-local; the parallel driver sets it around shard bodies).
+ */
+void traceSetCurrentShard(unsigned shard);
+
+/** The calling thread's current shard tag. */
+unsigned traceCurrentShard();
 
 class TraceSink
 {
@@ -95,20 +118,32 @@ class TraceSink
 
     // ---- timeline cursor ----
     /** Current position on the synthetic timeline, in ticks. */
-    Tick now() const { return _timeline; }
+    Tick
+    now() const
+    {
+        return _timeline.load(std::memory_order_relaxed);
+    }
     /** Move the cursor forward; requests to move back are ignored. */
     void
     advanceTo(Tick t)
     {
-        if (t > _timeline)
-            _timeline = t;
+        Tick cur = _timeline.load(std::memory_order_relaxed);
+        while (t > cur &&
+               !_timeline.compare_exchange_weak(
+                   cur, t, std::memory_order_relaxed)) {
+            // cur reloaded by compare_exchange_weak on failure
+        }
     }
 
-    // ---- recording ----
+    // ---- recording (thread-safe) ----
     void begin(TraceCategory cat, std::string name, Tick ts);
     void end(TraceCategory cat, std::string name, Tick ts);
     void instant(TraceCategory cat, std::string name, Tick ts);
-    /** Attach a numeric argument to the most recent event. */
+    /**
+     * Attach a numeric argument to the most recent event *recorded
+     * by the calling thread* (so concurrent shards cannot decorate
+     * each other's events).
+     */
     void arg(const char *key, double value);
 
     /**
@@ -117,9 +152,15 @@ class TraceSink
      * runaway workload cannot eat the host's memory.
      */
     void setCapacity(std::size_t capacity) { _capacity = capacity; }
-    std::uint64_t dropped() const { return _dropped; }
+    std::uint64_t
+    dropped() const
+    {
+        return _dropped.load(std::memory_order_relaxed);
+    }
 
-    std::size_t eventCount() const { return _events.size(); }
+    std::size_t eventCount() const;
+    /** Direct buffer access; only valid once recording has quiesced
+     *  (tests and the end-of-run export). */
     const std::vector<TraceEvent> &events() const { return _events; }
 
     /** Forget all events, drops, and the timeline cursor. */
@@ -137,13 +178,15 @@ class TraceSink
 
     bool _enabled = false;
     bool _catEnabled[static_cast<unsigned>(TraceCategory::NumCategories)];
+    /** Guards _events, _dropped increments, and _generation. */
+    mutable std::mutex _mutex;
     std::vector<TraceEvent> _events;
     std::size_t _capacity = 1'000'000;
-    std::uint64_t _dropped = 0;
-    /** True when the latest record() was dropped at capacity, so a
-     *  following arg() does not decorate an unrelated event. */
-    bool _lastDropped = false;
-    Tick _timeline = 0;
+    std::atomic<std::uint64_t> _dropped{0};
+    /** Bumped by clear() so stale per-thread "last event" indices
+     *  held across a clear cannot decorate an unrelated event. */
+    std::uint64_t _generation = 0;
+    std::atomic<Tick> _timeline{0};
 };
 
 } // namespace hypertee

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Golden-value regression tests: seeded, deterministic simulation
+ * runs pinned to checked-in fixtures. The model is a discrete cost
+ * model with no host-dependent timing, so every counter below is
+ * exactly reproducible; any drift means a change altered simulated
+ * behaviour and must either be fixed or explicitly re-baselined.
+ *
+ * Re-baseline (after an intentional model change) with
+ *     HT_UPDATE_GOLDEN=1 ./build/tests/test_golden
+ * and commit the updated fixtures in tests/golden/ with a note in the
+ * PR about why the numbers moved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "workload/profiles.hh"
+#include "workload/runner.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+using GoldenMap = std::map<std::string, std::uint64_t>;
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(HT_GOLDEN_DIR) + "/" + file;
+}
+
+bool
+loadGolden(const std::string &path, GoldenMap &out)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return false;
+    std::string key;
+    std::uint64_t value;
+    while (in >> key >> value)
+        out[key] = value;
+    return true;
+}
+
+/**
+ * Compare @p actual against the fixture, or rewrite the fixture when
+ * HT_UPDATE_GOLDEN is set. Missing and extra keys are failures too:
+ * a renamed metric must be re-baselined consciously, not silently.
+ */
+void
+checkGolden(const char *file, const GoldenMap &actual)
+{
+    const std::string path = goldenPath(file);
+    if (std::getenv("HT_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        for (const auto &[key, value] : actual)
+            out << key << " " << value << "\n";
+        GTEST_SKIP() << "rewrote " << path;
+    }
+    GoldenMap expected;
+    ASSERT_TRUE(loadGolden(path, expected))
+        << "missing fixture " << path
+        << "; generate it with HT_UPDATE_GOLDEN=1";
+    for (const auto &[key, value] : expected) {
+        auto it = actual.find(key);
+        if (it == actual.end()) {
+            ADD_FAILURE() << "pinned metric no longer measured: "
+                          << key;
+            continue;
+        }
+        EXPECT_EQ(it->second, value)
+            << key << " drifted from the golden value; re-baseline "
+            << "with HT_UPDATE_GOLDEN=1 if the change is intended";
+    }
+    for (const auto &[key, value] : actual) {
+        EXPECT_TRUE(expected.count(key) != 0)
+            << "unpinned new metric " << key << " = " << value
+            << "; re-baseline with HT_UPDATE_GOLDEN=1";
+    }
+}
+
+/**
+ * Table IV scenario at a reduced instruction budget: the full
+ * enclave lifecycle of the `aes` profile, with and without the
+ * crypto engine, pinning every primitive-phase latency.
+ */
+TEST(Golden, Table4PrimitiveLatencies)
+{
+    logging_detail::setVerbose(false);
+    WorkloadProfile profile = profileByName("aes");
+    profile.instructions = 2'000'000;
+
+    GoldenMap actual;
+    for (bool engine : {false, true}) {
+        HyperTeeSystem sys(evalSystem(engine));
+        WorkloadRunner runner(sys);
+        EnclaveRunResult r =
+            runner.runEnclave(profile, 1, /*charge_primitives=*/false);
+        const std::string prefix =
+            std::string("aes.") + (engine ? "crypto" : "noncrypto");
+        actual[prefix + ".ecreate_ticks"] = r.createLatency;
+        actual[prefix + ".eadd_ticks"] = r.addLatency;
+        actual[prefix + ".emeas_ticks"] = r.measLatency;
+        actual[prefix + ".eenter_eexit_ticks"] = r.enterExitLatency;
+        actual[prefix + ".edestroy_ticks"] = r.destroyLatency;
+        actual[prefix + ".run_ticks"] = r.stats.ticks;
+        actual[prefix + ".run_instructions"] = r.stats.instructions;
+    }
+    checkGolden("table4_primitives.golden", actual);
+}
+
+/**
+ * Figure 10 scenario at a reduced instruction budget: Host-Native vs
+ * Host-Bitmap runtime and TLB misses for a quiet profile
+ * (perlbench_r) and the TLB-stressing outlier (xalancbmk_r).
+ */
+TEST(Golden, Fig10BitmapOverheads)
+{
+    logging_detail::setVerbose(false);
+    GoldenMap actual;
+    for (const char *name : {"perlbench_r", "xalancbmk_r"}) {
+        WorkloadProfile profile = profileByName(name);
+        profile.instructions = 3'000'000;
+
+        HyperTeeSystem native_sys(evalSystem(true));
+        makeHostNative(native_sys);
+        WorkloadRunner native_runner(native_sys);
+        RunStats native = native_runner.runHost(profile);
+
+        HyperTeeSystem bitmap_sys(evalSystem(true));
+        bitmap_sys.core(0).hierarchy().setProtectionEnabled(false);
+        WorkloadRunner bitmap_runner(bitmap_sys);
+        RunStats bitmap = bitmap_runner.runHost(profile);
+
+        const std::string prefix = name;
+        actual[prefix + ".native_ticks"] = native.ticks;
+        actual[prefix + ".bitmap_ticks"] = bitmap.ticks;
+        actual[prefix + ".bitmap_tlb_misses"] = bitmap.tlbMisses;
+        actual[prefix + ".loads"] = bitmap.loads;
+        actual[prefix + ".stores"] = bitmap.stores;
+    }
+    checkGolden("fig10_bitmap.golden", actual);
+}
+
+} // namespace
+} // namespace hypertee

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <tuple>
 
 #include "core/sdk.hh"
@@ -15,6 +18,9 @@
 #include "ems/attestation.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
+#include "sim/random.hh"
+#include "sim/shard.hh"
+#include "sim/stats_export.hh"
 
 namespace hypertee
 {
@@ -291,6 +297,127 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4096, 1024),
                       std::make_tuple(8192, 2048),
                       std::make_tuple(16384, 4096)));
+
+// ------------------------------------------------ stat shard merging
+
+/**
+ * The determinism contract of the parallel driver rests on stat
+ * merging being exactly equivalent to sequential accumulation. Sweep
+ * shard counts (including 1 and counts that do not divide the sample
+ * count evenly) over an integer-valued sample stream so every
+ * floating-point comparison is exact.
+ */
+class StatShardMerge : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    /** Deterministic integer-valued stream; integers up to 10^4 are
+     *  exactly representable so sums and means compare exactly. */
+    static std::vector<double>
+    sampleStream(std::size_t n)
+    {
+        Random rng(20240806);
+        std::vector<double> samples;
+        samples.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            samples.push_back(double(rng.between(0, 10000)));
+        return samples;
+    }
+
+    /** Split [0, n) into `shards` contiguous chunks (first chunks one
+     *  longer when the division is uneven, trailing chunks possibly
+     *  empty when shards > n). */
+    static std::vector<std::pair<std::size_t, std::size_t>>
+    chunks(std::size_t n, std::size_t shards)
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> out;
+        std::size_t base = n / shards, extra = n % shards, begin = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            std::size_t len = base + (s < extra ? 1 : 0);
+            out.emplace_back(begin, begin + len);
+            begin += len;
+        }
+        return out;
+    }
+};
+
+TEST_P(StatShardMerge, MergeEqualsSequentialAccumulation)
+{
+    const std::size_t shards = GetParam();
+    const auto samples = sampleStream(997); // prime: uneven chunks
+
+    ShardStats sequential;
+    for (double v : samples) {
+        sequential.scalar("events") += 1;
+        sequential.scalar("sum") += v;
+        sequential.average("mean").sample(v);
+        sequential.distribution("latency").sample(v);
+    }
+
+    ShardStats merged;
+    for (auto [begin, end] : chunks(samples.size(), shards)) {
+        ShardStats part;
+        for (std::size_t i = begin; i < end; ++i) {
+            part.scalar("events") += 1;
+            part.scalar("sum") += samples[i];
+            part.average("mean").sample(samples[i]);
+            part.distribution("latency").sample(samples[i]);
+        }
+        merged.merge(part);
+    }
+
+    EXPECT_DOUBLE_EQ(merged.scalar("events").value(),
+                     sequential.scalar("events").value());
+    EXPECT_DOUBLE_EQ(merged.scalar("sum").value(),
+                     sequential.scalar("sum").value());
+    EXPECT_EQ(merged.average("mean").count(),
+              sequential.average("mean").count());
+    EXPECT_DOUBLE_EQ(merged.average("mean").sum(),
+                     sequential.average("mean").sum());
+    // Index-ordered merging reproduces the exact sample sequence.
+    EXPECT_EQ(merged.distribution("latency").samples(),
+              sequential.distribution("latency").samples());
+
+    StatGroup seq_group("merge"), par_group("merge");
+    sequential.registerWith(seq_group);
+    merged.registerWith(par_group);
+    std::ostringstream seq_json, par_json;
+    dumpStatsJson(seq_json, {&seq_group});
+    dumpStatsJson(par_json, {&par_group});
+    EXPECT_EQ(seq_json.str(), par_json.str());
+}
+
+TEST_P(StatShardMerge, MergedQuantilesMatchConcatenatedSamples)
+{
+    const std::size_t shards = GetParam();
+    const auto samples = sampleStream(1013);
+
+    Distribution merged;
+    for (auto [begin, end] : chunks(samples.size(), shards)) {
+        Distribution part;
+        for (std::size_t i = begin; i < end; ++i)
+            part.sample(samples[i]);
+        merged.merge(part);
+    }
+    ASSERT_EQ(merged.count(), samples.size());
+
+    // Independent nearest-rank reference over the concatenation.
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    auto nearest_rank = [&](double q) {
+        auto n = double(sorted.size());
+        auto rank = std::size_t(std::ceil(q * n - 1e-9));
+        rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+        return sorted[rank - 1];
+    };
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(merged.quantile(q), nearest_rank(q))
+            << "q=" << q << " shards=" << shards;
+    EXPECT_DOUBLE_EQ(merged.min(), sorted.front());
+    EXPECT_DOUBLE_EQ(merged.max(), sorted.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, StatShardMerge,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 1200));
 
 } // namespace
 } // namespace hypertee

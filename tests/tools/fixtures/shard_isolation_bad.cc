@@ -1,0 +1,32 @@
+// Fixture: shard-isolation violations. Linted under a pretend
+// shard-managed path (src/sim/parallel_pool.cc), this file must
+// produce four findings: a global Random, a static EventQueue, a
+// static function-local Random, and a singleton accessor call.
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/trace.hh"
+
+namespace hypertee
+{
+
+Random g_rng{42}; // global mutable RNG: draw order depends on scheduling
+
+static EventQueue g_queue; // shared queue across shards
+
+unsigned
+pickWorker()
+{
+    // Shared across every shard that lands on this code path.
+    static Random worker_rng{7};
+    return static_cast<unsigned>(worker_rng.next() % 8);
+}
+
+void
+enableTracing()
+{
+    // Shard-managed code reaching for a process-wide singleton.
+    TraceSink::global().setEnabled(true);
+}
+
+} // namespace hypertee

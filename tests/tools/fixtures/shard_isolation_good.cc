@@ -1,0 +1,42 @@
+// Fixture: shard-isolation compliant code. Every Random/EventQueue
+// is owned by an object or a stack frame, constants are allowed, and
+// no singleton accessor appears — zero findings even under a
+// shard-managed path.
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/shard.hh"
+
+namespace hypertee
+{
+
+// Immutable namespace-scope state is fine.
+const Random referenceStream{1};
+
+// Members: each worker/shard owns its instances.
+struct WorkerState
+{
+    Random rng{0};
+    EventQueue queue;
+};
+
+// Functions returning or taking the types are declarations, not
+// shared state.
+Random &streamOf(WorkerState &state);
+
+Random &
+streamOf(WorkerState &state)
+{
+    return state.rng;
+}
+
+std::uint64_t
+drawTwice(ShardContext &ctx)
+{
+    // Function-local instances live and die with the shard body.
+    Random local(ctx.seed);
+    EventQueue queue;
+    return local.next() + ctx.rng.next() + queue.now();
+}
+
+} // namespace hypertee

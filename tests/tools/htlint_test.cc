@@ -141,6 +141,40 @@ TEST(HtlintNoRawOwningNew, AcceptsSimObjectFactoryCtor)
     EXPECT_EQ(countRule(diags, "no-raw-owning-new"), 0);
 }
 
+TEST(HtlintShardIsolation, FlagsSharedMutableStateAndSingletons)
+{
+    // Under a shard-managed path, all four violations fire: global
+    // Random, static EventQueue, static function-local Random, and
+    // the TraceSink::global() call.
+    auto diags = lintAs({{"shard_isolation_bad.cc",
+                          "src/sim/parallel_pool.cc"}});
+    EXPECT_EQ(countRule(diags, "shard-isolation"), 4);
+}
+
+TEST(HtlintShardIsolation, SingletonCallsOnlyPolicedInShardCode)
+{
+    // Outside shard-managed files the singleton-accessor check is
+    // off, but shared mutable Random/EventQueue stays illegal
+    // everywhere shards may run (src/ and bench/).
+    auto diags = lintAs({{"shard_isolation_bad.cc",
+                          "bench/shard_isolation_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "shard-isolation"), 3);
+}
+
+TEST(HtlintShardIsolation, DoesNotApplyToTools)
+{
+    auto diags = lintAs({{"shard_isolation_bad.cc",
+                          "tools/x/shard_isolation_bad.cc"}});
+    EXPECT_EQ(countRule(diags, "shard-isolation"), 0);
+}
+
+TEST(HtlintShardIsolation, AcceptsOwnedPerShardState)
+{
+    auto diags = lintAs({{"shard_isolation_good.cc",
+                          "src/sim/shard_body_good.cc"}});
+    EXPECT_EQ(countRule(diags, "shard-isolation"), 0);
+}
+
 TEST(HtlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace)
 {
     auto diags = lintAs({{"header_bad.hh", "src/core/header_bad.hh"}});
@@ -190,7 +224,7 @@ TEST(HtlintDriver, RuleFilterRunsOnlySelectedRules)
 
 TEST(HtlintDriver, EveryRuleHasNameAndDescription)
 {
-    EXPECT_GE(allRules().size(), 6u);
+    EXPECT_GE(allRules().size(), 7u);
     for (const RuleInfo &r : allRules()) {
         EXPECT_NE(r.name, nullptr);
         EXPECT_GT(std::string(r.description).size(), 10u);

@@ -383,6 +383,116 @@ checkNoRawOwningNew(const SourceFile &f, const Project &proj,
     }
 }
 
+// --------------------------------------------------------- shard-isolation
+
+/**
+ * Files implementing the parallel driver or shard bodies: everything
+ * they touch must be owned per shard, so process-wide singleton
+ * accessors are additionally off limits there.
+ */
+bool
+isShardManaged(const std::string &rel)
+{
+    return startsWith(rel, "src/sim/") &&
+           (rel.find("shard") != std::string::npos ||
+            rel.find("parallel") != std::string::npos);
+}
+
+/** Types whose instances hold mutable simulation state a shard must
+ *  own: sharing one across shards breaks run determinism. */
+bool
+isShardStateType(const std::string &s)
+{
+    return s == "Random" || s == "EventQueue";
+}
+
+void
+checkShardIsolation(const SourceFile &f, const Project &,
+                    std::vector<Diagnostic> &out)
+{
+    if (!inSrcOrBench(f))
+        return;
+    const auto &toks = f.tokens();
+
+    // (a) No namespace-scope, static, or thread_local mutable
+    // Random/EventQueue anywhere shards may run: a singleton RNG or
+    // queue makes shard results depend on worker scheduling.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            !isShardStateType(t.text) || t.parenDepth > 0)
+            continue;
+        if (i > 0 && (toks[i - 1].text == "class" ||
+                      toks[i - 1].text == "struct" ||
+                      toks[i - 1].text == "<"))
+            continue; // forward declaration or template argument
+        if (i + 1 < toks.size() && toks[i + 1].text == "::")
+            continue; // qualified use, not a declaration
+
+        // Storage-class / cv qualifiers directly before the type.
+        bool is_shared = false; // static or thread_local
+        bool is_const = false;
+        for (std::size_t k = i; k-- > 0;) {
+            const std::string &p = toks[k].text;
+            if (p == "static" || p == "thread_local")
+                is_shared = true;
+            else if (p == "const" || p == "constexpr")
+                is_const = true;
+            else
+                break;
+        }
+
+        int blk = f.enclosingBlock(i);
+        Block::Kind kind = blk < 0
+                               ? Block::Kind::Namespace
+                               : f.blocks()[static_cast<std::size_t>(
+                                                blk)]
+                                     .kind;
+        bool namespace_scope = kind == Block::Kind::Namespace;
+        if (is_const || (!namespace_scope && !is_shared))
+            continue; // immutable, or owned by an object/frame
+
+        // Find the declarator; skip function declarations and
+        // definitions (`Random &stream()`).
+        std::size_t j = i + 1;
+        while (j < toks.size() &&
+               (toks[j].text == "*" || toks[j].text == "&" ||
+                toks[j].text == "const"))
+            ++j;
+        if (j >= toks.size() || toks[j].kind != TokKind::Identifier)
+            continue;
+        if (j + 1 < toks.size() && toks[j + 1].text == "(" &&
+            f.enclosingFunction(i) < 0)
+            continue; // function signature, not a variable
+
+        report(out, f, toks[j].line, "shard-isolation",
+               (is_shared ? "static " : "global ") + t.text + " '" +
+                   toks[j].text +
+                   "' is shared mutable simulation state -- parallel "
+                   "shards must own their Random/EventQueue (see "
+                   "ShardContext in sim/shard.hh)");
+    }
+
+    // (b) The driver and shard plumbing must not reach for
+    // process-wide singletons at all.
+    if (!isShardManaged(f.relPath()))
+        return;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            (t.text != "global" && t.text != "instance"))
+            continue;
+        const std::string &sep = toks[i - 1].text;
+        if ((sep != "." && sep != "->" && sep != "::") ||
+            toks[i + 1].text != "(")
+            continue;
+        report(out, f, t.line, "shard-isolation",
+               "singleton accessor '" + t.text +
+                   "()' in shard-managed code -- shards may only "
+                   "touch state handed to them via ShardContext");
+    }
+}
+
 // --------------------------------------------------------- header-hygiene
 
 void
@@ -452,6 +562,11 @@ allRules()
          "no raw owning 'new' outside SimObject factory "
          "constructors",
          &checkNoRawOwningNew},
+        {"shard-isolation",
+         "no global/static mutable Random or EventQueue, and no "
+         "singleton accessors in shard-managed code -- parallel "
+         "shards own their state",
+         &checkShardIsolation},
         {"header-hygiene",
          "headers need an include guard and must not contain "
          "'using namespace'",
