@@ -61,7 +61,7 @@ struct CurveSpec
 };
 
 BenchShardResult
-runCurve(const CurveSpec &spec)
+runCurve(const CurveSpec &spec, const ShardContext &ctx)
 {
     const unsigned cs_cores = spec.csCores;
     const EmsConfig &ems = spec.ems;
@@ -84,12 +84,13 @@ runCurve(const CurveSpec &spec)
     // not allocation-only workload): ~20 ms of work per request.
     const Tick think_base = 20'000'000'000ULL; // ~20 ms
     std::uint64_t per_client = total_allocs / cs_cores;
-    Random think_rng(7);
+    Random think_rng(shardSeed(ctx.seed, 0));
     for (unsigned c = 0; c < cs_cores; ++c) {
         // Per-request service variance (EMS cache state, pool
         // refills): +/-25% uniform; per-client think variation
         // keeps the fleet desynchronized.
-        auto noise = std::make_shared<Random>(1000 + c);
+        auto noise =
+            std::make_shared<Random>(shardSeed(ctx.seed, 1000 + c));
         Tick think = think_base * think_rng.between(85, 115) / 100;
         sim.addClient("cs" + std::to_string(c), per_client + 1,
                       [=](std::uint64_t i) {
@@ -161,7 +162,9 @@ main(int argc, char **argv)
              12);
     ShardStats merged = runShardedBench(
         opts, curves.size(), 12,
-        [&](ShardContext &ctx) { return runCurve(curves[ctx.index]); });
+        [&](ShardContext &ctx) {
+            return runCurve(curves[ctx.index], ctx);
+        });
 
     StatGroup slo_stats("fig6_slo");
     merged.registerWith(slo_stats);

@@ -19,27 +19,71 @@ shardSeed(std::uint64_t global_seed, std::uint64_t shard_index)
     return z ^ (z >> 33);
 }
 
+ShardStats::ShardStats(const ShardStats &other)
+{
+    std::lock_guard<std::mutex> lock(other._mutex);
+    _scalars = other._scalars;
+    _averages = other._averages;
+    _distributions = other._distributions;
+}
+
+ShardStats::ShardStats(ShardStats &&other) noexcept
+{
+    std::lock_guard<std::mutex> lock(other._mutex);
+    _scalars = std::move(other._scalars);
+    _averages = std::move(other._averages);
+    _distributions = std::move(other._distributions);
+}
+
+ShardStats &
+ShardStats::operator=(const ShardStats &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_mutex, other._mutex);
+    _scalars = other._scalars;
+    _averages = other._averages;
+    _distributions = other._distributions;
+    return *this;
+}
+
+ShardStats &
+ShardStats::operator=(ShardStats &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_mutex, other._mutex);
+    _scalars = std::move(other._scalars);
+    _averages = std::move(other._averages);
+    _distributions = std::move(other._distributions);
+    return *this;
+}
+
 Scalar &
 ShardStats::scalar(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     return _scalars[name];
 }
 
 Average &
 ShardStats::average(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     return _averages[name];
 }
 
 Distribution &
 ShardStats::distribution(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     return _distributions[name];
 }
 
 const Scalar *
 ShardStats::findScalar(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = _scalars.find(name);
     return it == _scalars.end() ? nullptr : &it->second;
 }
@@ -47,6 +91,7 @@ ShardStats::findScalar(const std::string &name) const
 const Average *
 ShardStats::findAverage(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = _averages.find(name);
     return it == _averages.end() ? nullptr : &it->second;
 }
@@ -54,6 +99,7 @@ ShardStats::findAverage(const std::string &name) const
 const Distribution *
 ShardStats::findDistribution(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = _distributions.find(name);
     return it == _distributions.end() ? nullptr : &it->second;
 }
@@ -61,6 +107,9 @@ ShardStats::findDistribution(const std::string &name) const
 void
 ShardStats::merge(const ShardStats &other)
 {
+    if (this == &other)
+        return;
+    std::scoped_lock lock(_mutex, other._mutex);
     for (const auto &[name, s] : other._scalars)
         _scalars[name].merge(s);
     for (const auto &[name, a] : other._averages)
@@ -72,12 +121,21 @@ ShardStats::merge(const ShardStats &other)
 void
 ShardStats::registerWith(StatGroup &group) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     for (const auto &[name, s] : _scalars)
         group.registerScalar(name, &s);
     for (const auto &[name, a] : _averages)
         group.registerAverage(name, &a);
     for (const auto &[name, d] : _distributions)
         group.registerDistribution(name, &d);
+}
+
+bool
+ShardStats::empty() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _scalars.empty() && _averages.empty() &&
+           _distributions.empty();
 }
 
 } // namespace hypertee

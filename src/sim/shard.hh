@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "sim/random.hh"
@@ -64,6 +65,14 @@ struct ShardContext
 class ShardStats
 {
   public:
+    ShardStats() = default;
+    // The mutex is identity, not state: copies/moves transfer the
+    // stat maps under the source's lock and get a fresh mutex.
+    ShardStats(const ShardStats &other);
+    ShardStats(ShardStats &&other) noexcept;
+    ShardStats &operator=(const ShardStats &other);
+    ShardStats &operator=(ShardStats &&other) noexcept;
+
     Scalar &scalar(const std::string &name);
     Average &average(const std::string &name);
     Distribution &distribution(const std::string &name);
@@ -89,16 +98,20 @@ class ShardStats
      */
     void registerWith(StatGroup &group) const;
 
-    bool
-    empty() const
-    {
-        return _scalars.empty() && _averages.empty() &&
-               _distributions.empty();
-    }
+    bool empty() const;
 
   private:
-    std::map<std::string, Scalar> _scalars;
-    std::map<std::string, Average> _averages;
+    /**
+     * Guards the stat maps: each shard owns its ShardStats, but
+     * nothing stops a bench from handing one container to several
+     * shard bodies, and map insertion is not safe to race. The lock
+     * makes the container structure safe; references returned by the
+     * accessors are still single-writer by the shard contract.
+     */
+    mutable std::mutex _mutex;
+    std::map<std::string, Scalar> _scalars; // htlint: guarded-by(_mutex)
+    std::map<std::string, Average> _averages; // htlint: guarded-by(_mutex)
+    // htlint: guarded-by(_mutex)
     std::map<std::string, Distribution> _distributions;
 };
 

@@ -161,7 +161,11 @@ class TraceSink
     std::size_t eventCount() const;
     /** Direct buffer access; only valid once recording has quiesced
      *  (tests and the end-of-run export). */
-    const std::vector<TraceEvent> &events() const { return _events; }
+    const std::vector<TraceEvent> &events() const
+    {
+        // Quiesced-only by contract, so no lock is taken here.
+        return _events; // htlint: allow(guarded-by)
+    }
 
     /** Forget all events, drops, and the timeline cursor. */
     void clear();
@@ -180,12 +184,12 @@ class TraceSink
     bool _catEnabled[static_cast<unsigned>(TraceCategory::NumCategories)];
     /** Guards _events, _dropped increments, and _generation. */
     mutable std::mutex _mutex;
-    std::vector<TraceEvent> _events;
+    std::vector<TraceEvent> _events; // htlint: guarded-by(_mutex)
     std::size_t _capacity = 1'000'000;
     std::atomic<std::uint64_t> _dropped{0};
     /** Bumped by clear() so stale per-thread "last event" indices
      *  held across a clear cannot decorate an unrelated event. */
-    std::uint64_t _generation = 0;
+    std::uint64_t _generation = 0; // htlint: guarded-by(_mutex)
     std::atomic<Tick> _timeline{0};
 };
 

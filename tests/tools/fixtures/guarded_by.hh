@@ -1,0 +1,32 @@
+// Fixture: a class with lock-discipline annotations. The annotated
+// fields live here; the accesses under test live in the paired .cc
+// fixtures, so the rule must carry the annotation across the TU
+// boundary.
+#ifndef HTLINT_FIXTURE_GUARDED_BY_HH
+#define HTLINT_FIXTURE_GUARDED_BY_HH
+
+#include <mutex>
+#include <vector>
+
+namespace hypertee
+{
+
+class EventLog
+{
+  public:
+    void append(int value);
+    std::size_t size() const;
+    void clearUnlocked(); // deliberate bad accessor in the .cc
+
+  private:
+    std::size_t countLocked() const;
+
+    mutable std::mutex _mutex;
+    std::vector<int> _entries; // htlint: guarded-by(_mutex)
+    // htlint: guarded-by(_mutex)
+    int _appends = 0;
+};
+
+} // namespace hypertee
+
+#endif // HTLINT_FIXTURE_GUARDED_BY_HH

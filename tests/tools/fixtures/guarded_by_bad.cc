@@ -1,0 +1,22 @@
+// Fixture: methods that touch guarded fields without taking the
+// annotated mutex. Both the trailing-comment and own-line-comment
+// annotations from the header must be enforced here.
+#include "guarded_by.hh"
+
+namespace hypertee
+{
+
+void
+EventLog::append(int value)
+{
+    _entries.push_back(value); // no lock: BAD
+    ++_appends;                // no lock: BAD
+}
+
+void
+EventLog::clearUnlocked()
+{
+    _entries.clear(); // no lock and not a *Locked() helper: BAD
+}
+
+} // namespace hypertee

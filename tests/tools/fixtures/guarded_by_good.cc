@@ -1,0 +1,31 @@
+// Fixture: the compliant counterpart -- every access happens under
+// the annotated mutex, via a *Locked() helper that documents its
+// caller holds the lock, or in the constructor before the object is
+// shared.
+#include "guarded_by.hh"
+
+namespace hypertee
+{
+
+void
+EventLog::append(int value)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.push_back(value);
+    ++_appends;
+}
+
+std::size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return countLocked();
+}
+
+std::size_t
+EventLog::countLocked() const
+{
+    return _entries.size(); // caller holds _mutex by convention
+}
+
+} // namespace hypertee

@@ -1,0 +1,26 @@
+// Fixture: a CS-side entry point (linted as src/emcall/) that calls
+// the helper TU's unguarded physical-memory sink without checking the
+// ownership bitmap first. The per-function heuristic could not see
+// this; the whole-program walk must.
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+
+void copyToEnclave(PhysicalMemory &mem, Addr addr,
+                   const std::uint8_t *data, Addr len);
+
+class Gate
+{
+  public:
+    void
+    handleWrite(Addr addr, const std::uint8_t *data, Addr len)
+    {
+        copyToEnclave(*_mem, addr, data, len); // unmediated: BAD
+    }
+
+  private:
+    PhysicalMemory *_mem = nullptr;
+};
+
+} // namespace hypertee

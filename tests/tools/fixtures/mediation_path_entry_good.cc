@@ -1,0 +1,29 @@
+// Fixture: the same CS-side entry point, but the call into the
+// helper's sink happens after an ownership check — the guard cuts
+// every path from this root, so the cross-TU walk stays quiet.
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+
+void copyToEnclave(PhysicalMemory &mem, Addr addr,
+                   const std::uint8_t *data, Addr len);
+
+class Gate
+{
+  public:
+    bool
+    handleWrite(Addr addr, const std::uint8_t *data, Addr len)
+    {
+        if (_bitmap->overlapsRange(addr, len))
+            return false; // enclave-owned: refuse
+        copyToEnclave(*_mem, addr, data, len); // mediated: OK
+        return true;
+    }
+
+  private:
+    PhysicalMemory *_mem = nullptr;
+    EnclaveBitmap *_bitmap = nullptr;
+};
+
+} // namespace hypertee

@@ -1,0 +1,17 @@
+// Fixture: a helper TU with the raw physical-memory sink. On its own
+// it is not an entry point (linted as src/core/, not a CS-side dir),
+// so whether it is flagged depends entirely on who calls it — the
+// cross-TU half of the mediation-path tests.
+#include "mem/phys_mem.hh"
+
+namespace hypertee
+{
+
+void
+copyToEnclave(PhysicalMemory &mem, Addr addr,
+              const std::uint8_t *data, Addr len)
+{
+    mem.write(addr, data, len); // sink: no local guard
+}
+
+} // namespace hypertee

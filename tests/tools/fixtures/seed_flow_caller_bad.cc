@@ -1,0 +1,17 @@
+// Fixture: calls the helper with a hard-coded magic number, so the
+// helper's Random is constructed outside the shardSeed dataflow and
+// the run is no longer reproducible from the CLI seed.
+#include <cstdint>
+
+namespace hypertee
+{
+
+std::uint64_t runOne(std::uint64_t salt);
+
+std::uint64_t
+sweep()
+{
+    return runOne(1234567ULL); // hard-coded: BAD
+}
+
+} // namespace hypertee

@@ -1,0 +1,17 @@
+// Fixture: every call into the helper derives its value from
+// shardSeed(), so the helper's Random stays inside the checked
+// dataflow and the whole-program walk proves it.
+#include "sim/shard.hh"
+
+namespace hypertee
+{
+
+std::uint64_t runOne(std::uint64_t salt);
+
+std::uint64_t
+sweep(const ShardContext &ctx)
+{
+    return runOne(shardSeed(ctx.seed, 1));
+}
+
+} // namespace hypertee

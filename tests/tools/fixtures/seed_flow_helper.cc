@@ -1,0 +1,17 @@
+// Fixture: a helper TU that builds its RNG from a caller-supplied
+// value. Whether the construction is legal depends on what every
+// caller passes -- the cross-TU dataflow half of the seed-flow tests.
+#include "sim/random.hh"
+#include "sim/shard.hh"
+
+namespace hypertee
+{
+
+std::uint64_t
+runOne(std::uint64_t salt)
+{
+    Random rng(salt); // provenance decided by the callers
+    return rng.next();
+}
+
+} // namespace hypertee

@@ -2,7 +2,9 @@
  * @file
  * htlint rule coverage: every rule must (a) fire on a fixture that
  * violates its invariant and (b) stay quiet on the compliant
- * counterpart; suppression comments must silence findings.
+ * counterpart; suppression comments must silence findings. The
+ * whole-program rules are additionally proven across a TU boundary
+ * (entry point in one file, violation in another).
  *
  * Fixtures live in tests/tools/fixtures/ and are linted in-process
  * under a pretend src/-relative path so path-scoped rules apply.
@@ -10,10 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/stats_export.hh"
 #include "tools/htlint/driver.hh"
+#include "tools/htlint/sarif.hh"
 
 using namespace hypertee::htlint;
 
@@ -47,29 +56,159 @@ countRule(const std::vector<Diagnostic> &diags, const std::string &rule)
     return n;
 }
 
-TEST(HtlintBitmapMediation, FlagsUncheckedAccess)
+// ---------------------------------------------------- mediation-path
+
+TEST(HtlintMediationPath, FlagsUncheckedAccessInEntryFunction)
 {
+    // The sink and the entry point are the same function: the root
+    // is CS-side (src/emcall/) and holds no guard.
     auto diags = lintAs({{"bitmap_mediation_bad.cc",
                           "src/emcall/bitmap_mediation_bad.cc"}});
-    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 1);
+    EXPECT_EQ(countRule(diags, "mediation-path"), 1);
 }
 
-TEST(HtlintBitmapMediation, AcceptsMediatedAccess)
+TEST(HtlintMediationPath, AcceptsLocallyMediatedAccess)
 {
     auto diags = lintAs({{"bitmap_mediation_good.cc",
                           "src/emcall/bitmap_mediation_good.cc"}});
-    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 0);
+    EXPECT_EQ(countRule(diags, "mediation-path"), 0);
 }
 
-TEST(HtlintBitmapMediation, ExemptsMemAndIhub)
+TEST(HtlintMediationPath, FlagsUnguardedPathAcrossTuBoundary)
 {
-    // The same unchecked access is legal inside the mediation layer
-    // itself.
-    auto diags =
-        lintAs({{"bitmap_mediation_bad.cc", "src/mem/phys_user.cc"},
-                {"bitmap_mediation_bad.cc", "src/fabric/ihub.cc"}});
-    EXPECT_EQ(countRule(diags, "bitmap-mediation"), 0);
+    // Entry point in src/emcall/, sink in a src/core/ helper: the
+    // per-function heuristic was blind to this split.
+    auto diags = lintAs(
+        {{"mediation_path_entry_bad.cc", "src/emcall/gate.cc"},
+         {"mediation_path_helper.cc", "src/core/copy.cc"}});
+    ASSERT_EQ(countRule(diags, "mediation-path"), 1);
+    for (const Diagnostic &d : diags)
+        if (d.rule == "mediation-path") {
+            // Reported at the sink, naming the offending chain.
+            EXPECT_EQ(d.file, "src/core/copy.cc");
+            EXPECT_NE(d.message.find("handleWrite"),
+                      std::string::npos);
+            EXPECT_NE(d.message.find("copyToEnclave"),
+                      std::string::npos);
+        }
 }
+
+TEST(HtlintMediationPath, GuardInCallerCutsThePath)
+{
+    auto diags = lintAs(
+        {{"mediation_path_entry_good.cc", "src/emcall/gate.cc"},
+         {"mediation_path_helper.cc", "src/core/copy.cc"}});
+    EXPECT_EQ(countRule(diags, "mediation-path"), 0);
+}
+
+TEST(HtlintMediationPath, NonEntrySinkWithoutCallersIsQuiet)
+{
+    // A helper nobody calls is dead code, not a CS-side entry path.
+    auto diags = lintAs(
+        {{"mediation_path_helper.cc", "src/core/copy.cc"}});
+    EXPECT_EQ(countRule(diags, "mediation-path"), 0);
+}
+
+TEST(HtlintMediationPath, ExemptsMemButNotFabric)
+{
+    // src/mem/ is the mediation layer itself; src/fabric/ no longer
+    // gets a blanket exemption -- its accesses must be proven, so an
+    // unguarded root there fires.
+    auto diags =
+        lintAs({{"bitmap_mediation_bad.cc", "src/mem/phys_user.cc"}});
+    EXPECT_EQ(countRule(diags, "mediation-path"), 0);
+    diags =
+        lintAs({{"bitmap_mediation_bad.cc", "src/fabric/ihub2.cc"}});
+    EXPECT_EQ(countRule(diags, "mediation-path"), 1);
+}
+
+// -------------------------------------------------------- guarded-by
+
+TEST(HtlintGuardedBy, FlagsUnlockedAccessAcrossTuBoundary)
+{
+    // Annotations in the header, unlocked accesses in the .cc: both
+    // the trailing and the own-line annotation must carry over, and
+    // the case-sensitive *Locked() convention must not excuse
+    // 'clearUnlocked'.
+    auto diags =
+        lintAs({{"guarded_by.hh", "src/sim/event_log.hh"},
+                {"guarded_by_bad.cc", "src/sim/event_log.cc"}});
+    EXPECT_EQ(countRule(diags, "guarded-by"), 3);
+}
+
+TEST(HtlintGuardedBy, AcceptsLockedAndLockedSuffixAccess)
+{
+    auto diags =
+        lintAs({{"guarded_by.hh", "src/sim/event_log.hh"},
+                {"guarded_by_good.cc", "src/sim/event_log.cc"}});
+    EXPECT_EQ(countRule(diags, "guarded-by"), 0);
+}
+
+// --------------------------------------------------------- seed-flow
+
+TEST(HtlintSeedFlow, FlagsHardcodedSeedConstruction)
+{
+    Project proj;
+    proj.addText("#include \"sim/random.hh\"\n"
+                 "namespace hypertee {\n"
+                 "unsigned f() { Random r(7); return r.next(); }\n"
+                 "}\n",
+                 "bench/bench_direct.cc");
+    EXPECT_EQ(countRule(proj.run(), "seed-flow"), 1);
+}
+
+TEST(HtlintSeedFlow, AcceptsShardSeedConstruction)
+{
+    Project proj;
+    proj.addText(
+        "#include \"sim/shard.hh\"\n"
+        "namespace hypertee {\n"
+        "unsigned f(const ShardContext &ctx) {\n"
+        "    Random r(shardSeed(ctx.seed, 3));\n"
+        "    auto p = std::make_shared<Random>(ctx.seed);\n"
+        "    return r.next();\n"
+        "}\n"
+        "}\n",
+        "bench/bench_direct.cc");
+    EXPECT_EQ(countRule(proj.run(), "seed-flow"), 0);
+}
+
+TEST(HtlintSeedFlow, FlagsImpureDataflowAcrossTuBoundary)
+{
+    // The construction is in the helper TU; the hard-coded value
+    // arrives from a caller in another TU.
+    auto diags = lintAs(
+        {{"seed_flow_helper.cc", "bench/seed_flow_helper.cc"},
+         {"seed_flow_caller_bad.cc", "bench/seed_flow_caller_bad.cc"}});
+    ASSERT_EQ(countRule(diags, "seed-flow"), 1);
+    for (const Diagnostic &d : diags)
+        if (d.rule == "seed-flow") {
+            EXPECT_EQ(d.file, "bench/seed_flow_helper.cc");
+            EXPECT_NE(d.message.find("seed_flow_caller_bad.cc"),
+                      std::string::npos);
+        }
+}
+
+TEST(HtlintSeedFlow, AcceptsPureDataflowAcrossTuBoundary)
+{
+    auto diags = lintAs(
+        {{"seed_flow_helper.cc", "bench/seed_flow_helper.cc"},
+         {"seed_flow_caller_good.cc",
+          "bench/seed_flow_caller_good.cc"}});
+    EXPECT_EQ(countRule(diags, "seed-flow"), 0);
+}
+
+TEST(HtlintSeedFlow, ExemptsSeedInfrastructure)
+{
+    Project proj;
+    proj.addText("namespace hypertee {\n"
+                 "unsigned f() { Random r(7); return r.next(); }\n"
+                 "}\n",
+                 "src/sim/shard_ctx.cc");
+    EXPECT_EQ(countRule(proj.run(), "seed-flow"), 0);
+}
+
+// ------------------------------------------------- pre-existing rules
 
 TEST(HtlintStatRegistration, FlagsUnregisteredStat)
 {
@@ -87,6 +226,15 @@ TEST(HtlintStatRegistration, SeesRegistrationInPairedFile)
           "src/comp/stat_registration_good.hh"},
          {"stat_registration_good.cc",
           "src/comp/stat_registration_good.cc"}});
+    EXPECT_EQ(countRule(diags, "stat-registration"), 0);
+}
+
+TEST(HtlintStatRegistration, TestLocalStatsAreExempt)
+{
+    // tests/ are scanned by the gate but test-local stats need no
+    // export wiring.
+    auto diags = lintAs({{"stat_registration_bad.cc",
+                          "tests/sim/stat_registration_bad.cc"}});
     EXPECT_EQ(countRule(diags, "stat-registration"), 0);
 }
 
@@ -190,6 +338,8 @@ TEST(HtlintHeaderHygiene, AcceptsGuardedHeaders)
     EXPECT_EQ(countRule(diags, "header-hygiene"), 0);
 }
 
+// ------------------------------------------------------ suppressions
+
 TEST(HtlintSuppression, AllowCommentSilencesFinding)
 {
     // Three rand() calls: one excused same-line, one by an own-line
@@ -208,6 +358,50 @@ TEST(HtlintSuppression, AllowFileSilencesWholeFile)
     EXPECT_EQ(countRule(proj.run(), "no-wallclock"), 0);
 }
 
+TEST(HtlintSuppression, MultiRuleAllowSilencesEachNamedRule)
+{
+    Project proj;
+    proj.addText("// htlint: allow(no-wallclock,no-raw-owning-new)\n"
+                 "int *f() { srand(1); return new int(3); }\n",
+                 "src/sim/multi.cc");
+    auto diags = proj.run();
+    EXPECT_EQ(countRule(diags, "no-wallclock"), 0);
+    EXPECT_EQ(countRule(diags, "no-raw-owning-new"), 0);
+}
+
+TEST(HtlintSuppression, TrailingCommentDoesNotCoverNextLine)
+{
+    // A trailing allow() excuses its own line only; an own-line
+    // allow() excuses the next line only.
+    Project proj;
+    proj.addText("unsigned f() { return rand(); } "
+                 "// htlint: allow(no-wallclock)\n"
+                 "unsigned g() { return rand(); }\n",
+                 "src/sim/trailing.cc");
+    auto diags = proj.run();
+    ASSERT_EQ(countRule(diags, "no-wallclock"), 1);
+    EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(HtlintSuppression, AllowSitesAuditListsEveryMention)
+{
+    Project proj;
+    proj.addText("// htlint: allow-file(no-wallclock)\n"
+                 "// htlint: allow(no-raw-owning-new,trace-pairing)\n"
+                 "int x;\n",
+                 "src/sim/audit.cc");
+    const auto &sites = proj.files()[0]->allowSites();
+    ASSERT_EQ(sites.size(), 3u);
+    EXPECT_EQ(sites[0].rule, "no-wallclock");
+    EXPECT_TRUE(sites[0].fileWide);
+    EXPECT_EQ(sites[1].rule, "no-raw-owning-new");
+    EXPECT_FALSE(sites[1].fileWide);
+    EXPECT_EQ(sites[2].rule, "trace-pairing");
+    EXPECT_EQ(sites[2].line, 2);
+}
+
+// ------------------------------------------------------------ driver
+
 TEST(HtlintDriver, RuleFilterRunsOnlySelectedRules)
 {
     Project proj;
@@ -222,13 +416,185 @@ TEST(HtlintDriver, RuleFilterRunsOnlySelectedRules)
     EXPECT_EQ(countRule(only, "no-raw-owning-new"), 0);
 }
 
-TEST(HtlintDriver, EveryRuleHasNameAndDescription)
+TEST(HtlintDriver, EveryRuleHasNameDescriptionAndOneCheck)
 {
-    EXPECT_GE(allRules().size(), 7u);
+    EXPECT_GE(allRules().size(), 9u);
     for (const RuleInfo &r : allRules()) {
         EXPECT_NE(r.name, nullptr);
         EXPECT_GT(std::string(r.description).size(), 10u);
+        // Exactly one of the per-file / whole-program hooks.
+        EXPECT_NE(r.check == nullptr, r.checkProject == nullptr)
+            << r.name;
     }
+}
+
+TEST(HtlintDriver, UnknownRuleInRulesFlagIsHardErrorWithHint)
+{
+    Options opts;
+    std::ostringstream err;
+    const char *argv[] = {"htlint", "--rules=mediaton-path", "src"};
+    EXPECT_FALSE(parseArgs(3, argv, opts, err));
+    EXPECT_NE(err.str().find("unknown rule"), std::string::npos);
+    EXPECT_NE(err.str().find("did you mean 'mediation-path'"),
+              std::string::npos);
+}
+
+TEST(HtlintDriver, UnknownRuleInAllowCommentIsHardError)
+{
+    // A stale suppression naming a nonexistent rule must fail the
+    // run (exit 2), not silently suppress nothing. Known rules in
+    // allow() comments pass validation.
+    Options opts;
+    opts.paths = {fixture("suppression.cc")};
+    std::ostringstream out1, err1;
+    EXPECT_EQ(runHtlint(opts, out1, err1), 0) << err1.str();
+
+    std::string tmp = ::testing::TempDir() + "/bad_allow.cc";
+    {
+        std::ofstream f(tmp);
+        f << "// htlint: allow(no-such-rule)\nint x;\n";
+    }
+    opts.paths = {tmp};
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runHtlint(opts, out2, err2), 2);
+    EXPECT_NE(err2.str().find("unknown rule 'no-such-rule'"),
+              std::string::npos);
+}
+
+TEST(HtlintDriver, ClosestRuleNameSuggestsOnlyPlausibleTypos)
+{
+    EXPECT_EQ(closestRuleName("guraded-by"), "guarded-by");
+    EXPECT_EQ(closestRuleName("seed-flaw"), "seed-flow");
+    EXPECT_EQ(closestRuleName("completely-unrelated-name"), "");
+}
+
+TEST(HtlintDriver, OverlappingPathArgumentsScanEachFileOnce)
+{
+    std::string dir = ::testing::TempDir() + "/htlint_dedupe";
+    std::filesystem::create_directories(dir + "/sub");
+    {
+        std::ofstream f(dir + "/sub/a.cc");
+        f << "int x;\n";
+    }
+    std::ostringstream err;
+    // The same tree named three ways: parent, child, and a
+    // non-normalized spelling of the child.
+    auto files = collectFiles(
+        {dir, dir + "/sub", dir + "/./sub"}, err);
+    ASSERT_EQ(files.size(), 1u) << err.str();
+}
+
+TEST(HtlintDriver, FixtureDirectoriesAreExcludedByDefault)
+{
+    std::string dir = ::testing::TempDir() + "/htlint_fixdir";
+    std::filesystem::create_directories(dir + "/fixtures");
+    {
+        std::ofstream f(dir + "/fixtures/bad.cc");
+        f << "int x;\n";
+        std::ofstream g(dir + "/real.cc");
+        g << "int y;\n";
+    }
+    std::ostringstream err;
+    auto files = collectFiles({dir}, err);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find("real.cc"), std::string::npos);
+    files = collectFiles({dir}, err, /*default_excludes=*/false);
+    EXPECT_EQ(files.size(), 2u);
+}
+
+TEST(HtlintDriver, BaselineFiltersKnownFindingsAndExitsClean)
+{
+    std::string dir = ::testing::TempDir() + "/htlint_baseline";
+    std::filesystem::create_directories(dir);
+    // header-hygiene applies regardless of path, so a guard-less
+    // header produces a finding under its real filesystem path.
+    std::string src = dir + "/legacy.hh";
+    {
+        std::ofstream f(src);
+        f << "int legacyValue();\n";
+    }
+    Options opts;
+    opts.paths = {src};
+    std::ostringstream out0, err0;
+    EXPECT_EQ(runHtlint(opts, out0, err0), 1) << err0.str();
+
+    opts.writeBaselinePath = dir + "/baseline.txt";
+    std::ostringstream out1, err1;
+    EXPECT_EQ(runHtlint(opts, out1, err1), 0) << err1.str();
+
+    Options opts2;
+    opts2.paths = {src};
+    opts2.baselinePath = dir + "/baseline.txt";
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runHtlint(opts2, out2, err2), 0) << err2.str();
+    EXPECT_NE(out2.str().find("baselined"), std::string::npos)
+        << out2.str();
+}
+
+// ------------------------------------------------------------- SARIF
+
+TEST(HtlintSarif, OutputIsValidSarif210WithDeclaredRules)
+{
+    std::vector<Diagnostic> diags = {
+        {"src/a.cc", 3, "mediation-path", "chain \"quoted\"\n"},
+        {"src/b.cc", 7, "guarded-by", "unlocked"},
+    };
+    std::ostringstream os;
+    writeSarif(diags, os);
+    std::string text = os.str();
+
+    EXPECT_TRUE(hypertee::jsonLooksValid(text)) << text;
+    EXPECT_NE(text.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(text.find("sarif-schema-2.1.0.json"),
+              std::string::npos);
+    // Every fired rule present both as a result and in the driver's
+    // rule metadata.
+    for (const char *rule : {"mediation-path", "guarded-by"}) {
+        EXPECT_NE(text.find(std::string("\"ruleId\": \"") + rule),
+                  std::string::npos);
+        EXPECT_NE(text.find(std::string("\"id\": \"") + rule),
+                  std::string::npos);
+    }
+    // All registered rules are declared even when they did not fire.
+    for (const RuleInfo &r : allRules())
+        EXPECT_NE(text.find(std::string("\"id\": \"") + r.name),
+                  std::string::npos);
+    // String escaping survived the quoted message.
+    EXPECT_NE(text.find("chain \\\"quoted\\\"\\n"),
+              std::string::npos);
+}
+
+TEST(HtlintSarif, EmptyRunIsValidAndExitsZero)
+{
+    std::ostringstream os;
+    writeSarif({}, os);
+    EXPECT_TRUE(hypertee::jsonLooksValid(os.str()));
+    EXPECT_NE(os.str().find("\"results\": ["), std::string::npos);
+}
+
+// ------------------------------------------------------- drift guard
+
+TEST(HtlintDocs, ReadmeDocumentsExactlyTheRegisteredRules)
+{
+    std::ifstream readme(HTLINT_README_PATH);
+    ASSERT_TRUE(readme.is_open()) << HTLINT_README_PATH;
+    std::set<std::string> documented;
+    std::string line;
+    while (std::getline(readme, line)) {
+        // Rule sections are "### `rule-name`" headings.
+        if (line.rfind("### `", 0) == 0) {
+            std::size_t end = line.find('`', 5);
+            if (end != std::string::npos)
+                documented.insert(line.substr(5, end - 5));
+        }
+    }
+    std::set<std::string> registered;
+    for (const RuleInfo &r : allRules())
+        registered.insert(r.name);
+    EXPECT_EQ(documented, registered)
+        << "tools/htlint/README.md rule sections have drifted from "
+           "--list-rules";
 }
 
 } // namespace

@@ -1,0 +1,86 @@
+#include "tools/htlint/callgraph.hh"
+
+#include <algorithm>
+
+namespace hypertee::htlint
+{
+
+void
+CallGraph::build(const ProjectIndex &index)
+{
+    const auto &fns = index.functions();
+    const auto &calls = index.calls();
+    _callees.assign(calls.size(), {});
+    _callers.assign(fns.size(), {});
+
+    for (std::size_t c = 0; c < calls.size(); ++c) {
+        const CallSite &call = calls[c];
+        const std::vector<int> &named =
+            index.functionsNamed(call.callee);
+        if (named.empty())
+            continue; // std:: / external call: no edge
+        std::vector<int> &out = _callees[c];
+
+        if (!call.receiver.empty() && call.qualified) {
+            // `T::f()`: prefer methods of class T; when T defines no
+            // f (T was a namespace, or f lives in a base) take every
+            // definition — over-approximate rather than drop.
+            for (int fn : named)
+                if (fns[static_cast<std::size_t>(fn)].className ==
+                    call.receiver)
+                    out.push_back(fn);
+            if (out.empty())
+                out = named;
+        } else if (!call.receiver.empty()) {
+            // `x.f()` / `x->f()`: any method named f.
+            for (int fn : named)
+                if (!fns[static_cast<std::size_t>(fn)]
+                         .className.empty())
+                    out.push_back(fn);
+            if (out.empty())
+                out = named;
+        } else {
+            // Plain `f()`: free functions plus methods of the
+            // caller's own class (implicit this).
+            std::string caller_class;
+            if (call.callerFn >= 0)
+                caller_class =
+                    fns[static_cast<std::size_t>(call.callerFn)]
+                        .className;
+            for (int fn : named) {
+                const std::string &cls =
+                    fns[static_cast<std::size_t>(fn)].className;
+                if (cls.empty() ||
+                    (!caller_class.empty() && cls == caller_class))
+                    out.push_back(fn);
+            }
+            if (out.empty())
+                out = named;
+        }
+
+        for (int fn : out)
+            _callers[static_cast<std::size_t>(fn)].push_back(
+                {static_cast<int>(c), call.callerFn});
+    }
+}
+
+const std::vector<int> &
+CallGraph::calleesOf(int call_site_idx) const
+{
+    static const std::vector<int> none;
+    if (call_site_idx < 0 ||
+        call_site_idx >= static_cast<int>(_callees.size()))
+        return none;
+    return _callees[static_cast<std::size_t>(call_site_idx)];
+}
+
+const std::vector<CallerEdge> &
+CallGraph::callersOf(int fn_idx) const
+{
+    static const std::vector<CallerEdge> none;
+    if (fn_idx < 0 || fn_idx >= static_cast<int>(_callers.size()))
+        return none;
+    return _callers[static_cast<std::size_t>(fn_idx)];
+}
+
+} // namespace hypertee::htlint

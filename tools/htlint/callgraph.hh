@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Phase-2 call graph over the ProjectIndex.
+ *
+ * Edges resolve by name with receiver/qualifier hints: `x.f()` and
+ * `x->f()` bind to every method named `f`; `T::f()` binds to methods
+ * of class `T` (falling back to every `f` when `T` defines none, so a
+ * namespace qualifier still resolves); a plain `f()` binds to free
+ * functions named `f` plus methods of the caller's own class. The
+ * result over-approximates the real graph — exactly what the
+ * mediation-path and seed-flow rules want, since a spurious edge can
+ * only make them more conservative, never let a violation escape.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_CALLGRAPH_HH
+#define HYPERTEE_TOOLS_HTLINT_CALLGRAPH_HH
+
+#include <vector>
+
+#include "tools/htlint/index.hh"
+
+namespace hypertee::htlint
+{
+
+/** One incoming edge: call site @p callSiteIdx inside @p callerFn. */
+struct CallerEdge
+{
+    int callSiteIdx = -1; ///< index into ProjectIndex::calls()
+    int callerFn = -1;    ///< FunctionDef index; -1 = file scope
+};
+
+class CallGraph
+{
+  public:
+    /** Resolve every call site of @p index into edges. */
+    void build(const ProjectIndex &index);
+
+    /** FunctionDef indices call site @p call_site_idx may target. */
+    const std::vector<int> &calleesOf(int call_site_idx) const;
+
+    /** Incoming edges of FunctionDef @p fn_idx. */
+    const std::vector<CallerEdge> &callersOf(int fn_idx) const;
+
+  private:
+    /** Per call site: resolved callee FunctionDef indices. */
+    std::vector<std::vector<int>> _callees;
+    /** Per FunctionDef: incoming edges. */
+    std::vector<std::vector<CallerEdge>> _callers;
+};
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_CALLGRAPH_HH

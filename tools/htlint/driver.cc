@@ -2,11 +2,20 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "tools/htlint/callgraph.hh"
+#include "tools/htlint/index.hh"
+#include "tools/htlint/sarif.hh"
 
 namespace hypertee::htlint
 {
 
 // ---------------------------------------------------------------- Project
+
+Project::Project() = default;
+Project::~Project() = default;
 
 bool
 Project::addFile(const std::string &path, const std::string &rel_path)
@@ -14,9 +23,7 @@ Project::addFile(const std::string &path, const std::string &rel_path)
     auto f = std::make_unique<SourceFile>();
     if (!f->load(path, rel_path))
         return false;
-    indexFile(*f);
-    _byRelPath[rel_path] = _files.size();
-    _files.push_back(std::move(f));
+    addParsed(std::move(f));
     return true;
 }
 
@@ -25,9 +32,17 @@ Project::addText(std::string text, const std::string &rel_path)
 {
     auto f = std::make_unique<SourceFile>();
     f->loadText(std::move(text), rel_path);
-    indexFile(*f);
-    _byRelPath[rel_path] = _files.size();
-    _files.push_back(std::move(f));
+    addParsed(std::move(f));
+}
+
+void
+Project::addParsed(std::unique_ptr<SourceFile> file)
+{
+    indexFile(*file);
+    _byRelPath[file->relPath()] = _files.size();
+    _files.push_back(std::move(file));
+    _index.reset();
+    _callGraph.reset();
 }
 
 void
@@ -59,6 +74,26 @@ Project::indexFile(const SourceFile &f)
             continue; // local variable with ctor args, not a decl
         _physMemAccessors.insert(toks[i + 2].text);
     }
+}
+
+const ProjectIndex &
+Project::index() const
+{
+    if (!_index) {
+        _index = std::make_unique<ProjectIndex>();
+        _index->build(_files);
+    }
+    return *_index;
+}
+
+const CallGraph &
+Project::callGraph() const
+{
+    if (!_callGraph) {
+        _callGraph = std::make_unique<CallGraph>();
+        _callGraph->build(index());
+    }
+    return *_callGraph;
 }
 
 const SourceFile *
@@ -120,12 +155,15 @@ std::vector<Diagnostic>
 Project::run(const std::set<std::string> &rules) const
 {
     std::vector<Diagnostic> out;
-    for (const auto &f : _files) {
-        for (const RuleInfo &r : allRules()) {
-            if (!rules.empty() && !rules.count(r.name))
-                continue;
+    for (const RuleInfo &r : allRules()) {
+        if (!rules.empty() && !rules.count(r.name))
+            continue;
+        if (r.checkProject)
+            r.checkProject(*this, out);
+        if (!r.check)
+            continue;
+        for (const auto &f : _files)
             r.check(*f, *this, out);
-        }
     }
     // Drop suppressed findings.
     std::vector<Diagnostic> kept;
@@ -149,6 +187,74 @@ Project::run(const std::set<std::string> &rules) const
 
 // ------------------------------------------------------------------- CLI
 
+namespace
+{
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+const char usage[] =
+    "usage: htlint [--rules=r1,r2] [--format=text|sarif]\n"
+    "              [--baseline=FILE] [--write-baseline=FILE]\n"
+    "              [--jobs=N] [--no-default-excludes]\n"
+    "              [--list-rules] [--list-suppressions]\n"
+    "              <files-or-dirs>...\n";
+
+/** Validate one rule name; explains with a hint on failure. */
+bool
+checkRuleName(const std::string &name, const char *what,
+              std::ostream &err)
+{
+    for (const RuleInfo &info : allRules())
+        if (name == info.name)
+            return true;
+    err << "htlint: unknown rule '" << name << "' in " << what;
+    std::string hint = closestRuleName(name);
+    if (!hint.empty())
+        err << " (did you mean '" << hint << "'?)";
+    err << "\n";
+    return false;
+}
+
+/** The stable identity of a finding across line-number churn. */
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return d.rule + "|" + d.file + "|" + d.message;
+}
+
+} // namespace
+
+std::string
+closestRuleName(const std::string &name)
+{
+    std::string best;
+    std::size_t best_dist = name.size(); // worse than this: no hint
+    for (const RuleInfo &info : allRules()) {
+        std::size_t dist = editDistance(name, info.name);
+        if (dist < best_dist || (dist == best_dist && best.empty())) {
+            best_dist = dist;
+            best = info.name;
+        }
+    }
+    return best_dist <= 3 ? best : "";
+}
+
 bool
 parseArgs(int argc, const char *const *argv, Options &opts,
           std::ostream &err)
@@ -157,6 +263,10 @@ parseArgs(int argc, const char *const *argv, Options &opts,
         std::string arg = argv[i];
         if (arg == "--list-rules") {
             opts.listRules = true;
+        } else if (arg == "--list-suppressions") {
+            opts.listSuppressions = true;
+        } else if (arg == "--no-default-excludes") {
+            opts.defaultExcludes = false;
         } else if (arg.rfind("--rules=", 0) == 0) {
             std::string list = arg.substr(8);
             std::size_t start = 0;
@@ -172,9 +282,29 @@ parseArgs(int argc, const char *const *argv, Options &opts,
                     break;
                 start = comma + 1;
             }
+        } else if (arg.rfind("--format=", 0) == 0) {
+            opts.format = arg.substr(9);
+            if (opts.format != "text" && opts.format != "sarif") {
+                err << "htlint: unknown format '" << opts.format
+                    << "' (expected text or sarif)\n";
+                return false;
+            }
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            opts.baselinePath = arg.substr(11);
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            opts.writeBaselinePath = arg.substr(17);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            try {
+                opts.jobs = std::stoi(arg.substr(7));
+            } catch (...) {
+                opts.jobs = 0;
+            }
+            if (opts.jobs < 1) {
+                err << "htlint: --jobs needs a positive integer\n";
+                return false;
+            }
         } else if (arg == "--help" || arg == "-h") {
-            err << "usage: htlint [--rules=r1,r2] [--list-rules] "
-                   "<files-or-dirs>...\n";
+            err << usage;
             return false;
         } else if (!arg.empty() && arg[0] == '-') {
             err << "htlint: unknown option '" << arg << "'\n";
@@ -184,53 +314,63 @@ parseArgs(int argc, const char *const *argv, Options &opts,
         }
     }
     if (!opts.listRules && opts.paths.empty()) {
-        err << "usage: htlint [--rules=r1,r2] [--list-rules] "
-               "<files-or-dirs>...\n";
+        err << usage;
         return false;
     }
-    for (const std::string &r : opts.rules) {
-        bool known = false;
-        for (const RuleInfo &info : allRules())
-            known = known || r == info.name;
-        if (!known) {
-            err << "htlint: unknown rule '" << r << "'\n";
+    for (const std::string &r : opts.rules)
+        if (!checkRuleName(r, "--rules", err))
             return false;
-        }
-    }
     return true;
 }
 
 std::vector<std::string>
-collectFiles(const std::vector<std::string> &paths, std::ostream &err)
+collectFiles(const std::vector<std::string> &paths, std::ostream &err,
+             bool default_excludes)
 {
     namespace fs = std::filesystem;
     std::vector<std::string> files;
+    std::set<std::string> seen; // canonical identities
     auto wanted = [](const fs::path &p) {
         std::string ext = p.extension().string();
         return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
                ext == ".hpp" || ext == ".h";
+    };
+    auto add = [&](const fs::path &p) {
+        // Dedupe by canonical path so overlapping directory
+        // arguments (`htlint src src/mem`, absolute vs relative
+        // spellings) scan each file exactly once; keep the first
+        // spelling for display.
+        std::error_code ec;
+        fs::path canon = fs::weakly_canonical(p, ec);
+        std::string key = ec ? p.lexically_normal().generic_string()
+                             : canon.generic_string();
+        if (seen.insert(key).second)
+            files.push_back(p.lexically_normal().generic_string());
     };
     for (const std::string &p : paths) {
         std::error_code ec;
         if (fs::is_directory(p, ec)) {
             for (fs::recursive_directory_iterator it(p, ec), end;
                  !ec && it != end; it.increment(ec)) {
+                if (default_excludes && it->is_directory(ec) &&
+                    it->path().filename() == "fixtures") {
+                    // Lint-fixture corpora contain deliberate
+                    // violations; they are linted via loadText in
+                    // the fixture tests, not from disk.
+                    it.disable_recursion_pending();
+                    continue;
+                }
                 if (it->is_regular_file(ec) && wanted(it->path()))
-                    files.push_back(
-                        it->path().lexically_normal()
-                            .generic_string());
+                    add(it->path());
             }
         } else if (fs::is_regular_file(p, ec)) {
-            files.push_back(
-                fs::path(p).lexically_normal().generic_string());
+            add(fs::path(p));
         } else {
             err << "htlint: cannot read '" << p << "'\n";
             return {};
         }
     }
     std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()),
-                files.end());
     return files;
 }
 
@@ -242,24 +382,133 @@ runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
             out << r.name << "\n    " << r.description << "\n";
         return 0;
     }
-    std::vector<std::string> files = collectFiles(opts.paths, err);
+    std::vector<std::string> files =
+        collectFiles(opts.paths, err, opts.defaultExcludes);
     if (files.empty()) {
         err << "htlint: no input files\n";
         return 2;
     }
+
+    // Load (lex + scope analysis) in parallel, then assemble the
+    // project in deterministic file order.
+    std::vector<std::unique_ptr<SourceFile>> loaded(files.size());
+    int jobs = std::min<int>(opts.jobs,
+                             static_cast<int>(files.size()));
+    auto load_range = [&](std::size_t begin, std::size_t step) {
+        for (std::size_t i = begin; i < files.size(); i += step) {
+            auto f = std::make_unique<SourceFile>();
+            if (f->load(files[i], files[i]))
+                loaded[i] = std::move(f);
+        }
+    };
+    if (jobs <= 1) {
+        load_range(0, 1);
+    } else {
+        std::vector<std::thread> workers;
+        for (int w = 0; w < jobs; ++w)
+            workers.emplace_back(load_range,
+                                 static_cast<std::size_t>(w),
+                                 static_cast<std::size_t>(jobs));
+        for (std::thread &w : workers)
+            w.join();
+    }
+
     Project proj;
-    for (const std::string &f : files) {
-        if (!proj.addFile(f, f)) {
-            err << "htlint: cannot read '" << f << "'\n";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (!loaded[i]) {
+            err << "htlint: cannot read '" << files[i] << "'\n";
             return 2;
         }
+        proj.addParsed(std::move(loaded[i]));
     }
+
+    // Reject suppression comments naming unknown rules: a stale or
+    // misspelled allow() hides nothing but looks like it does.
+    bool bad_allow = false;
+    for (const auto &f : proj.files()) {
+        for (const SourceFile::AllowSite &site : f->allowSites()) {
+            if (checkRuleName(site.rule,
+                              (f->relPath() + ":" +
+                               std::to_string(site.line) +
+                               " allow() comment")
+                                  .c_str(),
+                              err))
+                continue;
+            bad_allow = true;
+        }
+    }
+    if (bad_allow)
+        return 2;
+
+    if (opts.listSuppressions) {
+        std::size_t n = 0;
+        for (const auto &f : proj.files()) {
+            for (const SourceFile::AllowSite &site :
+                 f->allowSites()) {
+                out << f->relPath() << ":" << site.line << ": "
+                    << (site.fileWide ? "allow-file" : "allow")
+                    << "(" << site.rule << ")\n";
+                ++n;
+            }
+        }
+        out << "htlint: " << n << " suppression(s) in "
+            << files.size() << " files\n";
+        return 0;
+    }
+
     std::vector<Diagnostic> diags = proj.run(opts.rules);
+
+    if (!opts.writeBaselinePath.empty()) {
+        std::ofstream bl(opts.writeBaselinePath);
+        if (!bl) {
+            err << "htlint: cannot write baseline '"
+                << opts.writeBaselinePath << "'\n";
+            return 2;
+        }
+        for (const Diagnostic &d : diags)
+            bl << baselineKey(d) << "\n";
+        out << "htlint: wrote " << diags.size()
+            << " finding(s) to baseline " << opts.writeBaselinePath
+            << "\n";
+        return 0;
+    }
+
+    std::size_t baselined = 0;
+    if (!opts.baselinePath.empty()) {
+        std::ifstream bl(opts.baselinePath);
+        if (!bl) {
+            err << "htlint: cannot read baseline '"
+                << opts.baselinePath << "'\n";
+            return 2;
+        }
+        std::set<std::string> known;
+        std::string line;
+        while (std::getline(bl, line))
+            if (!line.empty())
+                known.insert(line);
+        std::vector<Diagnostic> fresh;
+        for (Diagnostic &d : diags) {
+            if (known.count(baselineKey(d)))
+                ++baselined;
+            else
+                fresh.push_back(std::move(d));
+        }
+        diags = std::move(fresh);
+    }
+
+    if (opts.format == "sarif") {
+        writeSarif(diags, out);
+        return diags.empty() ? 0 : 1;
+    }
+
     for (const Diagnostic &d : diags)
         out << d.file << ":" << d.line << ": [" << d.rule << "] "
             << d.message << "\n";
     if (diags.empty()) {
-        out << "htlint: clean (" << files.size() << " files)\n";
+        out << "htlint: clean (" << files.size() << " files";
+        if (baselined)
+            out << ", " << baselined << " baselined finding(s)";
+        out << ")\n";
         return 0;
     }
     out << "htlint: " << diags.size() << " violation(s) in "

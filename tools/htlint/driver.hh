@@ -23,6 +23,18 @@ struct Options
     /** Directories/files to scan, relative to the working dir. */
     std::vector<std::string> paths;
     bool listRules = false;
+    /** Print every allow()/allow-file() suppression and exit. */
+    bool listSuppressions = false;
+    /** "text" (default) or "sarif" (SARIF 2.1.0 on stdout). */
+    std::string format = "text";
+    /** Known-findings file: matches are filtered out (exit 0). */
+    std::string baselinePath;
+    /** Write the current findings as a new baseline and exit 0. */
+    std::string writeBaselinePath;
+    /** Parallel file-loading threads; 1 = serial. */
+    int jobs = 1;
+    /** Skip directories named "fixtures" (lint-fixture corpora). */
+    bool defaultExcludes = true;
 };
 
 /** Parse argv; returns false (and explains on @p err) on bad usage. */
@@ -32,14 +44,25 @@ bool parseArgs(int argc, const char *const *argv, Options &opts,
 /**
  * Recursively collect .cc/.hh/.cpp/.hpp/.h files under each of
  * @p paths (files are taken as-is), sorted for deterministic output.
+ * Overlapping arguments (`htlint src src/mem`) are deduped by
+ * canonical path, so every file is scanned exactly once. Directories
+ * named "fixtures" are skipped unless @p default_excludes is false.
  */
 std::vector<std::string>
-collectFiles(const std::vector<std::string> &paths, std::ostream &err);
+collectFiles(const std::vector<std::string> &paths, std::ostream &err,
+             bool default_excludes = true);
+
+/**
+ * The closest rule name to @p name by edit distance, for "did you
+ * mean" hints; "" when nothing is plausibly close.
+ */
+std::string closestRuleName(const std::string &name);
 
 /**
  * Run the linter: load every file, run the selected rules, print
  * diagnostics to @p out. Returns the process exit code: 0 clean,
- * 1 violations found, 2 usage/IO error.
+ * 1 violations found, 2 usage/IO error (including suppression
+ * comments that name unknown rules).
  */
 int runHtlint(const Options &opts, std::ostream &out,
               std::ostream &err);

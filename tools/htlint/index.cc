@@ -1,0 +1,317 @@
+#include "tools/htlint/index.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace hypertee::htlint
+{
+
+namespace
+{
+
+/** Tokens that can precede an identifier without making `id(` a
+ *  declaration of `id` (so `id(` is a call expression). */
+const std::set<std::string> &
+callishPredecessors()
+{
+    static const std::set<std::string> words = {
+        "return", "co_return", "co_yield", "case",  "else",
+        "do",     "throw",     "and",      "or",    "not",
+    };
+    return words;
+}
+
+/** Control keywords that look like calls but are not. */
+bool
+isControlKeyword(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "catch" || s == "sizeof" || s == "alignof" ||
+           s == "decltype" || s == "noexcept" || s == "static_assert";
+}
+
+std::string
+trailingComponent(const std::string &comment, std::size_t from)
+{
+    std::size_t b = comment.find_first_not_of(" \t", from);
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = b;
+    while (e < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[e])) ||
+            comment[e] == '_'))
+        ++e;
+    return comment.substr(b, e - b);
+}
+
+} // namespace
+
+void
+ProjectIndex::build(const std::vector<std::unique_ptr<SourceFile>> &files)
+{
+    _functions.clear();
+    _calls.clear();
+    _guardedFields.clear();
+    _functionsByName.clear();
+    _callsByCallee.clear();
+    _functionByBlock.clear();
+    _files.clear();
+    _files.reserve(files.size());
+    for (const auto &f : files)
+        _files.push_back(f.get());
+
+    for (int i = 0; i < static_cast<int>(_files.size()); ++i)
+        indexFunctions(*_files[static_cast<std::size_t>(i)], i);
+    // Calls resolve caller functions, so functions index first.
+    for (int i = 0; i < static_cast<int>(_files.size()); ++i) {
+        indexCalls(*_files[static_cast<std::size_t>(i)], i);
+        indexGuardedFields(*_files[static_cast<std::size_t>(i)], i);
+    }
+}
+
+void
+ProjectIndex::indexFunctions(const SourceFile &f, int file_idx)
+{
+    const auto &toks = f.tokens();
+    const auto &blocks = f.blocks();
+    for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+        const Block &blk = blocks[static_cast<std::size_t>(b)];
+        if (blk.kind != Block::Kind::Function)
+            continue;
+        FunctionDef fn;
+        fn.name = blk.name;
+        fn.className = blk.className;
+        fn.fileIdx = file_idx;
+        fn.blockIdx = b;
+        fn.open = blk.open;
+        fn.close = blk.close;
+        fn.line = blk.open < toks.size() ? toks[blk.open].line : 0;
+
+        // Parameter names: the contents of the first statement-level
+        // paren group of the introducing statement (the ctor
+        // initializer list, trailing const/noexcept etc. come later).
+        std::size_t lp = blk.open;
+        for (std::size_t i = blk.stmtStart; i < blk.open; ++i) {
+            const Token &t = toks[i];
+            if (!t.inDirective && t.kind == TokKind::Punct &&
+                t.text == "(" && t.parenDepth == 1) {
+                lp = i;
+                break;
+            }
+        }
+        if (lp < blk.open) {
+            std::size_t i = lp + 1;
+            std::string last_ident;
+            bool past_default = false;
+            for (; i < blk.open; ++i) {
+                const Token &t = toks[i];
+                if (t.inDirective)
+                    continue;
+                bool top = t.parenDepth == 1;
+                if (t.kind == TokKind::Punct && t.text == ")" &&
+                    t.parenDepth == 1)
+                    break;
+                if (t.kind == TokKind::Punct && t.text == "," && top) {
+                    fn.params.push_back(last_ident);
+                    last_ident.clear();
+                    past_default = false;
+                    continue;
+                }
+                if (t.kind == TokKind::Punct && t.text == "=" && top)
+                    past_default = true;
+                if (!past_default && top &&
+                    t.kind == TokKind::Identifier &&
+                    // `foo(void)` / type keywords are never the name.
+                    t.text != "void" && t.text != "const")
+                    last_ident = t.text;
+            }
+            if (!last_ident.empty() || !fn.params.empty())
+                fn.params.push_back(last_ident);
+        }
+
+        int id = static_cast<int>(_functions.size());
+        _functionByBlock[{file_idx, b}] = id;
+        _functionsByName[fn.name].push_back(id);
+        _functions.push_back(std::move(fn));
+    }
+}
+
+void
+ProjectIndex::indexCalls(const SourceFile &f, int file_idx)
+{
+    const auto &toks = f.tokens();
+
+    // A definition's own signature (`Ret Cls::name(args)`) looks like
+    // a qualified call; collect every Function block's name token so
+    // those are never indexed as call sites.
+    std::set<std::size_t> sig_names;
+    for (const Block &blk : f.blocks()) {
+        if (blk.kind != Block::Kind::Function)
+            continue;
+        for (std::size_t i = blk.stmtStart; i < blk.open; ++i) {
+            const Token &t = toks[i];
+            if (!t.inDirective && t.kind == TokKind::Punct &&
+                t.text == "(" && t.parenDepth == 1) {
+                if (i > blk.stmtStart &&
+                    toks[i - 1].kind == TokKind::Identifier)
+                    sig_names.insert(i - 1);
+                break;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (sig_names.count(i))
+            continue;
+        const Token &t = toks[i];
+        if (t.inDirective || t.kind != TokKind::Identifier ||
+            isControlKeyword(t.text))
+            continue;
+        if (toks[i + 1].text != "(" || toks[i + 1].inDirective)
+            continue;
+        CallSite call;
+        if (i > 0) {
+            const Token &prev = toks[i - 1];
+            if (prev.text == "." || prev.text == "->") {
+                if (i > 1 && toks[i - 2].kind == TokKind::Identifier)
+                    call.receiver = toks[i - 2].text;
+            } else if (prev.text == "::") {
+                call.qualified = true;
+                if (i > 1 && toks[i - 2].kind == TokKind::Identifier)
+                    call.receiver = toks[i - 2].text;
+            } else if (prev.kind == TokKind::Identifier &&
+                       !callishPredecessors().count(prev.text)) {
+                // `Type name(...)`: a declaration (variable with ctor
+                // arguments, or a function signature), not a call.
+                continue;
+            } else if (prev.text == "~") {
+                continue; // destructor mention
+            }
+        }
+        call.callee = t.text;
+        call.fileIdx = file_idx;
+        call.tokenIdx = i;
+        call.line = t.line;
+        call.callerFn = functionAt(file_idx, i);
+
+        // Argument token ranges: split the top-level commas between
+        // this '(' and its matching ')'.
+        int depth = toks[i + 1].parenDepth;
+        int brace = toks[i + 1].braceDepth;
+        std::size_t arg_begin = i + 2;
+        std::size_t j = i + 2;
+        for (; j < toks.size(); ++j) {
+            const Token &a = toks[j];
+            if (a.inDirective)
+                continue;
+            if (a.kind == TokKind::Punct && a.text == ")" &&
+                a.parenDepth == depth)
+                break;
+            if (a.kind == TokKind::Punct && a.text == "," &&
+                a.parenDepth == depth && a.braceDepth == brace) {
+                call.args.emplace_back(arg_begin, j);
+                arg_begin = j + 1;
+            }
+        }
+        if (j > arg_begin || j < toks.size())
+            if (j > i + 2) // at least one token between the parens
+                call.args.emplace_back(arg_begin, j);
+
+        _callsByCallee[call.callee].push_back(
+            static_cast<int>(_calls.size()));
+        _calls.push_back(std::move(call));
+    }
+}
+
+void
+ProjectIndex::indexGuardedFields(const SourceFile &f, int file_idx)
+{
+    for (const Comment &cm : f.comments()) {
+        std::size_t at = cm.text.find("htlint:");
+        if (at == std::string::npos)
+            continue;
+        std::size_t kw = cm.text.find("guarded-by", at + 7);
+        if (kw == std::string::npos)
+            continue;
+        std::size_t lp = cm.text.find('(', kw);
+        std::size_t rp =
+            lp == std::string::npos ? std::string::npos
+                                    : cm.text.find(')', lp);
+        if (lp == std::string::npos || rp == std::string::npos)
+            continue;
+        std::string mutex_name = trailingComponent(cm.text, lp + 1);
+        if (mutex_name.empty())
+            continue;
+
+        // A trailing comment annotates its own line; an own-line
+        // comment annotates the next line.
+        int target = cm.ownLine ? cm.endLine + 1 : cm.line;
+
+        const auto &toks = f.tokens();
+        std::string field;
+        std::string class_name;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.inDirective || t.line != target)
+                continue;
+            int blk = f.enclosingBlock(i);
+            if (blk < 0 ||
+                f.blocks()[static_cast<std::size_t>(blk)].kind !=
+                    Block::Kind::Type)
+                continue;
+            if (t.kind == TokKind::Punct &&
+                (t.text == ";" || t.text == "=" || t.text == "{")) {
+                // Declarator name: last identifier before the
+                // terminator.
+                for (std::size_t k = i; k-- > 0;) {
+                    if (toks[k].line != target)
+                        break;
+                    if (toks[k].kind == TokKind::Identifier) {
+                        field = toks[k].text;
+                        class_name =
+                            f.blocks()[static_cast<std::size_t>(blk)]
+                                .name;
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+        if (field.empty())
+            continue;
+        _guardedFields.push_back(
+            {class_name, field, mutex_name, file_idx, target});
+    }
+}
+
+const std::vector<int> &
+ProjectIndex::functionsNamed(const std::string &name) const
+{
+    static const std::vector<int> none;
+    auto it = _functionsByName.find(name);
+    return it == _functionsByName.end() ? none : it->second;
+}
+
+const std::vector<int> &
+ProjectIndex::callsNamed(const std::string &name) const
+{
+    static const std::vector<int> none;
+    auto it = _callsByCallee.find(name);
+    return it == _callsByCallee.end() ? none : it->second;
+}
+
+int
+ProjectIndex::functionAt(int file_idx, std::size_t tok_idx) const
+{
+    if (file_idx < 0 ||
+        file_idx >= static_cast<int>(_files.size()))
+        return -1;
+    const SourceFile &f = *_files[static_cast<std::size_t>(file_idx)];
+    int blk = f.enclosingFunction(tok_idx);
+    if (blk < 0)
+        return -1;
+    auto it = _functionByBlock.find({file_idx, blk});
+    return it == _functionByBlock.end() ? -1 : it->second;
+}
+
+} // namespace hypertee::htlint

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Phase-1 whole-program index.
+ *
+ * Every translation unit is distilled into the symbols the
+ * interprocedural rules need: function/method definitions (with
+ * parameter names and body token ranges), call sites (with argument
+ * token ranges, so dataflow rules can classify what a caller passes),
+ * and `// htlint: guarded-by(mutex)` field annotations. Still
+ * lexer+scope based — no libclang — so the index is approximate by
+ * design: call sites resolve by name (plus receiver/qualifier hints,
+ * see callgraph.hh) and the rules built on top treat it as an
+ * over-approximation of the real call graph.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_INDEX_HH
+#define HYPERTEE_TOOLS_HTLINT_INDEX_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/htlint/source_file.hh"
+
+namespace hypertee::htlint
+{
+
+/** One function or method definition (a body, not a declaration). */
+struct FunctionDef
+{
+    std::string name;      ///< unqualified name
+    std::string className; ///< qualifying/enclosing type ("" if free)
+    int fileIdx = -1;      ///< index into the project's file list
+    int blockIdx = -1;     ///< index into that file's blocks()
+    int line = 0;
+    std::size_t open = 0;  ///< token index of the body '{'
+    std::size_t close = 0; ///< token index of the matching '}'
+    /** Parameter names in declaration order ("" when unnamed). */
+    std::vector<std::string> params;
+};
+
+/** One call expression `callee(...)` / `recv.callee(...)`. */
+struct CallSite
+{
+    std::string callee;
+    /** Receiver/qualifier identifier ("" for a plain call). */
+    std::string receiver;
+    /** True for `Qual::callee(...)` (receiver is the qualifier). */
+    bool qualified = false;
+    int fileIdx = -1;
+    std::size_t tokenIdx = 0; ///< index of the callee token
+    int line = 0;
+    int callerFn = -1; ///< FunctionDef index; -1 at file scope
+    /** Token ranges [begin, end) of each top-level argument. */
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+};
+
+/** A field annotated `// htlint: guarded-by(mutexName)`. */
+struct GuardedField
+{
+    std::string className;
+    std::string field;
+    std::string mutexName;
+    int fileIdx = -1;
+    int line = 0;
+};
+
+class ProjectIndex
+{
+  public:
+    /** Build the index over @p files (phase 1). */
+    void build(const std::vector<std::unique_ptr<SourceFile>> &files);
+
+    const std::vector<FunctionDef> &functions() const
+    {
+        return _functions;
+    }
+    const std::vector<CallSite> &calls() const { return _calls; }
+    const std::vector<GuardedField> &guardedFields() const
+    {
+        return _guardedFields;
+    }
+
+    /** FunctionDef indices of every definition named @p name. */
+    const std::vector<int> &functionsNamed(const std::string &name) const;
+
+    /** CallSite indices of every call whose callee is @p name. */
+    const std::vector<int> &callsNamed(const std::string &name) const;
+
+    /**
+     * Innermost FunctionDef containing token @p tok_idx of file
+     * @p file_idx (walking up through lambdas/statements); -1 when
+     * the token is at file, namespace, or class scope.
+     */
+    int functionAt(int file_idx, std::size_t tok_idx) const;
+
+  private:
+    void indexFunctions(const SourceFile &f, int file_idx);
+    void indexCalls(const SourceFile &f, int file_idx);
+    void indexGuardedFields(const SourceFile &f, int file_idx);
+
+    std::vector<FunctionDef> _functions;
+    std::vector<CallSite> _calls;
+    std::vector<GuardedField> _guardedFields;
+    std::map<std::string, std::vector<int>> _functionsByName;
+    std::map<std::string, std::vector<int>> _callsByCallee;
+    /** (fileIdx, blockIdx) -> FunctionDef index. */
+    std::map<std::pair<int, int>, int> _functionByBlock;
+    /** Per file: pointer back to the SourceFile (for functionAt). */
+    std::vector<const SourceFile *> _files;
+};
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_INDEX_HH

@@ -4,7 +4,7 @@
  *
  * Produces identifier / number / string / char / punctuation tokens
  * with line numbers and paren/brace nesting depths, plus the comment
- * stream (needed for `// htlint: allow(rule)` suppressions).
+ * stream (needed for the `htlint:` suppression comments).
  * Preprocessor directives are tokenized but flagged, so macro bodies
  * (which legally contain unbalanced-looking braces) never disturb the
  * scope analysis built on top of this.

@@ -9,6 +9,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
+#include <deque>
+
+#include "tools/htlint/callgraph.hh"
+#include "tools/htlint/index.hh"
 
 namespace hypertee::htlint
 {
@@ -52,7 +57,19 @@ isMediationGuard(const std::string &s)
 {
     return s == "overlapsRange" || s == "containsRange" ||
            s == "isEnclavePage" || s == "isEnclaveAddr" ||
-           s == "csAccessAllowed";
+           s == "csAccessAllowed" || s == "setEnclavePage" ||
+           s == "setBitmapBit" || s == "EnclaveBitmap";
+}
+
+bool
+containsNoCase(const std::string &s, const std::string &needle)
+{
+    std::string lower;
+    lower.reserve(s.size());
+    for (char c : s)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return lower.find(needle) != std::string::npos;
 }
 
 /**
@@ -97,68 +114,522 @@ physMemVars(const SourceFile &f)
     return vars;
 }
 
-// ------------------------------------------------------ bitmap-mediation
+// -------------------------------------------------------- mediation-path
+
+/**
+ * Does the token range (open, close) of @p f contain an
+ * ownership-bitmap / range-check guard? Beyond the named guard
+ * functions, a claim/release/ownedBy call whose receiver mentions
+ * "owner" counts (the EMS zero-then-claim idiom).
+ */
+bool
+rangeHasGuard(const SourceFile &f, std::size_t open, std::size_t close)
+{
+    const auto &toks = f.tokens();
+    for (std::size_t k = open + 1; k < close && k < toks.size(); ++k) {
+        const Token &g = toks[k];
+        if (g.inDirective || g.kind != TokKind::Identifier)
+            continue;
+        if (isMediationGuard(g.text))
+            return true;
+        if ((g.text == "claim" || g.text == "release" ||
+             g.text == "ownedBy") &&
+            k >= 2 &&
+            (toks[k - 1].text == "." || toks[k - 1].text == "->") &&
+            toks[k - 2].kind == TokKind::Identifier &&
+            containsNoCase(toks[k - 2].text, "owner"))
+            return true;
+    }
+    return false;
+}
+
+bool
+inSrcOrBenchPath(const std::string &rel)
+{
+    return startsWith(rel, "src/") || startsWith(rel, "bench/");
+}
+
+/** CS-side dirs whose unguarded roots are mediation violations. */
+bool
+isMediationOrigin(const std::string &rel)
+{
+    return startsWith(rel, "src/emcall/") ||
+           startsWith(rel, "src/fabric/") ||
+           startsWith(rel, "src/cpu/") || startsWith(rel, "bench/");
+}
 
 void
-checkBitmapMediation(const SourceFile &f, const Project &proj,
-                     std::vector<Diagnostic> &out)
+checkMediationPath(const Project &proj, std::vector<Diagnostic> &out)
 {
-    if (!inSrcOrBench(f) || startsWith(f.relPath(), "src/mem/") ||
-        f.relPath() == "src/fabric/ihub.cc")
-        return;
+    const ProjectIndex &idx = proj.index();
+    const CallGraph &cg = proj.callGraph();
+    const auto &files = proj.files();
+    const auto &fns = idx.functions();
 
-    std::set<std::string> vars = physMemVars(f);
-    if (const SourceFile *pair = proj.pairOf(f)) {
-        std::set<std::string> pv = physMemVars(*pair);
-        vars.insert(pv.begin(), pv.end());
-    }
-    const auto &toks = f.tokens();
+    auto fn_has_guard = [&](int fn) {
+        const FunctionDef &d = fns[static_cast<std::size_t>(fn)];
+        return rangeHasGuard(*files[static_cast<std::size_t>(
+                                 d.fileIdx)],
+                             d.open, d.close);
+    };
+    auto fn_label = [&](int fn) {
+        const FunctionDef &d = fns[static_cast<std::size_t>(fn)];
+        std::string name = d.className.empty()
+                               ? d.name
+                               : d.className + "::" + d.name;
+        return name + " (" +
+               files[static_cast<std::size_t>(d.fileIdx)]->relPath() +
+               ":" + std::to_string(d.line) + ")";
+    };
 
-    for (std::size_t i = 2; i < toks.size(); ++i) {
-        const Token &t = toks[i];
-        if (t.inDirective || t.kind != TokKind::Identifier ||
-            !isAccessMethod(t.text))
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const SourceFile &f = *files[fi];
+        if (!inSrcOrBench(f) || startsWith(f.relPath(), "src/mem/"))
             continue;
-        if (i + 1 >= toks.size() || toks[i + 1].text != "(")
-            continue;
-        const Token &sep = toks[i - 1];
-        if (sep.text != "." && sep.text != "->")
-            continue;
-        const Token &recv = toks[i - 2];
-        bool phys = false;
-        if (recv.kind == TokKind::Identifier && vars.count(recv.text)) {
-            phys = true;
-        } else if (recv.text == ")" && i >= 4 &&
-                   toks[i - 3].text == "(" &&
-                   toks[i - 4].kind == TokKind::Identifier &&
-                   proj.physMemAccessors().count(toks[i - 4].text)) {
-            phys = true; // e.g. sys.csMem().write(...)
+
+        std::set<std::string> vars = physMemVars(f);
+        if (const SourceFile *pair = proj.pairOf(f)) {
+            std::set<std::string> pv = physMemVars(*pair);
+            vars.insert(pv.begin(), pv.end());
         }
-        if (!phys)
-            continue;
+        const auto &toks = f.tokens();
 
-        int fb = f.enclosingFunction(i);
-        bool guarded = false;
-        if (fb >= 0) {
-            const Block &blk =
-                f.blocks()[static_cast<std::size_t>(fb)];
-            for (std::size_t k = blk.open + 1; k < i; ++k) {
-                const Token &g = toks[k];
-                if (!g.inDirective &&
-                    g.kind == TokKind::Identifier &&
-                    isMediationGuard(g.text)) {
-                    guarded = true;
-                    break;
+        for (std::size_t i = 2; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.inDirective || t.kind != TokKind::Identifier ||
+                !isAccessMethod(t.text))
+                continue;
+            if (i + 1 >= toks.size() || toks[i + 1].text != "(")
+                continue;
+            const Token &sep = toks[i - 1];
+            if (sep.text != "." && sep.text != "->")
+                continue;
+            const Token &recv = toks[i - 2];
+            bool phys = false;
+            if (recv.kind == TokKind::Identifier &&
+                vars.count(recv.text)) {
+                phys = true;
+            } else if (recv.text == ")" && i >= 4 &&
+                       toks[i - 3].text == "(" &&
+                       toks[i - 4].kind == TokKind::Identifier &&
+                       proj.physMemAccessors().count(
+                           toks[i - 4].text)) {
+                phys = true; // e.g. sys.csMem().write(...)
+            }
+            if (!phys)
+                continue;
+
+            int sink_fn = idx.functionAt(static_cast<int>(fi), i);
+            if (sink_fn < 0) {
+                // Access at file/namespace scope: no guard possible.
+                if (isMediationOrigin(f.relPath()))
+                    report(out, f, t.line, "mediation-path",
+                           "PhysicalMemory::" + t.text +
+                               " at file scope with no possible "
+                               "ownership check");
+                continue;
+            }
+            if (fn_has_guard(sink_fn))
+                continue; // mediated locally
+
+            // Walk backwards through src/bench callers until every
+            // path is cut by a guard-holding function, or an
+            // unguarded CS-side root is reached.
+            std::map<int, int> parent; // fn -> next fn toward sink
+            std::deque<int> todo;
+            parent[sink_fn] = -1;
+            todo.push_back(sink_fn);
+            int bad_root = -1;
+            while (!todo.empty() && bad_root < 0) {
+                int cur = todo.front();
+                todo.pop_front();
+                bool has_caller = false;
+                for (const CallerEdge &e : cg.callersOf(cur)) {
+                    const CallSite &site =
+                        idx.calls()[static_cast<std::size_t>(
+                            e.callSiteIdx)];
+                    const SourceFile &cf =
+                        *files[static_cast<std::size_t>(
+                            site.fileIdx)];
+                    if (!inSrcOrBenchPath(cf.relPath()))
+                        continue; // test-only edge
+                    has_caller = true;
+                    if (e.callerFn < 0) {
+                        // Call at file scope: a root by definition.
+                        if (isMediationOrigin(cf.relPath())) {
+                            bad_root = cur;
+                            break;
+                        }
+                        continue;
+                    }
+                    if (parent.count(e.callerFn))
+                        continue;
+                    if (fn_has_guard(e.callerFn)) {
+                        parent[e.callerFn] = cur; // cut, but visited
+                        continue;
+                    }
+                    parent[e.callerFn] = cur;
+                    todo.push_back(e.callerFn);
+                }
+                if (!has_caller) {
+                    const FunctionDef &d =
+                        fns[static_cast<std::size_t>(cur)];
+                    if (isMediationOrigin(
+                            files[static_cast<std::size_t>(
+                                      d.fileIdx)]
+                                ->relPath()))
+                        bad_root = cur;
                 }
             }
+            if (bad_root < 0)
+                continue;
+
+            std::string chain = fn_label(bad_root);
+            for (int n = parent[bad_root]; n >= 0; n = parent[n]) {
+                chain += " -> " + fn_label(n);
+                if (n == sink_fn)
+                    break;
+            }
+            report(out, f, t.line, "mediation-path",
+                   "PhysicalMemory::" + t.text +
+                       " is reachable from a CS-side entry point "
+                       "with no ownership-bitmap/range check on the "
+                       "path: " + chain);
         }
-        if (!guarded)
-            report(out, f, t.line, "bitmap-mediation",
-                   "direct PhysicalMemory::" + t.text +
-                       " outside src/mem/ without a preceding "
-                       "ownership-bitmap/range check "
-                       "(overlapsRange/containsRange/isEnclavePage/"
-                       "csAccessAllowed) in the same function");
+    }
+}
+
+// ------------------------------------------------------------ guarded-by
+
+/**
+ * Does the token range (open, @p before) of @p f take @p mutex_name?
+ * Recognizes the RAII wrappers (std::lock_guard/scoped_lock/
+ * unique_lock/shared_lock constructed on the mutex) and a direct
+ * `mutex.lock()`.
+ */
+bool
+locksMutex(const SourceFile &f, std::size_t open, std::size_t before,
+           const std::string &mutex_name)
+{
+    const auto &toks = f.tokens();
+    for (std::size_t k = open + 1; k < before && k < toks.size();
+         ++k) {
+        const Token &t = toks[k];
+        if (t.inDirective || t.kind != TokKind::Identifier)
+            continue;
+        if (t.text == "lock_guard" || t.text == "scoped_lock" ||
+            t.text == "unique_lock" || t.text == "shared_lock") {
+            for (std::size_t m = k + 1;
+                 m < before && m < k + 12 && m < toks.size(); ++m) {
+                if (toks[m].kind == TokKind::Identifier &&
+                    toks[m].text == mutex_name)
+                    return true;
+                if (toks[m].text == ";")
+                    break;
+            }
+        }
+        if (t.text == mutex_name && k + 2 < toks.size() &&
+            (toks[k + 1].text == "." || toks[k + 1].text == "->") &&
+            toks[k + 2].text == "lock")
+            return true;
+    }
+    return false;
+}
+
+void
+checkGuardedBy(const Project &proj, std::vector<Diagnostic> &out)
+{
+    const ProjectIndex &idx = proj.index();
+    const auto &files = proj.files();
+
+    for (const GuardedField &gf : idx.guardedFields()) {
+        if (gf.className.empty())
+            continue;
+        for (const auto &fptr : files) {
+            const SourceFile &f = *fptr;
+            const auto &toks = f.tokens();
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.inDirective ||
+                    t.kind != TokKind::Identifier ||
+                    t.text != gf.field)
+                    continue;
+                int fb = f.enclosingFunction(i);
+                if (fb < 0)
+                    continue; // declaration / member-init list
+                const Block &blk =
+                    f.blocks()[static_cast<std::size_t>(fb)];
+                if (blk.className != gf.className)
+                    continue; // another class's same-named member
+                if (blk.name == gf.className)
+                    continue; // ctor/dtor: no concurrent access yet
+                // By convention `fooLocked()` helpers run with the
+                // lock already held by their caller.
+                if (blk.name.size() > 6 &&
+                    blk.name.compare(blk.name.size() - 6, 6,
+                                     "Locked") == 0)
+                    continue;
+                if (locksMutex(f, blk.open, i, gf.mutexName))
+                    continue;
+                report(out, f, t.line, "guarded-by",
+                       gf.className + "::" + gf.field +
+                           " is guarded-by(" + gf.mutexName +
+                           ") but '" + blk.name +
+                           "' accesses it without taking the lock");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- seed-flow
+
+/** Outcome of classifying where a seed expression's value comes from. */
+enum class SeedFlow
+{
+    Pure,    ///< derived from shardSeed/ShardContext/CLI seed
+    Impure,  ///< a literal or unrelated value
+    Unknown, ///< depends only on enclosing-function parameters
+};
+
+/** Type keywords/utility names that never carry seed provenance. */
+bool
+isSeedNeutral(const std::string &s)
+{
+    static const std::set<std::string> names = {
+        "std",         "size_t",      "uint64_t",   "uint32_t",
+        "uint16_t",    "uint8_t",     "int64_t",    "int32_t",
+        "Addr",        "Tick",        "EnclaveId",  "static_cast",
+        "const_cast",  "reinterpret_cast", "dynamic_cast",
+        "unsigned",    "int",         "long",       "auto",
+        "const",
+    };
+    return names.count(s) > 0;
+}
+
+struct SeedFlowCtx
+{
+    const Project &proj;
+    const ProjectIndex &idx;
+    const CallGraph &cg;
+    /** (fnIdx, paramIdx) -> resolved flow (cycle guard + memo). */
+    std::map<std::pair<int, int>, SeedFlow> memo;
+    /** Caller site that injected the impure value, for the report. */
+    std::string offender;
+};
+
+SeedFlow classifyParam(SeedFlowCtx &ctx, int fn_idx, int param_idx,
+                       int depth);
+
+/**
+ * Classify the argument tokens [begin, end) of file @p file_idx:
+ * Pure when at least one seed-derived atom appears and nothing
+ * impure does.
+ */
+SeedFlow
+classifyRange(SeedFlowCtx &ctx, int file_idx, std::size_t begin,
+              std::size_t end, int depth)
+{
+    const SourceFile &f =
+        *ctx.proj.files()[static_cast<std::size_t>(file_idx)];
+    const auto &toks = f.tokens();
+    int enclosing = ctx.idx.functionAt(file_idx, begin);
+    const FunctionDef *encl_fn =
+        enclosing >= 0
+            ? &ctx.idx.functions()[static_cast<std::size_t>(
+                  enclosing)]
+            : nullptr;
+
+    bool pure = false;
+    bool unknown = false;
+    for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+        const Token &t = toks[k];
+        if (t.inDirective || t.kind != TokKind::Identifier)
+            continue;
+        if (k + 1 < toks.size() && (toks[k + 1].text == "." ||
+                                    toks[k + 1].text == "->" ||
+                                    toks[k + 1].text == "::"))
+            continue; // object/qualifier of a member access
+        if (isSeedNeutral(t.text))
+            continue;
+        if (containsNoCase(t.text, "seed") ||
+            containsNoCase(t.text, "rng")) {
+            pure = true;
+            // A seed-deriving call vouches for its own arguments.
+            if (k + 1 < toks.size() && toks[k + 1].text == "(") {
+                int d = toks[k + 1].parenDepth;
+                while (k + 1 < end && k + 1 < toks.size() &&
+                       !(toks[k + 1].text == ")" &&
+                         toks[k + 1].parenDepth == d))
+                    ++k;
+            }
+            continue;
+        }
+        if (encl_fn) {
+            auto pit = std::find(encl_fn->params.begin(),
+                                 encl_fn->params.end(), t.text);
+            if (pit != encl_fn->params.end()) {
+                SeedFlow pf = classifyParam(
+                    ctx, enclosing,
+                    static_cast<int>(pit - encl_fn->params.begin()),
+                    depth + 1);
+                if (pf == SeedFlow::Impure)
+                    return SeedFlow::Impure;
+                if (pf == SeedFlow::Pure)
+                    pure = true;
+                else
+                    unknown = true;
+                continue;
+            }
+        }
+        if (ctx.offender.empty())
+            ctx.offender = f.relPath() + ":" +
+                           std::to_string(t.line) + " ('" + t.text +
+                           "')";
+        return SeedFlow::Impure;
+    }
+    if (pure)
+        return SeedFlow::Pure;
+    if (unknown)
+        return SeedFlow::Unknown;
+    // Literals only (e.g. `Random(7)`): a hard-coded seed that
+    // ignores the shard/CLI seed entirely.
+    if (ctx.offender.empty())
+        ctx.offender = f.relPath() + ":" +
+                       std::to_string(begin < toks.size()
+                                          ? toks[begin].line
+                                          : 0) +
+                       " (literal seed)";
+    return SeedFlow::Impure;
+}
+
+/** What flows into parameter @p param_idx of @p fn_idx, over every
+ *  call site in the project? */
+SeedFlow
+classifyParam(SeedFlowCtx &ctx, int fn_idx, int param_idx, int depth)
+{
+    if (depth > 8)
+        return SeedFlow::Impure; // give up on deep chains
+    auto key = std::make_pair(fn_idx, param_idx);
+    auto it = ctx.memo.find(key);
+    if (it != ctx.memo.end())
+        return it->second;
+    ctx.memo[key] = SeedFlow::Unknown; // cycle guard
+
+    SeedFlow result = SeedFlow::Unknown;
+    bool any_site = false;
+    for (const CallerEdge &e : ctx.cg.callersOf(fn_idx)) {
+        const CallSite &site =
+            ctx.idx.calls()[static_cast<std::size_t>(e.callSiteIdx)];
+        if (param_idx >= static_cast<int>(site.args.size()))
+            continue; // defaulted argument: trust the default
+        any_site = true;
+        const auto &range =
+            site.args[static_cast<std::size_t>(param_idx)];
+        SeedFlow af = classifyRange(ctx, site.fileIdx, range.first,
+                                    range.second, depth + 1);
+        if (af == SeedFlow::Impure) {
+            result = SeedFlow::Impure;
+            break;
+        }
+        if (af == SeedFlow::Pure)
+            result = SeedFlow::Pure;
+    }
+    if (!any_site)
+        result = SeedFlow::Impure; // unreachable: cannot prove
+    ctx.memo[key] = result;
+    return result;
+}
+
+void
+checkSeedFlow(const Project &proj, std::vector<Diagnostic> &out)
+{
+    const ProjectIndex &idx = proj.index();
+    const CallGraph &cg = proj.callGraph();
+    const auto &files = proj.files();
+
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const SourceFile &f = *files[fi];
+        // src/sim/ is the seed infrastructure itself (ShardContext
+        // construction from the CLI seed happens there).
+        if (!inSrcOrBench(f) || startsWith(f.relPath(), "src/sim/"))
+            continue;
+        const auto &toks = f.tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.inDirective || t.kind != TokKind::Identifier)
+                continue;
+
+            // The three construction shapes: `Random(...)`
+            // temporaries, `Random name(...)`/`Random name{...}`
+            // locals, and make_shared/make_unique<Random>(...).
+            std::size_t arg_open = 0;
+            if (t.text == "Random") {
+                if (i > 0 && (toks[i - 1].text == "class" ||
+                              toks[i - 1].text == "struct" ||
+                              toks[i - 1].text == "<"))
+                    continue;
+                if (i + 1 < toks.size() &&
+                    toks[i + 1].text == "(") {
+                    if (i > 0 &&
+                        toks[i - 1].kind == TokKind::Identifier)
+                        continue; // `Type Random(` -- not a ctor
+                    arg_open = i + 1;
+                } else if (i + 2 < toks.size() &&
+                           toks[i + 1].kind == TokKind::Identifier &&
+                           (toks[i + 2].text == "(" ||
+                            toks[i + 2].text == "{")) {
+                    if (f.enclosingFunction(i) < 0)
+                        continue; // function declaration
+                    arg_open = i + 2;
+                } else {
+                    continue;
+                }
+            } else if ((t.text == "make_shared" ||
+                        t.text == "make_unique") &&
+                       i + 4 < toks.size() &&
+                       toks[i + 1].text == "<" &&
+                       toks[i + 2].text == "Random" &&
+                       toks[i + 3].text == ">" &&
+                       toks[i + 4].text == "(") {
+                arg_open = i + 4;
+            } else {
+                continue;
+            }
+
+            // Find the matching close of the argument list.
+            const std::string close_text =
+                toks[arg_open].text == "{" ? "}" : ")";
+            int depth = close_text == ")"
+                            ? toks[arg_open].parenDepth
+                            : toks[arg_open].braceDepth;
+            std::size_t arg_close = arg_open + 1;
+            while (arg_close < toks.size() &&
+                   !(toks[arg_close].text == close_text &&
+                     (close_text == ")"
+                          ? toks[arg_close].parenDepth
+                          : toks[arg_close].braceDepth) == depth))
+                ++arg_close;
+            if (arg_close == arg_open + 1)
+                continue; // `Random r;` / `Random()`: default state
+
+            SeedFlowCtx ctx{proj, idx, cg, {}, {}};
+            SeedFlow flow =
+                classifyRange(ctx, static_cast<int>(fi),
+                              arg_open + 1, arg_close, 0);
+            if (flow == SeedFlow::Pure)
+                continue;
+            std::string why =
+                ctx.offender.empty()
+                    ? std::string("value not derived from any "
+                                  "seed-carrying expression")
+                    : "impure value from " + ctx.offender;
+            report(out, f, t.line, "seed-flow",
+                   "Random constructed from a value outside the "
+                   "ShardContext/shardSeed/CLI-seed dataflow (" +
+                       why +
+                       ") -- derive every RNG seed via "
+                       "shardSeed() so runs stay reproducible");
+        }
     }
 }
 
@@ -200,6 +671,8 @@ void
 checkStatRegistration(const SourceFile &f, const Project &proj,
                       std::vector<Diagnostic> &out)
 {
+    if (!inSrcOrBench(f))
+        return; // test-local stats need no export wiring
     const auto &toks = f.tokens();
     std::set<std::string> registered = registeredStatNames(f);
     if (const SourceFile *pair = proj.pairOf(f)) {
@@ -541,10 +1014,19 @@ const std::vector<RuleInfo> &
 allRules()
 {
     static const std::vector<RuleInfo> rules = {
-        {"bitmap-mediation",
-         "PhysicalMemory accesses outside src/mem/ and the iHub must "
-         "be preceded by an ownership-bitmap/range check",
-         &checkBitmapMediation},
+        {"mediation-path",
+         "every call path from a CS-side entry point to a "
+         "PhysicalMemory access outside src/mem/ must pass an "
+         "ownership-bitmap/range check (whole-program)",
+         nullptr, &checkMediationPath},
+        {"guarded-by",
+         "fields annotated '// htlint: guarded-by(m)' may only be "
+         "accessed in scopes that lock m (whole-program)",
+         nullptr, &checkGuardedBy},
+        {"seed-flow",
+         "every Random must be constructed from ShardContext/"
+         "shardSeed/CLI-seed derived values (whole-program)",
+         nullptr, &checkSeedFlow},
         {"stat-registration",
          "every Scalar/Average/Distribution must be registered with "
          "a StatGroup so the JSON export sees it",

@@ -18,6 +18,12 @@
 
 namespace hypertee::htlint
 {
+class ProjectIndex;
+class CallGraph;
+} // namespace hypertee::htlint
+
+namespace hypertee::htlint
+{
 
 struct Diagnostic
 {
@@ -30,8 +36,15 @@ struct Diagnostic
 class Project
 {
   public:
+    // Out of line: members hold unique_ptrs to incomplete types.
+    Project();
+    ~Project();
+
     /** Load @p path, reporting it as @p rel_path; false on I/O error. */
     bool addFile(const std::string &path, const std::string &rel_path);
+
+    /** Add a pre-analyzed file (parallel loader). */
+    void addParsed(std::unique_ptr<SourceFile> file);
 
     /** Add analysis of in-memory text (fixture tests). */
     void addText(std::string text, const std::string &rel_path);
@@ -66,6 +79,16 @@ class Project
         return _physMemAccessors;
     }
 
+    /**
+     * Phase-1 whole-program index (functions, calls, guarded-by
+     * annotations), built lazily on first use and invalidated when a
+     * file is added.
+     */
+    const ProjectIndex &index() const;
+
+    /** Phase-2 call graph over index(), built lazily. */
+    const CallGraph &callGraph() const;
+
     /** Run every rule in @p rules (all when empty); suppressions and
      *  ordering applied. */
     std::vector<Diagnostic>
@@ -78,16 +101,25 @@ class Project
     std::map<std::string, std::size_t> _byRelPath;
     std::map<std::string, std::vector<std::string>> _classBases;
     std::set<std::string> _physMemAccessors;
+    mutable std::unique_ptr<ProjectIndex> _index;
+    mutable std::unique_ptr<CallGraph> _callGraph;
 };
 
 using RuleFn = void (*)(const SourceFile &, const Project &,
                         std::vector<Diagnostic> &);
 
+/** A whole-program rule: runs once over the project, not per file. */
+using ProjectRuleFn = void (*)(const Project &,
+                               std::vector<Diagnostic> &);
+
 struct RuleInfo
 {
     const char *name;
     const char *description;
-    RuleFn check;
+    /** Per-file check (nullptr for whole-program rules). */
+    RuleFn check = nullptr;
+    /** Whole-program check (nullptr for per-file rules). */
+    ProjectRuleFn checkProject = nullptr;
 };
 
 /** All built-in rules, in reporting order. */

@@ -1,0 +1,117 @@
+#include "tools/htlint/sarif.hh"
+
+#include <cstdio>
+#include <map>
+
+namespace hypertee::htlint
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeSarif(const std::vector<Diagnostic> &diags, std::ostream &out)
+{
+    const auto &rules = allRules();
+    std::map<std::string, std::size_t> rule_index;
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        rule_index[rules[i].name] = i;
+
+    out << "{\n"
+        << "  \"$schema\": \"https://raw.githubusercontent.com/"
+           "oasis-tcs/sarif-spec/master/Schemata/"
+           "sarif-schema-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"htlint\",\n"
+        << "          \"informationUri\": "
+           "\"tools/htlint/README.md\",\n"
+        << "          \"rules\": [\n";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << "            {\n"
+            << "              \"id\": \"" << jsonEscape(rules[i].name)
+            << "\",\n"
+            << "              \"shortDescription\": { \"text\": \""
+            << jsonEscape(rules[i].description) << "\" }\n"
+            << "            }" << (i + 1 < rules.size() ? "," : "")
+            << "\n";
+    }
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        auto it = rule_index.find(d.rule);
+        out << "        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(d.rule)
+            << "\",\n";
+        if (it != rule_index.end())
+            out << "          \"ruleIndex\": " << it->second << ",\n";
+        out << "          \"level\": \"error\",\n"
+            << "          \"message\": { \"text\": \""
+            << jsonEscape(d.message) << "\" },\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": {\n"
+            << "                  \"uri\": \"" << jsonEscape(d.file)
+            << "\",\n"
+            << "                  \"uriBaseId\": \"SRCROOT\"\n"
+            << "                },\n"
+            << "                \"region\": { \"startLine\": "
+            << (d.line > 0 ? d.line : 1) << " }\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ]\n"
+            << "        }" << (i + 1 < diags.size() ? "," : "")
+            << "\n";
+    }
+    out << "      ],\n"
+        << "      \"originalUriBaseIds\": {\n"
+        << "        \"SRCROOT\": { \"uri\": \"file:///\" }\n"
+        << "      },\n"
+        << "      \"columnKind\": \"utf16CodeUnits\"\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+}
+
+} // namespace hypertee::htlint

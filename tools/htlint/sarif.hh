@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SARIF 2.1.0 emission for htlint diagnostics, so CI can upload
+ * findings to code-scanning UIs. Hand-rolled JSON (no dependency):
+ * the document shape is fixed, only strings need escaping.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_SARIF_HH
+#define HYPERTEE_TOOLS_HTLINT_SARIF_HH
+
+#include <ostream>
+#include <vector>
+
+#include "tools/htlint/rules.hh"
+
+namespace hypertee::htlint
+{
+
+/**
+ * Write @p diags as a single-run SARIF 2.1.0 log to @p out. Every
+ * rule in allRules() is declared in tool.driver.rules (with its
+ * description) whether or not it fired, so ruleIndex references and
+ * rule metadata stay stable across runs.
+ */
+void writeSarif(const std::vector<Diagnostic> &diags,
+                std::ostream &out);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_SARIF_HH

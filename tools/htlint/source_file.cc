@@ -238,6 +238,7 @@ SourceFile::buildBlocks()
         }
         if (t.text == "{") {
             Block b;
+            b.stmtStart = stmt_start;
             b.open = i;
             b.close = toks.size() ? toks.size() - 1 : 0;
             b.parent = stack.empty() ? -1 : stack.back();
@@ -300,6 +301,7 @@ SourceFile::buildSuppressions()
                     ? names.substr(start)
                     : names.substr(start, comma - start));
             if (!name.empty()) {
+                _allowSites.push_back({cm.line, name, file_wide});
                 if (file_wide) {
                     _allowFile.insert(name);
                 } else {

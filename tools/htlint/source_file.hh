@@ -3,7 +3,8 @@
  * A lexed source file plus the lightweight structure htlint rules
  * need: a block (scope) tree classifying every brace pair as a
  * namespace / type / function / statement / initializer, and the
- * suppression map parsed from `// htlint: allow(<rule>)` comments.
+ * suppression map parsed from the `htlint:` allow-comments
+ * (`allow(rule)` trailing a line or on the line above it).
  */
 
 #ifndef HYPERTEE_TOOLS_HTLINT_SOURCE_FILE_HH
@@ -37,6 +38,7 @@ struct Block
     std::string name;      ///< function/type/namespace name ("" if none)
     std::string className; ///< for functions: qualifying or enclosing type
     std::vector<std::string> bases; ///< for types: base class names
+    std::size_t stmtStart = 0; ///< first token of the introducing stmt
     std::size_t open = 0;  ///< token index of '{'
     std::size_t close = 0; ///< token index of matching '}'
     int parent = -1;       ///< index into blocks(), -1 at file scope
@@ -77,6 +79,22 @@ class SourceFile
     /** Is @p rule suppressed at @p line by an allow comment? */
     bool suppressed(const std::string &rule, int line) const;
 
+    /**
+     * One rule name inside an `allow(...)`/`allow-file(...)` comment,
+     * kept for auditing (`--list-suppressions`) and for rejecting
+     * stale suppressions that name unknown rules.
+     */
+    struct AllowSite
+    {
+        int line = 0; ///< line of the comment itself
+        std::string rule;
+        bool fileWide = false;
+    };
+    const std::vector<AllowSite> &allowSites() const
+    {
+        return _allowSites;
+    }
+
   private:
     void analyze();
     void buildBlocks();
@@ -91,6 +109,8 @@ class SourceFile
     std::map<int, std::set<std::string>> _allow;
     /** rules allowed for the whole file. */
     std::set<std::string> _allowFile;
+    /** every allow/allow-file mention, in source order. */
+    std::vector<AllowSite> _allowSites;
 };
 
 } // namespace hypertee::htlint
