@@ -40,8 +40,11 @@ linesTouched(PrimitiveOp op, std::size_t pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     benchHeader("Ablation: unidirectional coherence flush cost",
                 "explicit EMS software flush vs primitive service "
                 "time (the cost of omitting snoop hardware)");
@@ -81,5 +84,5 @@ main()
     std::printf("\nexpected: the explicit flush stays a small share "
                 "of every primitive, validating the paper's choice "
                 "to drop EMS-side snoop hardware.\n");
-    return 0;
+    return finishBench(opts, {});
 }

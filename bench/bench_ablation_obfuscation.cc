@@ -14,19 +14,23 @@
 using namespace hypertee;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     benchHeader("Ablation: timing-channel obfuscation",
                 "attacker accuracy vs EMS cores and polling jitter");
 
+    const std::size_t bits = opts.smoke ? 32 : 96;
     printRow({"cores", "jitter", "10us delta", "60ns delta"}, 14);
     for (unsigned cores : {1u, 2u, 4u}) {
         for (bool jitter : {false, true}) {
             double big =
-                timingChannelAccuracy(cores, jitter, 10'000'000, 96,
-                                      5);
+                timingChannelAccuracy(cores, jitter, 10'000'000,
+                                      bits, 5);
             double small =
-                timingChannelAccuracy(cores, jitter, 60'000, 96, 6);
+                timingChannelAccuracy(cores, jitter, 60'000, bits, 6);
             printRow({std::to_string(cores), jitter ? "on" : "off",
                       pct(big, 0), pct(small, 0)},
                      14);
@@ -36,5 +40,5 @@ main()
                 "leaks both deltas; jitter alone drowns sub-jitter "
                 "deltas; >=2 cores remove the serialization signal "
                 "entirely (the HyperTEE configuration).\n");
-    return 0;
+    return finishBench(opts, {});
 }

@@ -25,7 +25,7 @@ struct PoolResult
 };
 
 PoolResult
-runWithPool(bool warm)
+runWithPool(bool warm, bool smoke)
 {
     SystemParams p;
     p.csMemSize = 256ULL * 1024 * 1024;
@@ -46,7 +46,7 @@ runWithPool(bool warm)
                     PteRead | PteExec);
     victim.measure();
 
-    std::vector<bool> secret = randomSecret(128, 77);
+    std::vector<bool> secret = randomSecret(smoke ? 32 : 128, 77);
     std::uint64_t grants_before = sys.osPoolGrants();
     AttackOutcome out =
         allocationAttackHyperTee(sys, victim, secret, 78);
@@ -54,7 +54,7 @@ runWithPool(bool warm)
     // Latency probe.
     victim.enter();
     Tick total = 0;
-    const int reps = 64;
+    const int reps = smoke ? 16 : 64;
     for (int i = 0; i < reps; ++i) {
         Addr va = victim.alloc(4);
         total += victim.lastLatency();
@@ -69,16 +69,19 @@ runWithPool(bool warm)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     logging_detail::setVerbose(false);
     benchHeader("Ablation: enclave memory pool",
                 "allocation-channel leakage and EALLOC latency with "
                 "and without the warm pool");
 
     printRow({"pool", "attack-acc", "ealloc(us)", "os-grants"}, 16);
-    PoolResult warm = runWithPool(true);
-    PoolResult cold = runWithPool(false);
+    PoolResult warm = runWithPool(true, opts.smoke);
+    PoolResult cold = runWithPool(false, opts.smoke);
     printRow({"warm (HyperTEE)", pct(warm.attackAccuracy, 0),
               num(warm.avgAllocUs, 1), std::to_string(warm.osGrants)},
              16);
@@ -89,5 +92,5 @@ main()
     std::printf("\nexpected: pass-through leaks every bit (~100%%) "
                 "and pays an OS grant per allocation; the warm pool "
                 "hides both signal and latency.\n");
-    return 0;
+    return finishBench(opts, {});
 }

@@ -70,18 +70,31 @@ runWithSwitchRate(HyperTeeSystem &sys, const WorkloadProfile &profile,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     logging_detail::setVerbose(false);
     benchHeader("Figure 11: TLB-flush overhead vs switch frequency",
                 "miniz in enclave, 2-32MB working sets, 100-400Hz "
                 "context-switch rates");
 
-    printRow({"size", "100Hz", "150Hz", "200Hz", "400Hz"});
+    std::vector<unsigned> sizes_mb = {2u, 8u, 32u};
+    std::vector<double> rates_hz = {100.0, 150.0, 200.0, 400.0};
+    if (opts.smoke) {
+        sizes_mb = {2u, 8u};
+        rates_hz = {100.0, 400.0};
+    }
 
-    for (Addr mb : {2u, 8u, 32u}) {
+    std::vector<std::string> header = {"size"};
+    for (double hz : rates_hz)
+        header.push_back(num(hz, 0) + "Hz");
+    printRow(header);
+
+    for (Addr mb : sizes_mb) {
         WorkloadProfile profile = minizProfile(Addr(mb) << 20);
-        profile.instructions = 8'000'000;
+        profile.instructions = opts.smoke ? 2'000'000 : 8'000'000;
 
         auto fresh_ticks = [&](double hz) {
             SystemParams p = evalSystem(true);
@@ -93,7 +106,7 @@ main()
 
         Tick base = fresh_ticks(0);
         std::vector<std::string> row = {std::to_string(mb) + "MB"};
-        for (double hz : {100.0, 150.0, 200.0, 400.0}) {
+        for (double hz : rates_hz) {
             Tick t = fresh_ticks(hz);
             row.push_back(pct(double(t) / double(base) - 1.0, 2));
         }
@@ -101,5 +114,5 @@ main()
     }
     std::printf("\npaper: <=1.81%% (32MB at 400Hz); overhead grows "
                 "with both size and switch rate but stays marginal\n");
-    return 0;
+    return finishBench(opts, {});
 }

@@ -14,8 +14,11 @@
 using namespace hypertee;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     logging_detail::setVerbose(false);
     benchHeader("Figure 8(b): MemStream under memory protection",
                 "Enclave-M_encrypt vs Host-Native streaming latency, "
@@ -25,9 +28,13 @@ main()
 
     double sum = 0;
     int count = 0;
-    for (Addr mb : {4u, 8u, 16u, 32u, 64u}) {
+    std::vector<unsigned> sizes_mb = {4u, 8u, 16u, 32u, 64u};
+    if (opts.smoke)
+        sizes_mb = {4u, 8u};
+    for (Addr mb : sizes_mb) {
         WorkloadProfile profile = memStreamProfile(Addr(mb) << 20);
-        profile.instructions = 6'000'000;
+        profile.instructions =
+            opts.smoke ? 1'500'000 : 6'000'000;
 
         SystemParams host_params = evalSystem(true);
         host_params.csMemSize = 1024ULL << 20;
@@ -55,5 +62,5 @@ main()
     }
     printRow({"Average", "", "", pct(sum / count, 1)});
     std::printf("\npaper: 3.1%% average latency overhead\n");
-    return 0;
+    return finishBench(opts, {});
 }

@@ -16,14 +16,19 @@
 using namespace hypertee;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     logging_detail::setVerbose(false);
     benchHeader("Figure 9: wolfSSL memory-management overhead",
                 "Enclave-M_encrypt wolfSSL (with TLS-session "
                 "EALLOC/EFREE churn) vs Host-Native");
 
     WorkloadProfile profile = wolfSslProfile();
+    if (opts.smoke)
+        profile.instructions /= 8;
     const int sessions = 4; ///< TLS session setups during the run
 
     HyperTeeSystem host_sys(evalSystem(true));
@@ -66,5 +71,5 @@ main()
              20);
     std::printf("\npaper: 0.9%% overhead for wolfSSL with all memory "
                 "management mechanisms\n");
-    return 0;
+    return finishBench(opts, {});
 }

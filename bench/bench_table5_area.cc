@@ -49,8 +49,11 @@ struct AreaModel
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     benchHeader("Table V: EMS area overhead per CS configuration",
                 "EMS core area as a fraction of the SoC, 7nm");
 
@@ -84,5 +87,5 @@ main()
     std::printf("\npaper: 0.97%% / 0.46%% / 0.34%% / 0.49%% / 0.25%%"
                 " (CS areas 35/74/151/304/612 mm2)\n");
     std::printf("crypto engine fixed at 0.20 mm2 as published\n");
-    return 0;
+    return finishBench(opts, {});
 }

@@ -59,8 +59,11 @@ uarchCell(TeeModel model)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    if (!opts.ok)
+        return 2;
     logging_detail::setVerbose(false);
     benchHeader("Table VI: defense against management-task attacks",
                 "attack-derived matrix: allocation / page-table / "
@@ -70,8 +73,9 @@ main()
               "uarch"},
              17);
 
+    const std::size_t bits = opts.smoke ? 32 : kBits;
     for (TeeModel model : allTeeModels()) {
-        std::vector<bool> secret = randomSecret(kBits, 11);
+        std::vector<bool> secret = randomSecret(bits, 11);
         std::string alloc_cell, pt_cell, swap_cell;
 
         if (model == TeeModel::HyperTee) {
@@ -115,5 +119,5 @@ main()
                 "SGX none; TDX/CCA only page tables; TrustZone/"
                 "Keystone the paging columns; management microarch "
                 "attacks defended only by physical isolation.\n");
-    return 0;
+    return finishBench(opts, {});
 }

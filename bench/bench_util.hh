@@ -20,6 +20,7 @@
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/perf.hh"
 #include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/stats_export.hh"
@@ -103,6 +104,10 @@ evalSystem(bool crypto_engine = true)
  *                              byte-identical for every n
  *   --seed=<n>                 global seed the per-shard RNG streams
  *                              are split from
+ *   --perf-json=<path>         host-performance record of the run
+ *                              (events fired, wall seconds,
+ *                              events/sec, peak RSS) consumed by
+ *                              bench/perf_baseline
  * Values may also be given as a separate argument (`--jobs 8`).
  */
 struct BenchOptions
@@ -110,16 +115,35 @@ struct BenchOptions
     std::string tracePath;
     std::string traceCategories;
     std::string statsJsonPath;
+    std::string perfJsonPath;
+    std::string benchName; ///< basename of argv[0]
     bool smoke = false;
     unsigned jobs = 1;
     std::uint64_t seed = 42;
     bool ok = true; ///< false after an unrecognized argument
+    /**
+     * Whether events_fired is a pure function of the workload (true
+     * for every table/figure bench). bench_micro clears it because
+     * google-benchmark picks iteration counts adaptively, and
+     * bench_report skips the exact events_fired determinism check
+     * when it is false.
+     */
+    bool deterministicEvents = true;
+    /** Started when options are parsed; read by writePerfJson. */
+    perf::WallTimer wallTimer;
 };
 
 inline BenchOptions
 parseBenchOptions(int argc, char **argv)
 {
     BenchOptions opts;
+    if (argc > 0 && argv[0] != nullptr) {
+        std::string path = argv[0];
+        std::size_t slash = path.find_last_of('/');
+        opts.benchName = slash == std::string::npos
+                             ? path
+                             : path.substr(slash + 1);
+    }
     std::string jobs_str, seed_str;
     int i = 1;
     // --flag=value in one argument or --flag value in two.
@@ -152,6 +176,7 @@ parseBenchOptions(int argc, char **argv)
                    value_of(arg, "--trace-categories",
                             opts.traceCategories) ||
                    value_of(arg, "--stats-json", opts.statsJsonPath) ||
+                   value_of(arg, "--perf-json", opts.perfJsonPath) ||
                    value_of(arg, "--jobs", jobs_str) ||
                    value_of(arg, "--seed", seed_str)) {
             // handled by value_of
@@ -160,8 +185,8 @@ parseBenchOptions(int argc, char **argv)
                          "unknown option: %s\n"
                          "usage: %s [--trace=FILE] "
                          "[--trace-categories=LIST] "
-                         "[--stats-json=FILE] [--smoke] "
-                         "[--jobs=N] [--seed=N]\n",
+                         "[--stats-json=FILE] [--perf-json=FILE] "
+                         "[--smoke] [--jobs=N] [--seed=N]\n",
                          arg.c_str(), argv[0]);
             opts.ok = false;
             return opts;
@@ -233,6 +258,50 @@ runShardedBench(const BenchOptions &opts, std::size_t count,
 }
 
 /**
+ * Write the host-performance record for this run: how many simulated
+ * events the process fired, over how much wall time, at what peak
+ * RSS. bench/perf_baseline launches every bench with --perf-json and
+ * folds these files into the committed BENCH_<date>.json trajectory.
+ * The wall-clock denominator starts at parseBenchOptions(), so setup
+ * cost is included uniformly for every bench.
+ * @return false when the file cannot be written.
+ */
+inline bool
+writePerfJson(const BenchOptions &opts)
+{
+    if (opts.perfJsonPath.empty())
+        return true;
+    double wall = opts.wallTimer.elapsedSeconds();
+    std::uint64_t events = perf::totalEventsFired();
+    double rate =
+        wall > 0 ? static_cast<double>(events) / wall : 0.0;
+    std::ostringstream body;
+    {
+        JsonWriter w(body);
+        w.beginObject();
+        w.member("schema", "hypertee-bench-perf-v1");
+        w.member("bench", opts.benchName);
+        w.member("mode", opts.smoke ? "smoke" : "full");
+        w.member("jobs", static_cast<std::uint64_t>(opts.jobs));
+        w.member("events_fired", events);
+        w.member("wall_seconds", wall);
+        w.member("events_per_sec", rate);
+        w.member("peak_rss_kb", perf::peakRssKb());
+        w.member("deterministic_events", opts.deterministicEvents);
+        w.endObject();
+    }
+    body << '\n';
+    std::ofstream out(opts.perfJsonPath);
+    out << body.str();
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opts.perfJsonPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
  * Write the requested output files. The stats JSON is validated
  * before it hits the disk so a malformed export fails the bench (and
  * the CI smoke test) instead of poisoning downstream tooling.
@@ -272,6 +341,8 @@ finishBench(const BenchOptions &opts,
                          static_cast<unsigned long long>(
                              sink.dropped()));
     }
+    if (!writePerfJson(opts))
+        rc = 1;
     return rc;
 }
 

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * perf_baseline: run the whole bench suite and write one committed
+ * baseline file.
+ *
+ *   perf_baseline --out=BENCH_2026-08-09.json --date=2026-08-09
+ *                 [--smoke] [--bench-dir=DIR] [--only=a,b,c]
+ *
+ * Each bench binary in --bench-dir (default: the directory holding
+ * this executable) is fork/exec'd with `--perf-json=<tmp>` (plus
+ * `--smoke` when requested), its stdout discarded, and the per-bench
+ * perf record it writes is folded into a
+ * `hypertee-bench-baseline-v1` document together with the exit code
+ * and the harness-observed wall time. tools/bench_report diffs two
+ * such documents; .github/workflows/ci.yml runs both as the
+ * bench-baseline regression gate.
+ *
+ * Benches run sequentially so they never contend for cores and the
+ * events/sec figures stay comparable run to run.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/json.hh"
+#include "sim/perf.hh"
+#include "tools/bench_report/baseline.hh"
+
+using namespace hypertee;
+using namespace hypertee::benchreport;
+
+namespace
+{
+
+/** Binaries in the bench directory that are not benches. */
+bool
+excludedName(const std::string &name)
+{
+    return name == "perf_baseline" || name.rfind("bench_", 0) != 0;
+}
+
+std::string
+dirnameOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Executable regular files named bench_* in @p dir, sorted. */
+std::vector<std::string>
+discoverBenches(const std::string &dir)
+{
+    std::vector<std::string> names;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return names;
+    while (dirent *entry = readdir(d)) {
+        std::string name = entry->d_name;
+        if (excludedName(name))
+            continue;
+        std::string path = dir + "/" + name;
+        struct stat st;
+        if (stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        if (access(path.c_str(), X_OK) != 0)
+            continue;
+        names.push_back(name);
+    }
+    closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/**
+ * Run one bench with stdout redirected to /dev/null; stderr is left
+ * alone so failures stay visible.
+ * @return the child's exit code, or -1 when it did not exit normally.
+ */
+int
+runBench(const std::string &path,
+         const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    std::vector<std::string> storage;
+    storage.push_back(path);
+    for (const std::string &a : args)
+        storage.push_back(a);
+    for (std::string &s : storage)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        return -1;
+    }
+    if (pid == 0) {
+        int devnull = open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            dup2(devnull, STDOUT_FILENO);
+            close(devnull);
+        }
+        execv(path.c_str(), argv.data());
+        std::perror(path.c_str());
+        _exit(127);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+        std::perror("waitpid");
+        return -1;
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    return -1;
+}
+
+/** Fold one bench's --perf-json output into a BenchRecord. */
+BenchRecord
+recordFor(const std::string &name, const std::string &perf_path,
+          int exit_code, double harness_wall)
+{
+    BenchRecord r;
+    r.bench = name;
+    r.exitCode = exit_code;
+    r.harnessWallSeconds = harness_wall;
+
+    std::ifstream in(perf_path, std::ios::binary);
+    if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        if (std::optional<JsonValue> v = JsonValue::parse(ss.str());
+            v && v->isObject() &&
+            v->stringAt("schema", "") == "hypertee-bench-perf-v1") {
+            r.mode = v->stringAt("mode", "full");
+            r.jobs = static_cast<std::uint64_t>(
+                v->numberAt("jobs", 1));
+            r.eventsFired = static_cast<std::uint64_t>(
+                v->numberAt("events_fired", 0));
+            r.wallSeconds = v->numberAt("wall_seconds", 0);
+            r.eventsPerSec = v->numberAt("events_per_sec", 0);
+            r.peakRssKb = static_cast<std::uint64_t>(
+                v->numberAt("peak_rss_kb", 0));
+            if (const JsonValue *d = v->find("deterministic_events"))
+                r.deterministicEvents =
+                    d->isBool() ? d->boolean() : true;
+        } else {
+            std::fprintf(stderr,
+                         "%s: perf record missing or malformed\n",
+                         name.c_str());
+            if (r.exitCode == 0)
+                r.exitCode = -2;
+        }
+    } else if (r.exitCode == 0) {
+        std::fprintf(stderr, "%s: wrote no perf record\n",
+                     name.c_str());
+        r.exitCode = -2;
+    }
+    return r;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --out=FILE [--date=YYYY-MM-DD] [--smoke] "
+                 "[--bench-dir=DIR] [--only=name,name,...]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path, date = "undated", only_csv;
+    std::string bench_dir = dirnameOf(argv[0]);
+    bool smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value_of = [&](const char *flag, std::string &out) {
+            std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0) {
+                out = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (value_of("--out", out_path) ||
+                   value_of("--date", date) ||
+                   value_of("--bench-dir", bench_dir) ||
+                   value_of("--only", only_csv)) {
+            // handled
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (out_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<std::string> benches = discoverBenches(bench_dir);
+    if (!only_csv.empty()) {
+        std::vector<std::string> keep;
+        std::stringstream ss(only_csv);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                keep.push_back(item);
+        std::vector<std::string> filtered;
+        for (const std::string &b : benches)
+            if (std::find(keep.begin(), keep.end(), b) != keep.end())
+                filtered.push_back(b);
+        benches = std::move(filtered);
+    }
+    if (benches.empty()) {
+        std::fprintf(stderr, "no benches found in %s\n",
+                     bench_dir.c_str());
+        return 2;
+    }
+
+    Baseline baseline;
+    baseline.date = date;
+    baseline.mode = smoke ? "smoke" : "full";
+
+    bool any_failed = false;
+    for (const std::string &name : benches) {
+        std::string perf_path =
+            out_path + "." + name + ".perf.tmp";
+        std::vector<std::string> args = {"--perf-json=" + perf_path};
+        if (smoke)
+            args.push_back("--smoke");
+
+        std::fprintf(stderr, "[perf_baseline] %s ...\n",
+                     name.c_str());
+        perf::WallTimer timer;
+        int exit_code = runBench(bench_dir + "/" + name, args);
+        double harness_wall = timer.elapsedSeconds();
+
+        BenchRecord r =
+            recordFor(name, perf_path, exit_code, harness_wall);
+        unlink(perf_path.c_str());
+        if (r.exitCode != 0) {
+            any_failed = true;
+            std::fprintf(stderr, "[perf_baseline] %s FAILED (%d)\n",
+                         name.c_str(), r.exitCode);
+        } else {
+            std::fprintf(stderr,
+                         "[perf_baseline] %s ok: %.2fs, "
+                         "%llu events\n",
+                         name.c_str(), r.wallSeconds,
+                         static_cast<unsigned long long>(
+                             r.eventsFired));
+        }
+        baseline.benches.push_back(std::move(r));
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+    }
+    baseline.writeJson(out);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "[perf_baseline] wrote %s (%zu benches)\n",
+                 out_path.c_str(), baseline.benches.size());
+    return any_failed ? 1 : 0;
+}

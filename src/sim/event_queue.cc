@@ -1,80 +1,133 @@
 #include "sim/event_queue.hh"
 
+#include "sim/perf.hh"
 #include "sim/trace.hh"
 
 namespace hypertee
 {
 
 void
+EventQueue::siftUp(std::size_t hole, HeapEntry entry)
+{
+    while (hole > 0) {
+        std::size_t parent = (hole - 1) / 2;
+        if (!before(entry, _heap[parent]))
+            break;
+        _heap[hole] = _heap[parent];
+        _heap[hole].event->_heapIndex = hole;
+        hole = parent;
+    }
+    _heap[hole] = entry;
+    entry.event->_heapIndex = hole;
+}
+
+void
+EventQueue::siftDown(std::size_t hole, HeapEntry entry)
+{
+    const std::size_t count = _heap.size();
+    while (true) {
+        std::size_t child = 2 * hole + 1;
+        if (child >= count)
+            break;
+        if (child + 1 < count &&
+            before(_heap[child + 1], _heap[child]))
+            ++child;
+        if (!before(_heap[child], entry))
+            break;
+        _heap[hole] = _heap[child];
+        _heap[hole].event->_heapIndex = hole;
+        hole = child;
+    }
+    _heap[hole] = entry;
+    entry.event->_heapIndex = hole;
+}
+
+void
+EventQueue::removeAt(std::size_t index)
+{
+    HeapEntry tail = _heap.back();
+    _heap.pop_back();
+    if (index == _heap.size())
+        return; // removed the last entry; nothing to re-place
+    // The tail entry fills the hole; it may need to move either way.
+    if (index > 0 && before(tail, _heap[(index - 1) / 2]))
+        siftUp(index, tail);
+    else
+        siftDown(index, tail);
+}
+
+void
 EventQueue::schedule(Event *ev, Tick when)
 {
     panicIf(ev == nullptr, "scheduling a null event");
-    panicIf(ev->_scheduled, "event '", ev->name(), "' already scheduled");
-    panicIf(when < _now, "event '", ev->name(), "' scheduled in the past (",
-            when, " < ", _now, ")");
+    panicIf(ev->scheduled(), "event '", ev->name(),
+            "' already scheduled");
+    panicIf(when < _now, "event '", ev->name(),
+            "' scheduled in the past (", when, " < ", _now, ")");
 
-    ev->_scheduled = true;
     ev->_when = when;
-    ++ev->_generation;
-    _queue.push(Record{when, _seq++, ev->_generation, ev});
-    ++_live;
+    _heap.push_back(HeapEntry{when, _seq++, ev});
+    siftUp(_heap.size() - 1, _heap.back());
 }
 
 void
 EventQueue::deschedule(Event *ev)
 {
     panicIf(ev == nullptr, "descheduling a null event");
-    panicIf(!ev->_scheduled, "event '", ev->name(), "' is not scheduled");
-    // Lazy removal: bump the generation so the stale record is skipped.
-    ev->_scheduled = false;
-    ++ev->_generation;
-    --_live;
+    panicIf(!ev->scheduled(), "event '", ev->name(),
+            "' is not scheduled");
+    std::size_t index = ev->_heapIndex;
+    ev->_heapIndex = Event::notInHeap;
+    removeAt(index);
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
-    if (ev->_scheduled)
-        deschedule(ev);
-    schedule(ev, when);
+    panicIf(ev == nullptr, "rescheduling a null event");
+    if (!ev->scheduled()) {
+        schedule(ev, when);
+        return;
+    }
+    panicIf(when < _now, "event '", ev->name(),
+            "' rescheduled into the past (", when, " < ", _now, ")");
+
+    // In-place key change: overwrite the entry with the new tick and
+    // a fresh sequence number (matching deschedule+schedule order),
+    // then restore the heap property from its current slot.
+    std::size_t index = ev->_heapIndex;
+    HeapEntry entry{when, _seq++, ev};
+    ev->_when = when;
+    if (index > 0 && before(entry, _heap[(index - 1) / 2]))
+        siftUp(index, entry);
+    else
+        siftDown(index, entry);
 }
 
 bool
 EventQueue::step()
 {
-    while (!_queue.empty()) {
-        Record rec = _queue.top();
-        _queue.pop();
-        Event *ev = rec.event;
-        if (!ev->_scheduled || ev->_generation != rec.generation)
-            continue; // stale record from deschedule/reschedule
-        panicIf(rec.when < _now, "event queue time went backwards");
-        _now = rec.when;
-        ev->_scheduled = false;
-        --_live;
-        ++_fired;
-        HT_TRACE_INSTANT1(TraceCategory::Queue, ev->name(), rec.when,
-                          "fired", _fired);
-        ev->_callback();
-        return true;
-    }
-    return false;
+    if (_heap.empty())
+        return false;
+    Event *ev = _heap[0].event;
+    Tick when = _heap[0].when;
+    panicIf(when < _now, "event queue time went backwards");
+    _now = when;
+    ev->_heapIndex = Event::notInHeap;
+    removeAt(0);
+    ++_fired;
+    perf::noteEventFired();
+    HT_TRACE_INSTANT1(TraceCategory::Queue, ev->name(), when, "fired",
+                      _fired);
+    ev->_callback();
+    return true;
 }
 
 Tick
 EventQueue::run(Tick stop_at)
 {
-    while (!_queue.empty()) {
-        const Record &rec = _queue.top();
-        if (!rec.event->_scheduled ||
-            rec.event->_generation != rec.generation) {
-            _queue.pop();
-            continue;
-        }
-        if (rec.when > stop_at)
-            break;
+    while (!_heap.empty() && _heap[0].when <= stop_at)
         step();
-    }
     if (stop_at != maxTick && stop_at > _now)
         _now = stop_at;
     return _now;
@@ -83,7 +136,8 @@ EventQueue::run(Tick stop_at)
 void
 EventQueue::advanceTo(Tick when)
 {
-    panicIf(_live != 0, "advanceTo() with ", _live, " events pending");
+    panicIf(!_heap.empty(), "advanceTo() with ", _heap.size(),
+            " events pending");
     panicIf(when < _now, "advanceTo() into the past");
     _now = when;
 }

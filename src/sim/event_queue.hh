@@ -5,6 +5,16 @@
  * Every timed interaction in the HyperTEE model — mailbox doorbells,
  * EMS worker completion, DRAM responses, context-switch timers — is an
  * Event scheduled on one global EventQueue per simulated system.
+ *
+ * The queue is an intrusive binary heap: each scheduled Event stores
+ * its own heap index, so deschedule() and reschedule() move or remove
+ * the entry in place (O(log n)) instead of leaving a stale record
+ * behind. The previous std::priority_queue implementation used lazy
+ * deletion (generation counters, stale records skipped at pop time),
+ * which made reschedule-heavy workloads — periodic timers, timeout
+ * guards — accumulate unbounded garbage and pay O(log stale) on every
+ * operation. With the intrusive heap, storage is exactly the live
+ * event count at all times (recordCount() == size() by construction).
  */
 
 #ifndef HYPERTEE_SIM_EVENT_QUEUE_HH
@@ -12,7 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -24,8 +33,9 @@ namespace hypertee
 
 /**
  * A schedulable unit of work. Events are owned by the caller; the
- * queue holds non-owning records and ignores events descheduled
- * before they fire.
+ * queue holds non-owning heap entries and an event knows its own
+ * position in the heap (the intrusive part), so removal never leaves
+ * garbage behind.
  */
 class Event
 {
@@ -35,22 +45,26 @@ class Event
     {}
 
     const std::string &name() const { return _name; }
-    bool scheduled() const { return _scheduled; }
+    bool scheduled() const { return _heapIndex != notInHeap; }
     Tick when() const { return _when; }
 
   private:
     friend class EventQueue;
 
+    static constexpr std::size_t notInHeap =
+        ~static_cast<std::size_t>(0);
+
     std::string _name;
     std::function<void()> _callback;
-    bool _scheduled = false;
     Tick _when = 0;
-    std::uint64_t _generation = 0;
+    /** Position in EventQueue::_heap; notInHeap when unscheduled. */
+    std::size_t _heapIndex = notInHeap;
 };
 
 /**
- * Priority queue of events ordered by firing tick; ties break in
- * insertion order so runs are deterministic.
+ * Binary min-heap of events ordered by firing tick; ties break in
+ * insertion order (monotonic sequence numbers) so runs are
+ * deterministic. reschedule() is an in-place decrease/increase-key.
  */
 class EventQueue
 {
@@ -71,12 +85,24 @@ class EventQueue
     /** Remove a scheduled event without firing it. */
     void deschedule(Event *ev);
 
-    /** Reschedule: deschedule if needed, then schedule at @p when. */
+    /**
+     * Move a scheduled event to @p when (in-place key change), or
+     * schedule it if it is not currently scheduled. The event is
+     * re-sequenced, so among events at the same tick it fires after
+     * those already scheduled — the same order a deschedule() +
+     * schedule() pair would produce.
+     */
     void reschedule(Event *ev, Tick when);
 
     /**
      * Run until the queue drains or @p stop_at is reached, whichever
-     * comes first. Returns the final simulated time.
+     * comes first, and return the final simulated time.
+     *
+     * Time semantics (pinned by tests/sim/event_queue_test.cc):
+     * run(stop_at) always ends with now() == stop_at when a stop tick
+     * is given, even if the queue drained early or held no events;
+     * run() with no argument fires everything and leaves now() at the
+     * last fired event's tick.
      */
     Tick run(Tick stop_at = maxTick);
 
@@ -84,10 +110,19 @@ class EventQueue
     bool step();
 
     /** True when no events remain. */
-    bool empty() const { return _live == 0; }
+    bool empty() const { return _heap.empty(); }
 
     /** Number of live (scheduled) events. */
-    std::size_t size() const { return _live; }
+    std::size_t size() const { return _heap.size(); }
+
+    /**
+     * Heap entries currently allocated. Equal to size() by
+     * construction — exposed so stress tests can pin down that
+     * deschedule/reschedule storms never grow storage beyond the
+     * live event count (the lazy-deletion pathology this
+     * implementation replaced).
+     */
+    std::size_t recordCount() const { return _heap.size(); }
 
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return _fired; }
@@ -96,30 +131,35 @@ class EventQueue
     void advanceTo(Tick when);
 
   private:
-    struct Record
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        std::uint64_t generation;
         Event *event;
     };
 
-    struct RecordLater
+    /** Strict ordering: earlier tick first, then insertion order. */
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Record &a, const Record &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Record, std::vector<Record>, RecordLater> _queue;
+    /** Place @p entry at @p hole, bubbling it toward the root. */
+    void siftUp(std::size_t hole, HeapEntry entry);
+
+    /** Place @p entry at @p hole, sinking it toward the leaves. */
+    void siftDown(std::size_t hole, HeapEntry entry);
+
+    /** Remove the entry at @p index, keeping the heap valid. */
+    void removeAt(std::size_t index);
+
+    std::vector<HeapEntry> _heap;
     Tick _now = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _fired = 0;
-    std::size_t _live = 0;
 };
 
 } // namespace hypertee

@@ -1,0 +1,278 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace hypertee
+{
+
+namespace
+{
+
+bool
+isJsonSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+} // namespace
+
+struct JsonParser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    /** Recursion guard: deeper documents than this are rejected. */
+    int depth = 0;
+    static constexpr int maxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() && isJsonSpace(text[pos]))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= text.size())
+                return false;
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos >= text.size() ||
+                        !std::isxdigit(static_cast<unsigned char>(
+                            text[pos])))
+                        return false;
+                    char h = text[pos++];
+                    unsigned nibble;
+                    if (h >= '0' && h <= '9')
+                        nibble = static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        nibble = static_cast<unsigned>(h - 'a') + 10;
+                    else
+                        nibble = static_cast<unsigned>(h - 'A') + 10;
+                    code = code * 16 + nibble;
+                }
+                // UTF-8 encode the BMP code point; surrogate pairs
+                // are passed through as two 3-byte sequences, which
+                // is lossy but the writers never emit them.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        std::size_t digits = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == digits)
+            return false;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            std::size_t frac = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (pos == frac)
+                return false;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            std::size_t exp = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (pos == exp)
+                return false;
+        }
+        out = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth > maxDepth)
+            return false;
+        skipWs();
+        bool ok = parseValueInner(out);
+        --depth;
+        return ok;
+    }
+
+    bool
+    parseValueInner(JsonValue &out)
+    {
+        if (pos >= text.size())
+            return false;
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out._kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            do {
+                skipWs();
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out._members.emplace_back(std::move(key),
+                                          std::move(member));
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos;
+            out._kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            do {
+                JsonValue element;
+                if (!parseValue(element))
+                    return false;
+                out._array.push_back(std::move(element));
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"') {
+            out._kind = JsonValue::Kind::String;
+            return parseString(out._string);
+        }
+        if (c == 't') {
+            out._kind = JsonValue::Kind::Bool;
+            out._bool = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out._kind = JsonValue::Kind::Bool;
+            out._bool = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out._kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        out._kind = JsonValue::Kind::Number;
+        return parseNumber(out._number);
+    }
+};
+
+std::optional<JsonValue>
+JsonValue::parse(const std::string &text)
+{
+    JsonParser parser{text};
+    JsonValue value;
+    if (!parser.parseValue(value))
+        return std::nullopt;
+    parser.skipWs();
+    if (parser.pos != text.size())
+        return std::nullopt;
+    return value;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : _members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+double
+JsonValue::numberAt(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+std::string
+JsonValue::stringAt(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string() : fallback;
+}
+
+} // namespace hypertee

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/perf.hh"
 #include "sim/trace.hh"
 
 namespace hypertee
@@ -65,6 +66,13 @@ runShards(std::size_t count, unsigned jobs,
     std::exception_ptr first_error;
 
     auto worker = [&]() {
+        // Fold this worker's fired-event count into the process total
+        // on every exit path, so totalEventsFired() is exact once the
+        // pool has joined.
+        struct CounterFlusher
+        {
+            ~CounterFlusher() { perf::flushThreadCounters(); }
+        } flusher;
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= count)

@@ -9,10 +9,25 @@ namespace hypertee
 void
 Distribution::ensureSorted() const
 {
-    if (!_sorted) {
-        std::sort(_samples.begin(), _samples.end());
-        _sorted = true;
-    }
+    if (_scratchValid)
+        return;
+    // Sort a scratch copy, not _samples: samples() must stay in
+    // insertion order because merge() concatenates shard sample
+    // sequences and the determinism contract byte-compares them.
+    //
+    // Invariant: _scratch is always a sorted copy of the first
+    // _scratch.size() samples (sample/merge only append; clear()
+    // empties both), so only the new tail needs sorting before one
+    // linear merge.
+    const std::size_t sorted = _scratch.size();
+    _scratch.insert(_scratch.end(), _samples.begin() +
+                    static_cast<std::ptrdiff_t>(sorted),
+                    _samples.end());
+    const auto mid = _scratch.begin() +
+                     static_cast<std::ptrdiff_t>(sorted);
+    std::sort(mid, _scratch.end());
+    std::inplace_merge(_scratch.begin(), mid, _scratch.end());
+    _scratchValid = true;
 }
 
 double
@@ -20,7 +35,7 @@ Distribution::min() const
 {
     panicIf(_samples.empty(), "min() of empty distribution");
     ensureSorted();
-    return _samples.front();
+    return _scratch.front();
 }
 
 double
@@ -28,7 +43,7 @@ Distribution::max() const
 {
     panicIf(_samples.empty(), "max() of empty distribution");
     ensureSorted();
-    return _samples.back();
+    return _scratch.back();
 }
 
 double
@@ -38,8 +53,8 @@ Distribution::quantile(double q) const
     panicIf(q < 0.0 || q > 1.0, "quantile out of range: ", q);
     ensureSorted();
     if (q == 0.0)
-        return _samples.front();
-    const std::size_t n = _samples.size();
+        return _scratch.front();
+    const std::size_t n = _scratch.size();
     // Nearest-rank definition: rank = ceil(q*n), clamped to [1, n].
     // The previous q*n + 0.5 rounding under-reported upper quantiles
     // at small n (e.g. p90 of 7 samples picked rank 6, not ceil(6.3)=7).
@@ -51,7 +66,7 @@ Distribution::quantile(double q) const
         rank = 1;
     if (rank > n)
         rank = n;
-    return _samples[rank - 1];
+    return _scratch[rank - 1];
 }
 
 void
@@ -59,7 +74,8 @@ Distribution::merge(const Distribution &other)
 {
     _samples.insert(_samples.end(), other._samples.begin(),
                     other._samples.end());
-    _sorted = false;
+    _sum += other._sum;
+    _scratchValid = false;
 }
 
 double
@@ -68,9 +84,9 @@ Distribution::fractionAtOrBelow(double threshold) const
     if (_samples.empty())
         return 0.0;
     ensureSorted();
-    auto it = std::upper_bound(_samples.begin(), _samples.end(), threshold);
-    return static_cast<double>(it - _samples.begin()) /
-           static_cast<double>(_samples.size());
+    auto it = std::upper_bound(_scratch.begin(), _scratch.end(), threshold);
+    return static_cast<double>(it - _scratch.begin()) /
+           static_cast<double>(_scratch.size());
 }
 
 void

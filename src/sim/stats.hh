@@ -87,20 +87,21 @@ class Distribution
     sample(double v)
     {
         _samples.push_back(v);
-        _sorted = false;
+        _sum += v;
+        _scratchValid = false;
     }
+
+    /** Pre-size the sample store so the hot path never reallocates. */
+    void reserve(std::size_t n) { _samples.reserve(n); }
 
     std::uint64_t count() const { return _samples.size(); }
 
     double
     mean() const
     {
-        if (_samples.empty())
-            return 0.0;
-        double s = 0;
-        for (double v : _samples)
-            s += v;
-        return s / static_cast<double>(_samples.size());
+        return _samples.empty()
+                   ? 0.0
+                   : _sum / static_cast<double>(_samples.size());
     }
 
     double min() const;
@@ -112,6 +113,12 @@ class Distribution
     /** Fraction of samples <= threshold. */
     double fractionAtOrBelow(double threshold) const;
 
+    /**
+     * The observations, always in insertion order. Quantile reads
+     * sort a scratch copy, never this vector, so interleaving
+     * quantile() with merge() or with a byte-compare of samples() is
+     * safe at any point.
+     */
     const std::vector<double> &samples() const { return _samples; }
 
     /**
@@ -127,14 +134,26 @@ class Distribution
     clear()
     {
         _samples.clear();
-        _sorted = false;
+        _sum = 0;
+        _scratch.clear();
+        _scratchValid = false;
     }
 
   private:
+    /** Bring the sorted scratch copy up to date when stale. */
     void ensureSorted() const;
 
-    mutable std::vector<double> _samples;
-    mutable bool _sorted = false;
+    std::vector<double> _samples; ///< insertion order, never sorted
+    double _sum = 0;              ///< running total for O(1) mean
+    /**
+     * Sorted copy of a prefix of _samples (all of it once
+     * _scratchValid). Maintained incrementally: a quantile read sorts
+     * only the samples that arrived since the last read and merges
+     * them in, so sample-heavy workloads with periodic quantile reads
+     * pay O(new log new + n) per read, not O(n log n).
+     */
+    mutable std::vector<double> _scratch;
+    mutable bool _scratchValid = false;
 };
 
 /**

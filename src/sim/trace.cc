@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace hypertee
@@ -11,7 +12,7 @@ namespace
 
 /** JSON string escaping for event names (categories are static). */
 void
-writeJsonString(std::ostream &os, const std::string &s)
+writeJsonString(std::ostream &os, std::string_view s)
 {
     os << '"';
     for (char c : s) {
@@ -156,8 +157,35 @@ TraceSink::enableCategories(const std::string &list)
     return all_known;
 }
 
+std::string_view
+TraceSink::StringArena::intern(std::string_view s)
+{
+    constexpr std::size_t chunkSize = 64 * 1024;
+    // Oversized names get a dedicated chunk; everything else bump-
+    // allocates out of the newest shared chunk.
+    if (s.size() > chunkSize) {
+        auto chunk = std::make_unique<char[]>(s.size());
+        std::memcpy(chunk.get(), s.data(), s.size());
+        std::string_view view(chunk.get(), s.size());
+        chunks.push_back(std::move(chunk));
+        // The dedicated chunk is exactly full; the next small intern
+        // must open a fresh shared chunk rather than append to it.
+        used = chunkSize;
+        return view;
+    }
+    if (chunks.empty() || used + s.size() > chunkSize) {
+        chunks.push_back(std::make_unique<char[]>(chunkSize));
+        used = 0;
+    }
+    char *dst = chunks.back().get() + used;
+    if (!s.empty())
+        std::memcpy(dst, s.data(), s.size());
+    used += s.size();
+    return std::string_view(dst, s.size());
+}
+
 bool
-TraceSink::record(TraceCategory cat, char phase, std::string &&name,
+TraceSink::record(TraceCategory cat, char phase, std::string_view name,
                   Tick ts)
 {
     // The macros pre-check on(), but direct callers get the same
@@ -173,38 +201,40 @@ TraceSink::record(TraceCategory cat, char phase, std::string &&name,
         return false;
     }
     _events.push_back(
-        TraceEvent{phase, cat, std::move(name), ts, t_shard, {}});
+        TraceEvent{phase, cat, _arena.intern(name), ts, t_shard, {}});
     t_lastIndex = _events.size() - 1;
     t_lastGeneration = _generation;
     return true;
 }
 
 void
-TraceSink::begin(TraceCategory cat, std::string name, Tick ts)
+TraceSink::begin(TraceCategory cat, std::string_view name, Tick ts)
 {
-    record(cat, 'B', std::move(name), ts);
+    record(cat, 'B', name, ts);
 }
 
 void
-TraceSink::end(TraceCategory cat, std::string name, Tick ts)
+TraceSink::end(TraceCategory cat, std::string_view name, Tick ts)
 {
-    record(cat, 'E', std::move(name), ts);
+    record(cat, 'E', name, ts);
 }
 
 void
-TraceSink::instant(TraceCategory cat, std::string name, Tick ts)
+TraceSink::instant(TraceCategory cat, std::string_view name, Tick ts)
 {
-    record(cat, 'i', std::move(name), ts);
+    record(cat, 'i', name, ts);
 }
 
 void
 TraceSink::arg(const char *key, double value)
 {
     std::lock_guard<std::mutex> lock(_mutex);
+    // Keys are string literals at every instrumentation site, so the
+    // view is stable without interning.
     if (t_lastIndex != noLastEvent &&
         t_lastGeneration == _generation &&
         t_lastIndex < _events.size())
-        _events[t_lastIndex].args.emplace_back(key, value);
+        _events[t_lastIndex].args.push(key, value);
 }
 
 void
@@ -212,6 +242,7 @@ TraceSink::clear()
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _events.clear();
+    _arena.clear();
     _dropped.store(0, std::memory_order_relaxed);
     ++_generation;
     _timeline.store(0, std::memory_order_relaxed);

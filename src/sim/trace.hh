@@ -36,9 +36,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -64,17 +66,63 @@ enum class TraceCategory : unsigned
 /** Lower-case category name, e.g. "mailbox". */
 const char *traceCategoryName(TraceCategory cat);
 
-/** One recorded event; `phase` follows the Chrome convention. */
+/** One numeric event argument. first/second mirror std::pair so the
+ *  move from the old vector<pair> representation is source-compatible
+ *  for readers. */
+struct TraceArg
+{
+    std::string_view first; ///< key (static string at every call site)
+    double second = 0;      ///< value
+};
+
+/**
+ * Fixed-capacity inline argument list. Instrumentation sites attach
+ * at most one or two numeric arguments per event, so a small inline
+ * array removes the per-event vector allocation the hot recording
+ * path used to pay; arguments beyond the capacity are dropped.
+ */
+class TraceArgList
+{
+  public:
+    static constexpr std::size_t maxArgs = 4;
+
+    std::size_t size() const { return _count; }
+    bool empty() const { return _count == 0; }
+    const TraceArg &operator[](std::size_t i) const { return _args[i]; }
+    const TraceArg *begin() const { return _args; }
+    const TraceArg *end() const { return _args + _count; }
+
+    /** Append; false (and no-op) when full. */
+    bool
+    push(std::string_view key, double value)
+    {
+        if (_count >= maxArgs)
+            return false;
+        _args[_count++] = TraceArg{key, value};
+        return true;
+    }
+
+  private:
+    TraceArg _args[maxArgs];
+    std::uint8_t _count = 0;
+};
+
+/**
+ * One recorded event; `phase` follows the Chrome convention. The name
+ * is a view into the owning sink's string arena (stable until that
+ * sink's clear() or destruction), so recording an event performs no
+ * per-event heap allocation.
+ */
 struct TraceEvent
 {
     char phase; ///< 'B' begin, 'E' end, 'i' instant
     TraceCategory cat;
-    std::string name;
+    std::string_view name;
     Tick ts;
     /** Recording shard id (Chrome "tid"); 0 outside shard bodies. */
     unsigned tid = 0;
     /** Optional numeric arguments rendered into the "args" object. */
-    std::vector<std::pair<std::string, double>> args;
+    TraceArgList args;
 };
 
 /**
@@ -136,9 +184,9 @@ class TraceSink
     }
 
     // ---- recording (thread-safe) ----
-    void begin(TraceCategory cat, std::string name, Tick ts);
-    void end(TraceCategory cat, std::string name, Tick ts);
-    void instant(TraceCategory cat, std::string name, Tick ts);
+    void begin(TraceCategory cat, std::string_view name, Tick ts);
+    void end(TraceCategory cat, std::string_view name, Tick ts);
+    void instant(TraceCategory cat, std::string_view name, Tick ts);
     /**
      * Attach a numeric argument to the most recent event *recorded
      * by the calling thread* (so concurrent shards cannot decorate
@@ -177,14 +225,37 @@ class TraceSink
     bool writeJsonFile(const std::string &path) const;
 
   private:
-    bool record(TraceCategory cat, char phase, std::string &&name,
+    bool record(TraceCategory cat, char phase, std::string_view name,
                 Tick ts);
+
+    /**
+     * Chunked string storage backing TraceEvent::name views. Chunks
+     * are 64 KiB, so interning is a bump-pointer memcpy (one chunk
+     * allocation per ~thousand events) instead of a heap allocation
+     * per event. Views stay valid until clear().
+     */
+    struct StringArena
+    {
+        /** Copy @p s into the arena; returns a stable view. */
+        std::string_view intern(std::string_view s);
+
+        void
+        clear()
+        {
+            chunks.clear();
+            used = 0;
+        }
+
+        std::vector<std::unique_ptr<char[]>> chunks;
+        std::size_t used = 0; ///< bytes taken from chunks.back()
+    };
 
     bool _enabled = false;
     bool _catEnabled[static_cast<unsigned>(TraceCategory::NumCategories)];
     /** Guards _events, _dropped increments, and _generation. */
     mutable std::mutex _mutex;
     std::vector<TraceEvent> _events; // htlint: guarded-by(_mutex)
+    StringArena _arena; // htlint: guarded-by(_mutex)
     std::size_t _capacity = 1'000'000;
     std::atomic<std::uint64_t> _dropped{0};
     /** Bumped by clear() so stale per-thread "last event" indices

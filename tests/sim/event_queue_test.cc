@@ -135,6 +135,184 @@ TEST(EventQueue, AdvanceToMovesTimeWhenIdle)
     EXPECT_EQ(eq.now(), 12345u);
 }
 
+// ---- time semantics, pinned down (these held under the old lazy-
+// deletion implementation only by accident or not at all) ----
+
+TEST(EventQueue, RunWithNoStopTickEndsAtLastFiredEvent)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    eq.schedule(&a, 700);
+    eq.run();
+    // An open-ended run() does not jump to the maxTick sentinel; it
+    // rests at the tick of the last event it fired.
+    EXPECT_EQ(eq.now(), 700u);
+}
+
+TEST(EventQueue, RunToStopTickAdvancesTimeEvenWithoutEvents)
+{
+    EventQueue eq;
+    eq.run(250);
+    EXPECT_EQ(eq.now(), 250u);
+    // And never backwards: an earlier stop tick leaves time alone.
+    eq.run(100);
+    EXPECT_EQ(eq.now(), 250u);
+}
+
+TEST(EventQueue, RunAfterDescheduleStillReachesStopTick)
+{
+    // Under lazy deletion the queue held a stale record here; run()
+    // popped it without firing and the stop-tick sync still had to
+    // land _now on stop_at exactly.
+    EventQueue eq;
+    Event a("a", [] {});
+    eq.schedule(&a, 300);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.run(450), 450u);
+    EXPECT_EQ(eq.now(), 450u);
+    EXPECT_EQ(eq.eventsFired(), 0u);
+}
+
+TEST(EventQueue, OpenEndedRunOverDescheduledEventsLeavesTimeAlone)
+{
+    // run() with no stop tick over a queue holding only cancelled
+    // events must not move time at all (the old implementation popped
+    // the stale records but never advanced _now either; this pins the
+    // contract).
+    EventQueue eq;
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(&a, 10);
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+    eq.schedule(&b, 900);
+    eq.deschedule(&b);
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, StepAdvancesTimeOnlyToTheFiredTick)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(&a, 40);
+    eq.schedule(&b, 90);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(eq.now(), 40u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(eq.now(), 90u);
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.now(), 90u);
+}
+
+TEST(EventQueue, RescheduleToSameTickFiresAfterExistingEvents)
+{
+    // reschedule() re-sequences the event, matching what an explicit
+    // deschedule+schedule pair would do.
+    EventQueue eq;
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.reschedule(&a, 50);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+// ---- storage bounds: deschedule/reschedule must reclaim records ----
+
+TEST(EventQueue, RescheduleStormDoesNotGrowStorage)
+{
+    // Periodic timers pushed back thousands of times before firing
+    // (retransmit timers, watchdogs). Lazy deletion left one stale
+    // record per reschedule, growing the queue without bound; the
+    // intrusive heap moves the entry in place.
+    EventQueue eq;
+    constexpr std::size_t k = 8;
+    std::vector<Event *> timers;
+    std::vector<Event> storage;
+    storage.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        storage.emplace_back("timer", [] {});
+        timers.push_back(&storage.back());
+    }
+    for (std::size_t i = 0; i < k; ++i)
+        eq.schedule(timers[i], i + 1);
+    for (std::size_t i = 0; i < 100'000; ++i)
+        eq.reschedule(timers[i % k], eq.now() + 1000 + (i % 64));
+    EXPECT_EQ(eq.size(), k);
+    EXPECT_EQ(eq.recordCount(), k);
+    eq.run();
+    EXPECT_EQ(eq.eventsFired(), k);
+    EXPECT_EQ(eq.recordCount(), 0u);
+}
+
+TEST(EventQueue, DescheduleHeavyDoesNotGrowStorage)
+{
+    // Timeout guards armed and cancelled without firing.
+    EventQueue eq;
+    Event guard("guard", [] {});
+    for (std::size_t i = 0; i < 100'000; ++i) {
+        eq.schedule(&guard, eq.now() + 500 + (i % 16));
+        eq.deschedule(&guard);
+        EXPECT_EQ(eq.recordCount(), 0u);
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.eventsFired(), 0u);
+}
+
+TEST(EventQueue, RecordCountAlwaysMatchesLiveCount)
+{
+    EventQueue eq;
+    std::vector<Event> events;
+    events.reserve(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        events.emplace_back("e", [] {});
+    // A mixed schedule/deschedule/reschedule workload, checking the
+    // storage == live invariant at every step.
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    std::size_t live = 0;
+    for (int round = 0; round < 5000; ++round) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::size_t pick = (rng >> 33) % events.size();
+        Event &ev = events[pick];
+        if (!ev.scheduled()) {
+            eq.schedule(&ev, eq.now() + 1 + (rng % 97));
+            ++live;
+        } else if (rng & 1) {
+            eq.deschedule(&ev);
+            --live;
+        } else {
+            eq.reschedule(&ev, eq.now() + 1 + (rng % 89));
+        }
+        ASSERT_EQ(eq.size(), live);
+        ASSERT_EQ(eq.recordCount(), live);
+    }
+    eq.run();
+    EXPECT_EQ(eq.recordCount(), 0u);
+}
+
+TEST(EventQueue, FiringOrderMatchesScheduleOrderUnderChurn)
+{
+    // The heap restructures on every deschedule; the observable fire
+    // order must stay (tick, insertion-sequence) regardless.
+    EventQueue eq;
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+    Event d("d", [&] { order.push_back(4); });
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 100);
+    eq.schedule(&c, 50);
+    eq.schedule(&d, 100);
+    eq.deschedule(&c); // forces a swap-with-last + sift
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4}));
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

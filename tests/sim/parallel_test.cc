@@ -214,6 +214,49 @@ TEST(ShardStats, ShardedMergeExportMatchesSequential)
     EXPECT_EQ(seq_json.str(), par_json.str());
 }
 
+/**
+ * Shard bodies that read quantiles *mid-run* — between samples,
+ * before merging. When quantile() sorted the live sample vector in
+ * place, the post-merge sample order depended on whether (and when)
+ * a shard happened to read a quantile, so --jobs runs whose shards
+ * polled at different points diverged byte-wise. The sort-a-scratch
+ * fix makes the export invariant.
+ */
+std::string
+statsJsonWithMidRunQuantiles(unsigned jobs)
+{
+    std::vector<ShardStats> parts = shardMap<ShardStats>(
+        6, jobs, 1234, [](ShardContext &ctx) {
+            ShardStats stats;
+            Distribution &d = stats.distribution("lat");
+            double p99 = 0;
+            for (int i = 0; i < 200; ++i) {
+                d.sample(double(ctx.rng.next() % 10'000));
+                // Poll the quantile at a shard-dependent cadence so
+                // different shards interleave reads differently.
+                if (i % int(3 + ctx.index) == 0)
+                    p99 = d.quantile(0.99);
+            }
+            stats.scalar("last_p99").set(p99);
+            return stats;
+        });
+    ShardStats merged;
+    for (const ShardStats &p : parts)
+        merged.merge(p);
+    StatGroup group("stats");
+    merged.registerWith(group);
+    std::ostringstream json;
+    dumpStatsJson(json, {&group});
+    return json.str();
+}
+
+TEST(ShardStats, MidRunQuantileReadsKeepExportJobCountInvariant)
+{
+    const std::string reference = statsJsonWithMidRunQuantiles(1);
+    EXPECT_EQ(statsJsonWithMidRunQuantiles(4), reference);
+    EXPECT_EQ(statsJsonWithMidRunQuantiles(3), reference);
+}
+
 TEST(TraceShardTag, EventsCarryRecordingShard)
 {
     auto &sink = TraceSink::global();

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -111,6 +114,88 @@ TEST(Distribution, SamplingAfterQuantileStillWorks)
     d.sample(7);
     EXPECT_DOUBLE_EQ(d.max(), 7.0);
     EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Distribution, SamplesStayInInsertionOrderAcrossQuantileReads)
+{
+    // quantile()/min()/max() sort a scratch copy; samples() must keep
+    // insertion order, because shard merging concatenates sample
+    // sequences and byte-compares them across --jobs values.
+    Distribution d;
+    const std::vector<double> inserted = {5, 1, 4, 2, 3};
+    for (double v : inserted)
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_EQ(d.samples(), inserted);
+}
+
+TEST(Distribution, MergeAfterQuantileReproducesSequentialOrder)
+{
+    // The bug this pins down: sorting _samples in place during a
+    // quantile read, then merging, produced a sample order that
+    // depended on *when* the quantile was read. Shard 0's samples
+    // must precede shard 1's, each in insertion order, regardless.
+    Distribution shard0, shard1;
+    shard0.sample(9);
+    shard0.sample(3);
+    EXPECT_DOUBLE_EQ(shard0.quantile(0.99), 9.0); // read mid-run
+    shard1.sample(7);
+    shard1.sample(1);
+
+    Distribution merged;
+    merged.merge(shard0);
+    merged.merge(shard1);
+    EXPECT_EQ(merged.samples(), (std::vector<double>{9, 3, 7, 1}));
+
+    // And the same merge without the interleaved read is identical.
+    Distribution s0b, merged_b;
+    s0b.sample(9);
+    s0b.sample(3);
+    merged_b.merge(s0b);
+    merged_b.merge(shard1);
+    EXPECT_EQ(merged.samples(), merged_b.samples());
+    EXPECT_DOUBLE_EQ(merged.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(merged.quantile(1.0), 9.0);
+}
+
+TEST(Distribution, IncrementalSortStaysCorrectAcrossInterleaving)
+{
+    // Quantile reads interleaved with further sampling and merging
+    // must agree with a from-scratch sort at every point.
+    Distribution d;
+    std::uint64_t x = 1;
+    std::vector<double> all;
+    for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            double v = static_cast<double>(x >> 40);
+            d.sample(v);
+            all.push_back(v);
+        }
+        std::vector<double> sorted = all;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_DOUBLE_EQ(d.min(), sorted.front());
+        EXPECT_DOUBLE_EQ(d.max(), sorted.back());
+        // nearest-rank p50: rank ceil(n/2), zero-based (n+1)/2 - 1
+        EXPECT_DOUBLE_EQ(d.quantile(0.5),
+                         sorted[(sorted.size() + 1) / 2 - 1]);
+        EXPECT_EQ(d.samples(), all);
+    }
+}
+
+TEST(Distribution, ClearResetsRunningState)
+{
+    Distribution d;
+    d.sample(10);
+    d.sample(20);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 20.0);
+    d.clear();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(4);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 4.0);
 }
 
 TEST(StatGroup, DumpsRegisteredStats)

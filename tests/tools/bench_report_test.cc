@@ -1,0 +1,206 @@
+/** @file Unit tests for the perf-baseline format and comparison. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "tools/bench_report/baseline.hh"
+
+namespace hypertee::benchreport
+{
+namespace
+{
+
+BenchRecord
+record(const std::string &name, std::uint64_t events, double rate,
+       bool deterministic = true)
+{
+    BenchRecord r;
+    r.bench = name;
+    r.mode = "smoke";
+    r.eventsFired = events;
+    r.eventsPerSec = rate;
+    r.wallSeconds = rate > 0 ? double(events) / rate : 0;
+    r.deterministicEvents = deterministic;
+    return r;
+}
+
+Baseline
+baselineOf(std::vector<BenchRecord> benches)
+{
+    Baseline b;
+    b.date = "2026-08-09";
+    b.mode = "smoke";
+    b.benches = std::move(benches);
+    return b;
+}
+
+TEST(Baseline, JsonRoundTripPreservesEveryField)
+{
+    Baseline b = baselineOf({record("bench_a", 50'000, 2.5e6),
+                             record("bench_b", 0, 0, false)});
+    b.benches[1].exitCode = 3;
+    b.benches[1].peakRssKb = 12345;
+    b.benches[1].harnessWallSeconds = 0.25;
+
+    std::ostringstream os;
+    b.writeJson(os);
+    auto parsed = Baseline::fromJsonText(os.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->date, "2026-08-09");
+    EXPECT_EQ(parsed->mode, "smoke");
+    ASSERT_EQ(parsed->benches.size(), 2u);
+    const BenchRecord &a = parsed->benches[0];
+    EXPECT_EQ(a.bench, "bench_a");
+    EXPECT_EQ(a.eventsFired, 50'000u);
+    EXPECT_DOUBLE_EQ(a.eventsPerSec, 2.5e6);
+    EXPECT_TRUE(a.deterministicEvents);
+    const BenchRecord &bb = parsed->benches[1];
+    EXPECT_FALSE(bb.deterministicEvents);
+    EXPECT_EQ(bb.exitCode, 3);
+    EXPECT_EQ(bb.peakRssKb, 12345u);
+    EXPECT_DOUBLE_EQ(bb.harnessWallSeconds, 0.25);
+    EXPECT_EQ(parsed->totalEventsFired(), 50'000u);
+}
+
+TEST(Baseline, RejectsWrongSchemaAndGarbage)
+{
+    EXPECT_FALSE(Baseline::fromJsonText("{\"schema\": \"nope\"}"));
+    EXPECT_FALSE(Baseline::fromJsonText("not json at all"));
+    EXPECT_FALSE(Baseline::fromJsonText(""));
+}
+
+TEST(Baseline, FindLocatesBenchByName)
+{
+    Baseline b = baselineOf({record("bench_a", 1, 1)});
+    EXPECT_NE(b.find("bench_a"), nullptr);
+    EXPECT_EQ(b.find("bench_zzz"), nullptr);
+}
+
+TEST(Compare, PassesInsideToleranceBandFailsOutside)
+{
+    Baseline before = baselineOf({record("bench_a", 100'000, 1e6)});
+    CompareOptions opts;
+    opts.tolerance = 0.10;
+
+    // 8% slower: inside the band.
+    Baseline after = baselineOf({record("bench_a", 100'000, 0.92e6)});
+    CompareResult r = compareBaselines(before, after, opts);
+    EXPECT_TRUE(r.ok);
+    ASSERT_EQ(r.benches.size(), 1u);
+    EXPECT_FALSE(r.benches[0].regressed);
+
+    // 15% slower: regression.
+    after = baselineOf({record("bench_a", 100'000, 0.85e6)});
+    r = compareBaselines(before, after, opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.benches[0].regressed);
+}
+
+TEST(Compare, DeterministicEventCountMismatchAlwaysFails)
+{
+    Baseline before = baselineOf({record("bench_a", 100'000, 1e6)});
+    // Faster, but fired a different number of events: a determinism
+    // bug, not a perf win.
+    Baseline after = baselineOf({record("bench_a", 100'001, 2e6)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.benches[0].eventsMismatch);
+}
+
+TEST(Compare, AdaptiveBenchesSkipTheEventCountCheck)
+{
+    Baseline before =
+        baselineOf({record("bench_micro", 100'000, 1e6, false)});
+    Baseline after =
+        baselineOf({record("bench_micro", 700'000, 1.1e6, false)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.benches[0].eventsMismatch);
+}
+
+TEST(Compare, NoiseBenchesBelowMinEventsNeverRegress)
+{
+    CompareOptions opts;
+    opts.minEvents = 10'000;
+    Baseline before = baselineOf({record("bench_tiny", 500, 1e6)});
+    // 10x slower, but only 500 events: sub-millisecond timing noise.
+    Baseline after = baselineOf({record("bench_tiny", 500, 1e5)});
+    CompareResult r = compareBaselines(before, after, opts);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.benches[0].regressed);
+}
+
+TEST(Compare, SpeedNormalizationCancelsUniformMachineSpeed)
+{
+    // The "new" machine runs the whole suite at half speed; with
+    // normalization nothing regresses, and a bench that is *also* 2x
+    // slower relative to the rest still fails.
+    Baseline before = baselineOf({record("bench_a", 100'000, 1e6),
+                                  record("bench_b", 100'000, 2e6),
+                                  record("bench_c", 100'000, 4e6)});
+    Baseline uniform = baselineOf({record("bench_a", 100'000, 0.5e6),
+                                   record("bench_b", 100'000, 1e6),
+                                   record("bench_c", 100'000, 2e6)});
+    CompareOptions opts;
+    opts.speedNormalize = true;
+    CompareResult r = compareBaselines(before, uniform, opts);
+    EXPECT_TRUE(r.ok);
+    EXPECT_DOUBLE_EQ(r.medianRatio, 0.5);
+
+    Baseline skewed = baselineOf({record("bench_a", 100'000, 0.5e6),
+                                  record("bench_b", 100'000, 1e6),
+                                  record("bench_c", 100'000, 0.5e6)});
+    r = compareBaselines(before, skewed, opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.benches[0].regressed);
+    EXPECT_FALSE(r.benches[1].regressed);
+    EXPECT_TRUE(r.benches[2].regressed);
+
+    // Without normalization the uniform slowdown fails everything
+    // above the noise floor.
+    opts.speedNormalize = false;
+    r = compareBaselines(before, uniform, opts);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Compare, AddedAndRemovedBenchesAreReportedNotFailed)
+{
+    Baseline before = baselineOf({record("bench_old", 100'000, 1e6)});
+    Baseline after = baselineOf({record("bench_new", 100'000, 1e6)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.ok);
+    ASSERT_EQ(r.benches.size(), 2u);
+    EXPECT_TRUE(r.benches[0].inOld);
+    EXPECT_FALSE(r.benches[0].inNew);
+    EXPECT_FALSE(r.benches[1].inOld);
+    EXPECT_TRUE(r.benches[1].inNew);
+}
+
+TEST(Compare, ModeMismatchFails)
+{
+    Baseline before = baselineOf({record("bench_a", 100'000, 1e6)});
+    Baseline after = before;
+    after.mode = "full";
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.modeMismatch);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Compare, RenderMentionsRegressedBenches)
+{
+    Baseline before = baselineOf({record("bench_a", 100'000, 1e6)});
+    Baseline after = baselineOf({record("bench_a", 100'000, 0.5e6)});
+    CompareOptions opts;
+    CompareResult r = compareBaselines(before, after, opts);
+    std::ostringstream plain, md;
+    renderComparison(plain, r, opts, false);
+    renderComparison(md, r, opts, true);
+    EXPECT_NE(plain.str().find("REGRESSED"), std::string::npos);
+    EXPECT_NE(md.str().find("bench_a"), std::string::npos);
+    EXPECT_NE(md.str().find("|"), std::string::npos);
+}
+
+} // namespace
+} // namespace hypertee::benchreport

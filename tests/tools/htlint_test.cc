@@ -597,4 +597,61 @@ TEST(HtlintDocs, ReadmeDocumentsExactlyTheRegisteredRules)
            "--list-rules";
 }
 
+TEST(HtlintSuppressions, NoWallclockExemptionsStayInPerfModule)
+{
+    // Wall-clock reads are banned in src/ so simulated time cannot
+    // leak into model state; src/sim/perf.cc is the one sanctioned
+    // exception (self-measurement of the simulator — its wall-time
+    // numbers feed BENCH_*.json, never simulation behaviour). Every
+    // `allow(no-wallclock)` must live there; a suppression appearing
+    // anywhere else means someone is smuggling host time into the
+    // model and must be reviewed, not silenced.
+    namespace fs = std::filesystem;
+    const fs::path repo_root =
+        fs::path(HTLINT_README_PATH).parent_path() // tools/htlint
+            .parent_path()                         // tools
+            .parent_path();                        // repo root
+    std::vector<std::string> offenders;
+    for (const char *top : {"src", "bench", "tools", "tests"}) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(repo_root / top)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".hh" && ext != ".cc" && ext != ".cpp" &&
+                ext != ".h")
+                continue;
+            std::ifstream in(entry.path());
+            std::string line;
+            std::size_t lineno = 0;
+            while (std::getline(in, line)) {
+                ++lineno;
+                if (line.find("allow(no-wallclock)") ==
+                        std::string::npos &&
+                    line.find("allow-file(no-wallclock)") ==
+                        std::string::npos)
+                    continue;
+                const std::string rel =
+                    fs::relative(entry.path(), repo_root).string();
+                // The rule's own test fixtures exercise the
+                // suppression syntax and don't count.
+                if (rel.rfind("tests/tools/fixtures/", 0) == 0)
+                    continue;
+                if (rel != "src/sim/perf.cc" &&
+                    rel != "tests/tools/htlint_test.cc")
+                    offenders.push_back(rel + ":" +
+                                        std::to_string(lineno));
+            }
+        }
+    }
+    EXPECT_TRUE(offenders.empty())
+        << "no-wallclock suppressed outside src/sim/perf.cc:\n  "
+        << [&] {
+               std::string joined;
+               for (const std::string &o : offenders)
+                   joined += o + "\n  ";
+               return joined;
+           }();
+}
+
 } // namespace

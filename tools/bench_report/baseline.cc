@@ -1,0 +1,318 @@
+#include "tools/bench_report/baseline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/stats_export.hh"
+
+namespace hypertee::benchreport
+{
+
+namespace
+{
+
+BenchRecord
+recordFromJson(const JsonValue &v)
+{
+    BenchRecord r;
+    r.bench = v.stringAt("bench", "");
+    r.mode = v.stringAt("mode", "full");
+    r.jobs = static_cast<std::uint64_t>(v.numberAt("jobs", 1));
+    r.eventsFired =
+        static_cast<std::uint64_t>(v.numberAt("events_fired", 0));
+    r.wallSeconds = v.numberAt("wall_seconds", 0);
+    r.eventsPerSec = v.numberAt("events_per_sec", 0);
+    r.peakRssKb =
+        static_cast<std::uint64_t>(v.numberAt("peak_rss_kb", 0));
+    if (const JsonValue *d = v.find("deterministic_events"))
+        r.deterministicEvents = d->isBool() ? d->boolean() : true;
+    r.exitCode = static_cast<int>(v.numberAt("exit_code", 0));
+    r.harnessWallSeconds = v.numberAt("harness_wall_seconds", 0);
+    return r;
+}
+
+void
+writeRecord(JsonWriter &w, const BenchRecord &r)
+{
+    w.beginObject();
+    w.member("bench", r.bench);
+    w.member("mode", r.mode);
+    w.member("jobs", r.jobs);
+    w.member("events_fired", r.eventsFired);
+    w.member("wall_seconds", r.wallSeconds);
+    w.member("events_per_sec", r.eventsPerSec);
+    w.member("peak_rss_kb", r.peakRssKb);
+    w.member("deterministic_events", r.deterministicEvents);
+    w.member("exit_code", static_cast<double>(r.exitCode));
+    w.member("harness_wall_seconds", r.harnessWallSeconds);
+    w.endObject();
+}
+
+} // namespace
+
+std::optional<Baseline>
+Baseline::fromJsonText(const std::string &text)
+{
+    std::optional<JsonValue> root = JsonValue::parse(text);
+    if (!root || !root->isObject())
+        return std::nullopt;
+    if (root->stringAt("schema", "") != baselineSchema)
+        return std::nullopt;
+
+    Baseline b;
+    b.date = root->stringAt("date", "undated");
+    b.mode = root->stringAt("mode", "full");
+    const JsonValue *benches = root->find("benches");
+    if (!benches || !benches->isArray())
+        return std::nullopt;
+    for (const JsonValue &entry : benches->array()) {
+        if (!entry.isObject())
+            return std::nullopt;
+        BenchRecord r = recordFromJson(entry);
+        if (r.bench.empty())
+            return std::nullopt;
+        b.benches.push_back(std::move(r));
+    }
+    return b;
+}
+
+std::optional<Baseline>
+Baseline::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return fromJsonText(ss.str());
+}
+
+void
+Baseline::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", baselineSchema);
+    w.member("date", date);
+    w.member("mode", mode);
+    w.key("benches");
+    w.beginArray();
+    for (const BenchRecord &r : benches)
+        writeRecord(w, r);
+    w.endArray();
+    w.key("totals");
+    w.beginObject();
+    w.member("events_fired", totalEventsFired());
+    w.member("wall_seconds", totalWallSeconds());
+    double wall = totalWallSeconds();
+    w.member("events_per_sec",
+             wall > 0 ? double(totalEventsFired()) / wall : 0.0);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+const BenchRecord *
+Baseline::find(const std::string &bench) const
+{
+    for (const BenchRecord &r : benches)
+        if (r.bench == bench)
+            return &r;
+    return nullptr;
+}
+
+std::uint64_t
+Baseline::totalEventsFired() const
+{
+    std::uint64_t total = 0;
+    for (const BenchRecord &r : benches)
+        total += r.eventsFired;
+    return total;
+}
+
+double
+Baseline::totalWallSeconds() const
+{
+    double total = 0;
+    for (const BenchRecord &r : benches)
+        total += r.wallSeconds;
+    return total;
+}
+
+CompareResult
+compareBaselines(const Baseline &before, const Baseline &after,
+                 const CompareOptions &opts)
+{
+    CompareResult result;
+    result.modeMismatch = before.mode != after.mode;
+
+    // Union of bench names, old-file order first so reports stay
+    // stable across runs.
+    std::vector<std::string> names;
+    for (const BenchRecord &r : before.benches)
+        names.push_back(r.bench);
+    for (const BenchRecord &r : after.benches)
+        if (!before.find(r.bench))
+            names.push_back(r.bench);
+
+    std::vector<double> ratios;
+    for (const std::string &name : names) {
+        const BenchRecord *o = before.find(name);
+        const BenchRecord *n = after.find(name);
+        BenchComparison c;
+        c.bench = name;
+        c.inOld = o != nullptr;
+        c.inNew = n != nullptr;
+        if (o) {
+            c.oldEvents = o->eventsFired;
+            c.oldRate = o->eventsPerSec;
+        }
+        if (n) {
+            c.newEvents = n->eventsFired;
+            c.newRate = n->eventsPerSec;
+        }
+        if (o && n && o->eventsPerSec > 0 && n->eventsPerSec > 0) {
+            c.ratio = n->eventsPerSec / o->eventsPerSec;
+            if (o->eventsFired >= opts.minEvents)
+                ratios.push_back(c.ratio);
+        }
+        if (o && n && o->deterministicEvents &&
+            n->deterministicEvents &&
+            o->eventsFired != n->eventsFired) {
+            c.eventsMismatch = true;
+        }
+        result.benches.push_back(std::move(c));
+    }
+
+    if (opts.speedNormalize && !ratios.empty()) {
+        std::sort(ratios.begin(), ratios.end());
+        std::size_t mid = ratios.size() / 2;
+        result.medianRatio =
+            ratios.size() % 2 == 1
+                ? ratios[mid]
+                : 0.5 * (ratios[mid - 1] + ratios[mid]);
+        if (result.medianRatio <= 0)
+            result.medianRatio = 1.0;
+    }
+
+    for (BenchComparison &c : result.benches) {
+        c.normalizedRatio =
+            opts.speedNormalize && c.ratio > 0
+                ? c.ratio / result.medianRatio
+                : c.ratio;
+        if (c.inOld && c.inNew && c.ratio > 0 &&
+            c.oldEvents >= opts.minEvents &&
+            c.normalizedRatio < 1.0 - opts.tolerance) {
+            c.regressed = true;
+        }
+        if (c.eventsMismatch || c.regressed)
+            result.ok = false;
+    }
+    // A smoke run is not comparable to a full run: every per-bench
+    // event count and rate differs by design.
+    if (result.modeMismatch)
+        result.ok = false;
+    return result;
+}
+
+namespace
+{
+
+std::string
+fmtRate(double rate)
+{
+    char buf[64];
+    if (rate <= 0) {
+        return "-";
+    } else if (rate >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fM/s", rate / 1e6);
+    } else if (rate >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.1fk/s", rate / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f/s", rate);
+    }
+    return buf;
+}
+
+std::string
+fmtRatio(double ratio)
+{
+    if (ratio <= 0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+    return buf;
+}
+
+std::string
+statusOf(const BenchComparison &c)
+{
+    if (!c.inOld)
+        return "new";
+    if (!c.inNew)
+        return "removed";
+    if (c.eventsMismatch)
+        return "EVENTS-MISMATCH";
+    if (c.regressed)
+        return "REGRESSED";
+    return "ok";
+}
+
+} // namespace
+
+void
+renderComparison(std::ostream &os, const CompareResult &result,
+                 const CompareOptions &opts, bool markdown)
+{
+    const char *sep = markdown ? " | " : "  ";
+    auto pad = [&](const std::string &s, std::size_t width) {
+        std::string out = s;
+        if (!markdown && out.size() < width)
+            out.append(width - out.size(), ' ');
+        return out;
+    };
+
+    if (markdown)
+        os << "| ";
+    os << pad("bench", 28) << sep << pad("old ev/s", 10) << sep
+       << pad("new ev/s", 10) << sep << pad("ratio", 7) << sep
+       << pad("status", 8);
+    if (markdown) {
+        os << " |\n|---|---|---|---|---|";
+    }
+    os << "\n";
+
+    for (const BenchComparison &c : result.benches) {
+        if (markdown)
+            os << "| ";
+        os << pad(c.bench, 28) << sep << pad(fmtRate(c.oldRate), 10)
+           << sep << pad(fmtRate(c.newRate), 10) << sep
+           << pad(fmtRatio(opts.speedNormalize ? c.normalizedRatio
+                                               : c.ratio),
+                  7)
+           << sep << pad(statusOf(c), 8);
+        if (markdown)
+            os << " |";
+        os << "\n";
+    }
+
+    os << "\n";
+    if (opts.speedNormalize) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", result.medianRatio);
+        os << "median machine-speed ratio: " << buf
+           << " (ratios above are normalized by it)\n";
+    }
+    if (result.modeMismatch)
+        os << "warning: comparing baselines of different modes "
+              "(smoke vs full)\n";
+    os << "tolerance: " << int(opts.tolerance * 100 + 0.5)
+       << "% events/sec drop allowed\n";
+    os << "result: " << (result.ok ? "OK" : "REGRESSION") << "\n";
+}
+
+} // namespace hypertee::benchreport

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The committed perf-baseline format and its comparison logic.
+ *
+ * A baseline file (`BENCH_<date>.json` at the repo root) is one
+ * measurement of the whole bench suite on one machine:
+ *
+ *   {
+ *     "schema": "hypertee-bench-baseline-v1",
+ *     "date": "2026-08-09",
+ *     "mode": "smoke",
+ *     "benches": [
+ *       { "bench": "bench_fig6_slo", "mode": "smoke", "jobs": 1,
+ *         "events_fired": 123, "wall_seconds": 1.5,
+ *         "events_per_sec": 82.0, "peak_rss_kb": 40000,
+ *         "deterministic_events": true, "exit_code": 0,
+ *         "harness_wall_seconds": 1.6 },
+ *       ...
+ *     ],
+ *     "totals": { "events_fired": ..., "wall_seconds": ...,
+ *                 "events_per_sec": ... }
+ *   }
+ *
+ * bench/perf_baseline produces these; tools/bench_report diffs two of
+ * them. Comparison semantics:
+ *
+ *  - events_fired is a pure function of the simulated workload, so
+ *    for benches with deterministic_events any difference is a
+ *    *determinism regression* and always fails (bench_micro's
+ *    google-benchmark iteration counts adapt to host speed, so it
+ *    opts out).
+ *  - events_per_sec is host-dependent. Comparing runs from different
+ *    machines, pass speedNormalize: every per-bench new/old ratio is
+ *    divided by the suite's median ratio, cancelling overall machine
+ *    speed and flagging only benches that regressed *relative to the
+ *    rest of the suite*. Same-machine comparisons (the re-baseline
+ *    workflow) can leave it off for absolute checking.
+ *  - A bench regresses when its (normalized) ratio drops below
+ *    1 - tolerance. New or removed benches are reported but do not
+ *    fail the comparison.
+ */
+
+#ifndef HYPERTEE_TOOLS_BENCH_REPORT_BASELINE_HH
+#define HYPERTEE_TOOLS_BENCH_REPORT_BASELINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hypertee::benchreport
+{
+
+/** Schema identifier every baseline file must carry. */
+inline constexpr const char *baselineSchema =
+    "hypertee-bench-baseline-v1";
+
+/** One bench's measurement inside a baseline. */
+struct BenchRecord
+{
+    std::string bench;
+    std::string mode = "full";
+    std::uint64_t jobs = 1;
+    std::uint64_t eventsFired = 0;
+    double wallSeconds = 0;
+    double eventsPerSec = 0;
+    std::uint64_t peakRssKb = 0;
+    /** False for adaptive-iteration benches (bench_micro). */
+    bool deterministicEvents = true;
+    int exitCode = 0;
+    /** Wall time seen by the harness, including process startup. */
+    double harnessWallSeconds = 0;
+};
+
+/** A parsed BENCH_<date>.json. */
+struct Baseline
+{
+    std::string date = "undated";
+    std::string mode = "full";
+    std::vector<BenchRecord> benches;
+
+    /** Parse; nullopt on malformed JSON or wrong schema. */
+    static std::optional<Baseline> fromJsonText(
+        const std::string &text);
+
+    /** Read and parse @p path; nullopt on I/O or parse failure. */
+    static std::optional<Baseline> load(const std::string &path);
+
+    /** Serialize in the committed format (sorted as given). */
+    void writeJson(std::ostream &os) const;
+
+    const BenchRecord *find(const std::string &bench) const;
+
+    std::uint64_t totalEventsFired() const;
+    double totalWallSeconds() const;
+};
+
+/** Knobs for compareBaselines. */
+struct CompareOptions
+{
+    /** Allowed fractional events/sec drop before failing. */
+    double tolerance = 0.10;
+    /**
+     * Divide each ratio by the suite median before applying the
+     * tolerance (cross-machine comparisons).
+     */
+    bool speedNormalize = false;
+    /**
+     * Benches whose old run fired fewer events than this are
+     * reported but never regression-checked (or included in the
+     * median): sub-millisecond runs are pure timing noise.
+     */
+    std::uint64_t minEvents = 10000;
+};
+
+/** One bench's comparison outcome. */
+struct BenchComparison
+{
+    std::string bench;
+    bool inOld = false;
+    bool inNew = false;
+    std::uint64_t oldEvents = 0;
+    std::uint64_t newEvents = 0;
+    double oldRate = 0;
+    double newRate = 0;
+    /** newRate / oldRate; 0 when either side is missing or zero. */
+    double ratio = 0;
+    /** ratio / medianRatio when normalizing, else ratio. */
+    double normalizedRatio = 0;
+    bool eventsMismatch = false; ///< deterministic counts differ
+    bool regressed = false;      ///< events/sec below the band
+};
+
+/** Whole-suite comparison outcome. */
+struct CompareResult
+{
+    std::vector<BenchComparison> benches;
+    double medianRatio = 1.0;
+    bool modeMismatch = false;
+    /** True when nothing mismatched and nothing regressed. */
+    bool ok = true;
+};
+
+CompareResult compareBaselines(const Baseline &before,
+                               const Baseline &after,
+                               const CompareOptions &opts);
+
+/**
+ * Render @p result as a fixed-width table (or a markdown one for the
+ * EXPERIMENTS.md before/after section).
+ */
+void renderComparison(std::ostream &os, const CompareResult &result,
+                      const CompareOptions &opts, bool markdown);
+
+} // namespace hypertee::benchreport
+
+#endif // HYPERTEE_TOOLS_BENCH_REPORT_BASELINE_HH

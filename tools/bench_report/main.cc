@@ -1,0 +1,109 @@
+/**
+ * @file
+ * bench_report: diff two committed perf baselines.
+ *
+ *   bench_report <old BENCH_*.json> <new BENCH_*.json>
+ *                [--tolerance=0.10] [--speed-normalize] [--markdown]
+ *
+ * Exit codes: 0 comparison passed, 1 regression or determinism
+ * mismatch, 2 usage / I/O / parse error. CI runs this with
+ * --speed-normalize so runners of different speeds only fail benches
+ * that slowed down relative to the rest of the suite.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/bench_report/baseline.hh"
+
+using namespace hypertee::benchreport;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <old.json> <new.json> "
+                 "[--tolerance=FRAC] [--min-events=N] "
+                 "[--speed-normalize] [--markdown]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string old_path, new_path;
+    CompareOptions opts;
+    bool markdown = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--speed-normalize") {
+            opts.speedNormalize = true;
+        } else if (arg == "--markdown") {
+            markdown = true;
+        } else if (arg.rfind("--min-events=", 0) == 0) {
+            char *end = nullptr;
+            opts.minEvents = std::strtoull(
+                arg.c_str() + std::strlen("--min-events="), &end, 10);
+            if (!end || *end != '\0') {
+                std::fprintf(stderr, "bad --min-events value: %s\n",
+                             arg.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--tolerance=", 0) == 0) {
+            char *end = nullptr;
+            double tol =
+                std::strtod(arg.c_str() + std::strlen("--tolerance="),
+                            &end);
+            if (!end || *end != '\0' || tol < 0 || tol >= 1) {
+                std::fprintf(stderr, "bad --tolerance value: %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            opts.tolerance = tol;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+            return 2;
+        } else if (old_path.empty()) {
+            old_path = arg;
+        } else if (new_path.empty()) {
+            new_path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (old_path.empty() || new_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::optional<Baseline> before = Baseline::load(old_path);
+    if (!before) {
+        std::fprintf(stderr, "cannot load baseline: %s\n",
+                     old_path.c_str());
+        return 2;
+    }
+    std::optional<Baseline> after = Baseline::load(new_path);
+    if (!after) {
+        std::fprintf(stderr, "cannot load baseline: %s\n",
+                     new_path.c_str());
+        return 2;
+    }
+
+    std::printf("comparing %s (%s) -> %s (%s)\n\n",
+                old_path.c_str(), before->date.c_str(),
+                new_path.c_str(), after->date.c_str());
+
+    CompareResult result = compareBaselines(*before, *after, opts);
+    renderComparison(std::cout, result, opts, markdown);
+    return result.ok ? 0 : 1;
+}
