@@ -28,6 +28,14 @@ class Aes128
     /** @param key 16-byte cipher key. */
     explicit Aes128(const Bytes &key);
 
+    Aes128(const Aes128 &) = default;
+    Aes128(Aes128 &&) = default;
+    Aes128 &operator=(const Aes128 &) = default;
+    Aes128 &operator=(Aes128 &&) = default;
+
+    /** The expanded key schedule is key material: wipe it. */
+    ~Aes128() { secureWipe(_roundKeys.data(), _roundKeys.size()); }
+
     /** Encrypt one 16-byte block in place. */
     void encryptBlock(std::uint8_t block[blockSize]) const;
 

@@ -86,4 +86,20 @@ xorInto(Bytes &a, const Bytes &b)
         a[i] ^= b[i];
 }
 
+void
+secureWipe(void *p, std::size_t len)
+{
+    volatile std::uint8_t *vp = static_cast<std::uint8_t *>(p);
+    for (std::size_t i = 0; i < len; ++i)
+        vp[i] = 0;
+}
+
+void
+secureWipe(Bytes &b)
+{
+    if (!b.empty())
+        secureWipe(b.data(), b.size());
+    b.clear();
+}
+
 } // namespace hypertee

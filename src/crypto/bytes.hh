@@ -36,6 +36,60 @@ Bytes bytesFromString(const std::string &s);
 /** XOR b into a (sizes must match). */
 void xorInto(Bytes &a, const Bytes &b);
 
+/**
+ * Overwrite @p len bytes at @p p with zeros through a volatile
+ * pointer, so the stores survive dead-store elimination even when
+ * the buffer is about to be freed.
+ */
+void secureWipe(void *p, std::size_t len);
+
+/** Wipe a buffer's contents in place, then clear it. */
+void secureWipe(Bytes &b);
+
+/**
+ * A byte buffer that zeroizes its storage on destruction, for key
+ * material that should not linger on freed heap pages. Copies are
+ * allowed (each copy wipes itself independently); moving wipes the
+ * moved-from buffer immediately.
+ */
+class SecretBytes
+{
+  public:
+    SecretBytes() = default;
+    explicit SecretBytes(Bytes bytes) : _bytes(std::move(bytes)) {}
+    SecretBytes(const SecretBytes &) = default;
+    SecretBytes &operator=(const SecretBytes &) = default;
+
+    SecretBytes(SecretBytes &&other) noexcept
+        : _bytes(std::move(other._bytes))
+    {
+        other.wipe();
+    }
+
+    SecretBytes &
+    operator=(SecretBytes &&other) noexcept
+    {
+        if (this != &other) {
+            wipe();
+            _bytes = std::move(other._bytes);
+            other.wipe();
+        }
+        return *this;
+    }
+
+    ~SecretBytes() { wipe(); }
+
+    const Bytes &get() const { return _bytes; }
+    std::size_t size() const { return _bytes.size(); }
+    bool empty() const { return _bytes.empty(); }
+
+    /** Zeroize now, without waiting for destruction. */
+    void wipe() { secureWipe(_bytes); }
+
+  private:
+    Bytes _bytes;
+};
+
 } // namespace hypertee
 
 #endif // HYPERTEE_CRYPTO_BYTES_HH

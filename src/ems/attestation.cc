@@ -171,20 +171,20 @@ SealedBlob
 seal(const KeyManager &km, const Bytes &measurement,
      const Bytes &plaintext, std::uint64_t nonce)
 {
-    Bytes key = km.sealingKey(measurement);
-    Bytes enc_key(key.begin(), key.begin() + 16);
-    Bytes mac_key(key.begin() + 16, key.end());
+    SecretBytes key(km.sealingKey(measurement));
+    SecretBytes enc_key(Bytes(key.get().begin(), key.get().begin() + 16));
+    SecretBytes mac_key(Bytes(key.get().begin() + 16, key.get().end()));
 
     SealedBlob blob;
     for (int i = 0; i < 8; ++i)
         blob.nonce.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
-    Aes128 aes(enc_key);
+    Aes128 aes(enc_key.get());
     blob.ciphertext = aes.ctrTransform(plaintext, nonce, 0);
 
     Bytes mac_body = blob.nonce;
     mac_body.insert(mac_body.end(), blob.ciphertext.begin(),
                     blob.ciphertext.end());
-    blob.tag = hmacSha256(mac_key, mac_body);
+    blob.tag = hmacSha256(mac_key.get(), mac_body);
     return blob;
 }
 
@@ -195,20 +195,20 @@ unseal(const KeyManager &km, const Bytes &measurement,
     out.clear();
     if (blob.nonce.size() != 8)
         return false;
-    Bytes key = km.sealingKey(measurement);
-    Bytes enc_key(key.begin(), key.begin() + 16);
-    Bytes mac_key(key.begin() + 16, key.end());
+    SecretBytes key(km.sealingKey(measurement));
+    SecretBytes enc_key(Bytes(key.get().begin(), key.get().begin() + 16));
+    SecretBytes mac_key(Bytes(key.get().begin() + 16, key.get().end()));
 
     Bytes mac_body = blob.nonce;
     mac_body.insert(mac_body.end(), blob.ciphertext.begin(),
                     blob.ciphertext.end());
-    if (!ctEqual(hmacSha256(mac_key, mac_body), blob.tag))
+    if (!ctEqual(hmacSha256(mac_key.get(), mac_body), blob.tag))
         return false;
 
     std::uint64_t nonce = 0;
     for (int i = 7; i >= 0; --i)
         nonce = (nonce << 8) | blob.nonce[i];
-    Aes128 aes(enc_key);
+    Aes128 aes(enc_key.get());
     out = aes.ctrTransform(blob.ciphertext, nonce, 0);
     return true;
 }

@@ -7,11 +7,13 @@
 namespace hypertee
 {
 
-KeyManager::KeyManager(const EFuse &efuse) : _efuse(efuse)
+KeyManager::KeyManager(const EFuse &efuse)
+    : _endorsementSeed(efuse.endorsementSeed),
+      _sealedKey(efuse.sealedKey)
 {
-    fatalIf(_efuse.endorsementSeed.size() != 32,
+    fatalIf(_endorsementSeed.size() != 32,
             "EK seed must be 32 bytes");
-    fatalIf(_efuse.sealedKey.size() != 32, "SK must be 32 bytes");
+    fatalIf(_sealedKey.size() != 32, "SK must be 32 bytes");
 }
 
 Bytes
@@ -20,20 +22,20 @@ KeyManager::derive(const char *label, const Bytes &context,
 {
     Bytes info = bytesFromString(label);
     info.insert(info.end(), context.begin(), context.end());
-    return hkdf(_efuse.sealedKey, bytesFromString("hypertee-kdf"), info,
-                len);
+    return hkdf(_sealedKey.get(), bytesFromString("hypertee-kdf"),
+                info, len);
 }
 
 Bytes
 KeyManager::endorsementPublicKey() const
 {
-    return ed25519PublicKey(_efuse.endorsementSeed);
+    return ed25519PublicKey(_endorsementSeed.get());
 }
 
 Bytes
 KeyManager::signWithEk(const Bytes &message) const
 {
-    return ed25519Sign(_efuse.endorsementSeed, message);
+    return ed25519Sign(_endorsementSeed.get(), message);
 }
 
 Bytes

@@ -29,6 +29,19 @@ struct EFuse
 {
     Bytes endorsementSeed; ///< 32-byte Ed25519 seed (EK)
     Bytes sealedKey;       ///< 32-byte device secret (SK)
+
+    EFuse() = default;
+    EFuse(const EFuse &) = default;
+    EFuse(EFuse &&) = default;
+    EFuse &operator=(const EFuse &) = default;
+    EFuse &operator=(EFuse &&) = default;
+
+    /** Root keys must not linger on freed host pages. */
+    ~EFuse()
+    {
+        secureWipe(endorsementSeed);
+        secureWipe(sealedKey);
+    }
 };
 
 class KeyManager
@@ -67,7 +80,8 @@ class KeyManager
     Bytes derive(const char *label, const Bytes &context,
                  std::size_t len) const;
 
-    EFuse _efuse;
+    SecretBytes _endorsementSeed; ///< EK seed, wiped on destruction
+    SecretBytes _sealedKey;       ///< SK, wiped on destruction
 };
 
 } // namespace hypertee

@@ -603,8 +603,8 @@ EmsRuntime::doWb(const PrimitiveRequest &req, Tick &service)
     if (pages.empty())
         return reject(PrimStatus::OutOfMemory);
 
-    Bytes swap_key = _km.memoryKey(bytesFromString("ewb-swap"));
-    Aes128 aes(swap_key);
+    SecretBytes swap_key(_km.memoryKey(bytesFromString("ewb-swap")));
+    Aes128 aes(swap_key.get());
     for (Addr ppn : pages) {
         Addr pa = ppn << pageShift;
         Bytes content = _port->readCs(pa, pageSize);

@@ -105,6 +105,33 @@ TEST_F(AttestFixture, SwappedAkRejected)
                              nonce));
 }
 
+TEST_F(AttestFixture, AkPublicKeyUnderDifferentSaltRejected)
+{
+    // Same device, but the AK public key was derived under another
+    // salt: AK = KDF(SK, salt), so the enclave signature no longer
+    // matches and the EK certificate chain breaks too.
+    AttestationQuote q = quote();
+    q.akPublicKey =
+        km.attestationPublicKey(bytesFromString("other-salt"));
+    EXPECT_FALSE(verifyQuote(q, km.endorsementPublicKey(), enclaveMeas,
+                             nonce));
+}
+
+TEST_F(AttestFixture, EnclaveSigUnderDifferentSaltRejected)
+{
+    // The enclave body is re-signed with an AK derived under a
+    // different salt while the quoted AK public key is unchanged:
+    // the signature must not verify.
+    AttestationQuote q = quote();
+    Bytes body = q.enclaveMeasurement;
+    body.insert(body.end(), q.dhPublic.begin(), q.dhPublic.end());
+    body.insert(body.end(), q.verifierNonce.begin(),
+                q.verifierNonce.end());
+    q.enclaveSig = km.signWithAk(bytesFromString("other-salt"), body);
+    EXPECT_FALSE(verifyQuote(q, km.endorsementPublicKey(), enclaveMeas,
+                             nonce));
+}
+
 TEST(LocalAttestation, ReportRoundTrip)
 {
     KeyManager km(testFuse(5));

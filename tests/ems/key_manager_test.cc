@@ -56,6 +56,28 @@ TEST(KeyManager, DerivedKeysAreDomainSeparated)
     EXPECT_NE(sealing, report);
 }
 
+TEST(KeyManager, KdfLabelsPairwiseDistinct)
+{
+    // Same SK, same context bytes: only the KDF label differs, so
+    // every pair of derived keys must still be distinct. Compare on
+    // a common 16-byte prefix so the 16- and 32-byte outputs are
+    // directly comparable.
+    KeyManager km(testFuse(1));
+    Bytes ctx(32, 0x42);
+    auto prefix16 = [](const Bytes &k) {
+        return Bytes(k.begin(), k.begin() + 16);
+    };
+    std::vector<Bytes> keys = {
+        prefix16(km.memoryKey(ctx)),
+        prefix16(km.sealingKey(ctx)),
+        prefix16(km.reportKey(ctx)),
+        prefix16(km.attestationKeySeed(ctx)),
+    };
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+}
+
 TEST(KeyManager, KeysAreMeasurementBound)
 {
     KeyManager km(testFuse(1));

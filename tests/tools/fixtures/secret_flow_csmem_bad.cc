@@ -1,0 +1,21 @@
+// Fixture: the eFuse device secret is written to CS-visible physical
+// memory in the clear. writeCs frames are owned by the untrusted OS.
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+class SwapOut
+{
+  public:
+    void
+    spillRootKey(const EFuse &fuse, Addr pa)
+    {
+        _port->writeCs(pa, fuse.sealedKey); // BAD
+    }
+
+  private:
+    EmsPort *_port = nullptr;
+};
+
+} // namespace hypertee

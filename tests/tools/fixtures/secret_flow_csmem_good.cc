@@ -1,0 +1,27 @@
+// Fixture: the EWB pattern done right -- enclave page contents read
+// through the mediated port are re-encrypted before the frames are
+// handed back to the OS. readCs through _port is a secret source;
+// ctrTransform sanitizes it on the way out.
+#include "crypto/aes128.hh"
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+class SwapOut
+{
+  public:
+    void
+    writeBack(const KeyManager &km, Addr pa)
+    {
+        Bytes key = km.memoryKey(bytesFromString("ewb-swap"));
+        Aes128 aes(key);
+        Bytes content = _port->readCs(pa, 4096);
+        _port->writeCs(pa, aes.ctrTransform(content, pa, 0));
+    }
+
+  private:
+    EmsPort *_port = nullptr;
+};
+
+} // namespace hypertee

@@ -1,0 +1,17 @@
+// Fixture: a declassify annotation with an empty reason. The
+// contract requires stating *why* the value is safe to reveal; a
+// bare declassify() is reported and does not suppress anything.
+#include "ems/key_manager.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+void
+dumpKey(const KeyManager &km, const Bytes &meas)
+{
+    Bytes key = km.memoryKey(meas);
+    inform("key ", toHex(key)); // htlint: declassify()
+}
+
+} // namespace hypertee

@@ -1,0 +1,19 @@
+// Fixture: a justified declassification. The annotation carries a
+// non-empty reason, so the flow is accepted -- both the trailing and
+// the own-line comment forms.
+#include "ems/key_manager.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+void
+dumpTestVector(const KeyManager &km, const Bytes &meas)
+{
+    Bytes key = km.memoryKey(meas);
+    // htlint: declassify(KAT vector printed for the conformance log)
+    inform("kat key ", toHex(key));
+    inform("kat key again ", toHex(key)); // htlint: declassify(same KAT vector)
+}
+
+} // namespace hypertee

@@ -1,0 +1,17 @@
+// Fixture: the sealing key flows into inform(), i.e. the host
+// console. toHex is taint-preserving, so the hex string is exactly
+// as secret as the key bytes.
+#include "ems/key_manager.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+void
+logSealingKey(const KeyManager &km, const Bytes &meas)
+{
+    Bytes key = km.sealingKey(meas);
+    inform("derived sealing key ", toHex(key)); // BAD
+}
+
+} // namespace hypertee

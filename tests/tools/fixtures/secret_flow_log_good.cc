@@ -1,0 +1,20 @@
+// Fixture: logging only neutral facts about a key (its size) and a
+// MAC computed *with* it. hmacSha256 is a sanitizer; the tag is safe
+// to print.
+#include "crypto/hmac.hh"
+#include "ems/key_manager.hh"
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+void
+logSealingDigest(const KeyManager &km, const Bytes &meas,
+                 const Bytes &blob)
+{
+    Bytes key = km.sealingKey(meas);
+    inform("sealing key is ", key.size(), " bytes");
+    inform("blob tag ", toHex(hmacSha256(key, blob)));
+}
+
+} // namespace hypertee

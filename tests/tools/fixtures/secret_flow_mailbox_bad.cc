@@ -1,0 +1,20 @@
+// Fixture: a raw shared-memory key is copied into an EmCall response
+// payload and pushed to the untrusted-side mailbox. Field-sensitive:
+// only resp.payload is tainted, but pushing the whole struct ships
+// the secret across the trust boundary.
+#include "ems/key_manager.hh"
+#include "fabric/mailbox.hh"
+
+namespace hypertee
+{
+
+void
+answerKeyRequest(const KeyManager &km, Mailbox &mbox, EnclaveId sender,
+                 ShmId shm)
+{
+    EmCallResponse resp;
+    resp.payload = km.sharedMemoryKey(sender, shm);
+    mbox.pushResponse(resp); // BAD
+}
+
+} // namespace hypertee

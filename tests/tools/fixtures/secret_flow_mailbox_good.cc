@@ -1,0 +1,22 @@
+// Fixture: the payload carries ciphertext, not the key. ctrTransform
+// is a sanitizer, so the response struct stays clean and the push is
+// legitimate.
+#include "crypto/aes128.hh"
+#include "ems/key_manager.hh"
+#include "fabric/mailbox.hh"
+
+namespace hypertee
+{
+
+void
+answerDataRequest(const KeyManager &km, Mailbox &mbox, EnclaveId sender,
+                  ShmId shm, const Bytes &data)
+{
+    Bytes key = km.sharedMemoryKey(sender, shm);
+    Aes128 aes(key);
+    EmCallResponse resp;
+    resp.payload = aes.ctrTransform(data, 7, 0);
+    mbox.pushResponse(resp);
+}
+
+} // namespace hypertee

@@ -1,0 +1,23 @@
+// Fixture: enclave-private page contents read through the mediated
+// EMS port are written back to an OS-owned frame *unencrypted* --
+// the swapping-attack leak the EWB primitive exists to prevent.
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+class SwapOut
+{
+  public:
+    void
+    writeBackPlain(Addr pa)
+    {
+        Bytes content = _port->readCs(pa, 4096);
+        _port->writeCs(pa, content); // BAD
+    }
+
+  private:
+    EmsPort *_port = nullptr;
+};
+
+} // namespace hypertee

@@ -1,0 +1,18 @@
+// Fixture: key bytes sampled into a distribution. Stats are dumped
+// via --stats-json straight to the host, so per-byte histograms of
+// key material are an exfiltration channel.
+#include "ems/key_manager.hh"
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+void
+sampleKeyBytes(const KeyManager &km, const Bytes &meas,
+               Distribution &hist)
+{
+    Bytes key = km.memoryKey(meas);
+    hist.sample(key[0]); // BAD
+}
+
+} // namespace hypertee

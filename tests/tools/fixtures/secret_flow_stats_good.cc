@@ -1,0 +1,18 @@
+// Fixture: sampling how *long* the derived key is (a public
+// constant) and how big the sealed blob came out -- neutral facts,
+// not key bytes.
+#include "ems/key_manager.hh"
+#include "sim/stats.hh"
+
+namespace hypertee
+{
+
+void
+sampleKeySizes(const KeyManager &km, const Bytes &meas,
+               Distribution &hist)
+{
+    Bytes key = km.memoryKey(meas);
+    hist.sample(key.size());
+}
+
+} // namespace hypertee

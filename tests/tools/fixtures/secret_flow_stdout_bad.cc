@@ -1,0 +1,18 @@
+// Fixture: key material printed on std::cout via a << chain. The
+// stream-insertion form bypasses the call-argument sink check, so a
+// dedicated scanner must catch it.
+#include <iostream>
+
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+void
+printReportKey(const KeyManager &km, const Bytes &meas)
+{
+    Bytes rk = km.reportKey(meas);
+    std::cout << "report key: " << toHex(rk) << "\n"; // BAD
+}
+
+} // namespace hypertee

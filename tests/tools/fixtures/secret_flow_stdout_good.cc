@@ -1,0 +1,19 @@
+// Fixture: printing *public* key material. endorsementPublicKey and
+// attestationPublicKey are public-key derivations (sanitizers); what
+// the CA certified is meant to be shown.
+#include <iostream>
+
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+void
+printPlatformIdentity(const KeyManager &km, const Bytes &salt)
+{
+    std::cout << "EK pub: " << toHex(km.endorsementPublicKey()) << "\n"
+              << "AK pub: " << toHex(km.attestationPublicKey(salt))
+              << "\n";
+}
+
+} // namespace hypertee

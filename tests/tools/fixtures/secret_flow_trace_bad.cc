@@ -1,0 +1,17 @@
+// Fixture: a KDF-derived memory key is re-encoded with toHex (taint
+// preserving) and handed to an HT_TRACE macro. The Chrome trace file
+// is host-visible, so this leaks the enclave's memory key.
+#include "ems/key_manager.hh"
+#include "sim/trace.hh"
+
+namespace hypertee
+{
+
+void
+traceKey(const KeyManager &km, const Bytes &meas)
+{
+    Bytes key = km.memoryKey(meas);
+    HT_TRACE_INSTANT1("ems", "configure", "key", toHex(key)); // BAD
+}
+
+} // namespace hypertee

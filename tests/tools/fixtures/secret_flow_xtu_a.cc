@@ -1,0 +1,18 @@
+// Fixture: cross-TU half A. Locally this is just a call to an opaque
+// helper -- nothing here touches a sink. Only interprocedural
+// propagation (sealingKey -> forwardToHost's parameter) can see the
+// leak completed in half B.
+#include "ems/key_manager.hh"
+
+namespace hypertee
+{
+
+void forwardToHost(const Bytes &blob);
+
+void
+shipKey(const KeyManager &km, const Bytes &meas)
+{
+    forwardToHost(km.sealingKey(meas)); // BAD, but only with B in view
+}
+
+} // namespace hypertee

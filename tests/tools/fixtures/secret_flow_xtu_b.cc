@@ -1,0 +1,16 @@
+// Fixture: cross-TU half B. In isolation this is fine -- whether
+// `blob` is secret depends entirely on what callers pass. Linted
+// together with half A, the inform() becomes a key leak and must be
+// reported here at the sink.
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+void
+forwardToHost(const Bytes &blob)
+{
+    inform("forwarding ", toHex(blob));
+}
+
+} // namespace hypertee

@@ -531,13 +531,242 @@ TEST(HtlintDriver, BaselineFiltersKnownFindingsAndExitsClean)
         << out2.str();
 }
 
+// ------------------------------------------------------- secret-flow
+
+/** Diagnostics of the secret-flow rule only. */
+std::vector<Diagnostic>
+secretFlows(const std::vector<Diagnostic> &diags)
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags)
+        if (d.rule == "secret-flow")
+            out.push_back(d);
+    return out;
+}
+
+TEST(HtlintSecretFlow, FlagsKeyIntoTraceMacro)
+{
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_trace_bad.cc", "src/ems/trace_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("trace"), std::string::npos);
+    EXPECT_NE(flows[0].message.find("memoryKey"), std::string::npos)
+        << flows[0].message;
+    EXPECT_FALSE(flows[0].flow.empty())
+        << "dataflow diagnostics must carry the source-to-sink path";
+}
+
+TEST(HtlintSecretFlow, AcceptsDigestIntoTrace)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_trace_good.cc",
+                                     "src/ems/trace_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, FlagsKeyIntoHostLog)
+{
+    auto flows = secretFlows(
+        lintAs({{"secret_flow_log_bad.cc", "src/ems/log_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("log"), std::string::npos);
+}
+
+TEST(HtlintSecretFlow, AcceptsNeutralFactsAndMacTags)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_log_good.cc",
+                                     "src/ems/log_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, FlagsKeyBytesSampledIntoStats)
+{
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_stats_bad.cc", "src/ems/stats_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("stats-export"),
+              std::string::npos);
+}
+
+TEST(HtlintSecretFlow, AcceptsSizeSamples)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_stats_good.cc",
+                                     "src/ems/stats_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, FlagsRawKeyInMailboxPayload)
+{
+    // Field-sensitive: resp.payload is tainted, and pushing the
+    // whole struct must still be caught.
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_mailbox_bad.cc", "src/ems/mbox_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("mailbox"), std::string::npos);
+}
+
+TEST(HtlintSecretFlow, AcceptsEncryptedMailboxPayload)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_mailbox_good.cc",
+                                     "src/ems/mbox_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, FlagsEfuseSecretWrittenToCsMemory)
+{
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_csmem_bad.cc", "src/ems/csmem_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("cs-memory"), std::string::npos);
+    EXPECT_NE(flows[0].message.find("sealedKey"), std::string::npos);
+}
+
+TEST(HtlintSecretFlow, FlagsPlainPageWriteback)
+{
+    // Enclave-private page contents via the mediated port: readCs
+    // through _port is a source, unencrypted writeCs the leak.
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_page_bad.cc", "src/ems/page_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("readCs"), std::string::npos)
+        << flows[0].message;
+}
+
+TEST(HtlintSecretFlow, AcceptsEncryptedWriteback)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_csmem_good.cc",
+                                     "src/ems/csmem_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, FlagsStdoutInsertionChain)
+{
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_stdout_bad.cc", "src/ems/stdout_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_NE(flows[0].message.find("cout"), std::string::npos);
+}
+
+TEST(HtlintSecretFlow, AcceptsPublicKeysOnStdout)
+{
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_stdout_good.cc",
+                                     "src/ems/stdout_good.cc"}}))
+                    .empty());
+}
+
+TEST(HtlintSecretFlow, CrossTuLeakNeedsInterproceduralView)
+{
+    // Each half alone is clean...
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_xtu_a.cc",
+                                     "src/ems/ship.cc"}}))
+                    .empty());
+    EXPECT_TRUE(secretFlows(lintAs({{"secret_flow_xtu_b.cc",
+                                     "src/core/forward.cc"}}))
+                    .empty());
+    // ...but linted together the sealingKey reaches inform() through
+    // forwardToHost's parameter, reported at the sink TU.
+    auto flows = secretFlows(
+        lintAs({{"secret_flow_xtu_a.cc", "src/ems/ship.cc"},
+                {"secret_flow_xtu_b.cc", "src/core/forward.cc"}}));
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0].file, "src/core/forward.cc");
+    EXPECT_NE(flows[0].message.find("sealingKey"), std::string::npos);
+    // The chain must cross the TU boundary.
+    bool crosses = false;
+    for (const FlowStep &s : flows[0].flow)
+        if (s.file == "src/ems/ship.cc")
+            crosses = true;
+    EXPECT_TRUE(crosses) << "flow should include the caller TU";
+}
+
+TEST(HtlintSecretFlow, DeclassifyWithReasonSuppresses)
+{
+    EXPECT_TRUE(
+        secretFlows(lintAs({{"secret_flow_declassify_good.cc",
+                             "src/ems/declass_good.cc"}}))
+            .empty());
+}
+
+TEST(HtlintSecretFlow, EmptyDeclassifyReasonReportedAndIgnored)
+{
+    // A reason-less declassify() is itself a finding *and* fails to
+    // suppress the underlying leak.
+    auto flows = secretFlows(lintAs(
+        {{"secret_flow_declassify_bad.cc", "src/ems/declass_bad.cc"}}));
+    ASSERT_EQ(flows.size(), 2u);
+    bool empty_reason = false, leak = false;
+    for (const Diagnostic &d : flows) {
+        if (d.message.find("non-empty reason") != std::string::npos)
+            empty_reason = true;
+        if (d.message.find("log") != std::string::npos)
+            leak = true;
+    }
+    EXPECT_TRUE(empty_reason);
+    EXPECT_TRUE(leak);
+}
+
+// --------------------------------------------------- baseline format
+
+TEST(HtlintBaseline, EscapedKeysCannotCollideOnPipeMessages)
+{
+    // Legacy `rule|file|message` keys collapse these two distinct
+    // findings into one identity; the escaped tab-separated format
+    // keeps them apart.
+    Diagnostic d1{"f|g", 1, "r", "m", {}};
+    Diagnostic d2{"f", 1, "r", "g|m", {}};
+    EXPECT_EQ(legacyBaselineKey(d1), legacyBaselineKey(d2));
+    EXPECT_NE(baselineKey(d1), baselineKey(d2));
+
+    // Embedded separators are escaped, so keys stay one per line.
+    Diagnostic d3{"a.cc", 2, "r", "tab\there\nand newline", {}};
+    EXPECT_EQ(baselineKey(d3).find('\n'), std::string::npos);
+    EXPECT_NE(baselineKey(d3).find("tab\\there"), std::string::npos)
+        << baselineKey(d3);
+}
+
+TEST(HtlintBaseline, LegacyPipeFormatBaselinesStillFilter)
+{
+    std::string dir = ::testing::TempDir() + "/htlint_legacy_base";
+    std::filesystem::create_directories(dir);
+    std::string src = dir + "/legacy.hh";
+    {
+        std::ofstream f(src);
+        f << "int legacyValue();\n";
+    }
+    Options opts;
+    opts.paths = {src};
+    opts.writeBaselinePath = dir + "/baseline_new.txt";
+    std::ostringstream out1, err1;
+    ASSERT_EQ(runHtlint(opts, out1, err1), 0) << err1.str();
+
+    // Rewrite the fresh baseline in the old pipe-separated format
+    // (these findings contain no pipes, so the translation is exact).
+    {
+        std::ifstream in(dir + "/baseline_new.txt");
+        std::ofstream out(dir + "/baseline_old.txt");
+        std::string line;
+        while (std::getline(in, line)) {
+            for (char &c : line)
+                if (c == '\t')
+                    c = '|';
+            out << line << "\n";
+        }
+    }
+    Options opts2;
+    opts2.paths = {src};
+    opts2.baselinePath = dir + "/baseline_old.txt";
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runHtlint(opts2, out2, err2), 0) << err2.str();
+    EXPECT_NE(out2.str().find("baselined"), std::string::npos)
+        << out2.str();
+}
+
 // ------------------------------------------------------------- SARIF
 
 TEST(HtlintSarif, OutputIsValidSarif210WithDeclaredRules)
 {
     std::vector<Diagnostic> diags = {
-        {"src/a.cc", 3, "mediation-path", "chain \"quoted\"\n"},
-        {"src/b.cc", 7, "guarded-by", "unlocked"},
+        {"src/a.cc", 3, "mediation-path", "chain \"quoted\"\n", {}},
+        {"src/b.cc", 7, "guarded-by", "unlocked", {}},
     };
     std::ostringstream os;
     writeSarif(diags, os);
@@ -563,6 +792,24 @@ TEST(HtlintSarif, OutputIsValidSarif210WithDeclaredRules)
     // String escaping survived the quoted message.
     EXPECT_NE(text.find("chain \\\"quoted\\\"\\n"),
               std::string::npos);
+}
+
+TEST(HtlintSarif, CodeFlowsEmittedForDataflowDiagnostics)
+{
+    Diagnostic d{"src/ems/leak.cc", 14, "secret-flow",
+                 "enclave secret reaches log sink", {}};
+    d.flow = {{"src/ems/key.cc", 3, "secret source 'memoryKey'"},
+              {"src/ems/leak.cc", 14, "sink 'inform'"}};
+    std::ostringstream os;
+    writeSarif({d}, os);
+    std::string text = os.str();
+    EXPECT_TRUE(hypertee::jsonLooksValid(text)) << text;
+    EXPECT_NE(text.find("\"codeFlows\""), std::string::npos);
+    EXPECT_NE(text.find("\"threadFlows\""), std::string::npos);
+    EXPECT_NE(text.find("\"relatedLocations\""), std::string::npos);
+    EXPECT_NE(text.find("secret source 'memoryKey'"),
+              std::string::npos);
+    EXPECT_NE(text.find("src/ems/key.cc"), std::string::npos);
 }
 
 TEST(HtlintSarif, EmptyRunIsValidAndExitsZero)

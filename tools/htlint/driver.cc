@@ -231,14 +231,46 @@ checkRuleName(const std::string &name, const char *what,
     return false;
 }
 
-/** The stable identity of a finding across line-number churn. */
+/** Escape one baseline-key field: the separator is a tab, so tabs,
+ *  newlines, and the escape character itself must be encoded. */
 std::string
-baselineKey(const Diagnostic &d)
+escapeBaselineField(const std::string &s)
 {
-    return d.rule + "|" + d.file + "|" + d.message;
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
 }
 
 } // namespace
+
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return escapeBaselineField(d.rule) + "\t" +
+           escapeBaselineField(d.file) + "\t" +
+           escapeBaselineField(d.message);
+}
+
+std::string
+legacyBaselineKey(const Diagnostic &d)
+{
+    return d.rule + "|" + d.file + "|" + d.message;
+}
 
 std::string
 closestRuleName(const std::string &name)
@@ -488,7 +520,11 @@ runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
                 known.insert(line);
         std::vector<Diagnostic> fresh;
         for (Diagnostic &d : diags) {
-            if (known.count(baselineKey(d)))
+            // Accept both the current escaped-tab key and the old
+            // `rule|file|message` format, so existing baselines
+            // keep filtering after an htlint upgrade.
+            if (known.count(baselineKey(d)) ||
+                known.count(legacyBaselineKey(d)))
                 ++baselined;
             else
                 fresh.push_back(std::move(d));

@@ -59,6 +59,21 @@ collectFiles(const std::vector<std::string> &paths, std::ostream &err,
 std::string closestRuleName(const std::string &name);
 
 /**
+ * The stable identity of a finding across line-number churn:
+ * tab-separated rule/file/message with backslash, tab, and newline
+ * escaped, so a `|` (or anything else) inside a message can never
+ * collide with the field separator.
+ */
+std::string baselineKey(const Diagnostic &d);
+
+/**
+ * The pre-escaping `rule|file|message` key. Baselines written by
+ * older htlint versions still match through it; new baselines are
+ * written with baselineKey() only.
+ */
+std::string legacyBaselineKey(const Diagnostic &d);
+
+/**
  * Run the linter: load every file, run the selected rules, print
  * diagnostics to @p out. Returns the process exit code: 0 clean,
  * 1 violations found, 2 usage/IO error (including suppression

@@ -14,6 +14,7 @@
 
 #include "tools/htlint/callgraph.hh"
 #include "tools/htlint/index.hh"
+#include "tools/htlint/taint.hh"
 
 namespace hypertee::htlint
 {
@@ -38,7 +39,7 @@ void
 report(std::vector<Diagnostic> &out, const SourceFile &f, int line,
        const char *rule, std::string message)
 {
-    out.push_back({f.relPath(), line, rule, std::move(message)});
+    out.push_back({f.relPath(), line, rule, std::move(message), {}});
 }
 
 bool
@@ -1027,6 +1028,11 @@ allRules()
          "every Random must be constructed from ShardContext/"
          "shardSeed/CLI-seed derived values (whole-program)",
          nullptr, &checkSeedFlow},
+        {"secret-flow",
+         "no enclave secret (device keys, KDF-derived keys, private "
+         "page contents) may reach a trace/stats/log/stdout/mailbox/"
+         "CS-memory sink unencrypted (whole-program)",
+         nullptr, &checkSecretFlow},
         {"stat-registration",
          "every Scalar/Average/Distribution must be registered with "
          "a StatGroup so the JSON export sees it",

@@ -25,12 +25,22 @@ class CallGraph;
 namespace hypertee::htlint
 {
 
+/** One hop of an interprocedural dataflow path (SARIF codeFlows). */
+struct FlowStep
+{
+    std::string file; ///< project-relative path
+    int line = 0;
+    std::string note; ///< short label ("secret source ...", "sink ...")
+};
+
 struct Diagnostic
 {
     std::string file; ///< project-relative path
     int line = 0;
     std::string rule;
     std::string message;
+    /** Source-to-sink path for dataflow rules (empty otherwise). */
+    std::vector<FlowStep> flow;
 };
 
 class Project

@@ -100,7 +100,47 @@ writeSarif(const std::vector<Diagnostic> &diags, std::ostream &out)
             << (d.line > 0 ? d.line : 1) << " }\n"
             << "              }\n"
             << "            }\n"
-            << "          ]\n"
+            << "          ]";
+        if (!d.flow.empty()) {
+            // Dataflow rules: render the source-to-sink chain so
+            // code scanning shows the path, plus relatedLocations
+            // for viewers that don't understand codeFlows.
+            auto location = [&](const FlowStep &s,
+                                const char *indent) {
+                out << indent << "\"physicalLocation\": {\n"
+                    << indent << "  \"artifactLocation\": {\n"
+                    << indent << "    \"uri\": \""
+                    << jsonEscape(s.file) << "\",\n"
+                    << indent << "    \"uriBaseId\": \"SRCROOT\"\n"
+                    << indent << "  },\n"
+                    << indent << "  \"region\": { \"startLine\": "
+                    << (s.line > 0 ? s.line : 1) << " }\n"
+                    << indent << "},\n"
+                    << indent << "\"message\": { \"text\": \""
+                    << jsonEscape(s.note) << "\" }\n";
+            };
+            out << ",\n"
+                << "          \"codeFlows\": [\n"
+                << "            { \"threadFlows\": [ { "
+                   "\"locations\": [\n";
+            for (std::size_t s = 0; s < d.flow.size(); ++s) {
+                out << "              { \"location\": {\n";
+                location(d.flow[s], "                ");
+                out << "              } }"
+                    << (s + 1 < d.flow.size() ? "," : "") << "\n";
+            }
+            out << "            ] } ] }\n"
+                << "          ],\n"
+                << "          \"relatedLocations\": [\n";
+            for (std::size_t s = 0; s < d.flow.size(); ++s) {
+                out << "            {\n";
+                location(d.flow[s], "              ");
+                out << "            }"
+                    << (s + 1 < d.flow.size() ? "," : "") << "\n";
+            }
+            out << "          ]";
+        }
+        out << "\n"
             << "        }" << (i + 1 < diags.size() ? "," : "")
             << "\n";
     }

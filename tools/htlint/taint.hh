@@ -1,0 +1,36 @@
+/**
+ * @file
+ * secret-flow: forward, argument- and field-sensitive taint analysis
+ * over the whole-program index.
+ *
+ * Proves that no enclave secret (device SK / EK seed, KDF-derived
+ * memory/sealing/report/attestation/shared-memory keys, and
+ * enclave-private page contents read through the mediated EMS port)
+ * reaches an untrusted sink: TraceSink / HT_TRACE arguments, the
+ * stats export, src/sim/logging, stdout/stderr, CS-visible physical
+ * memory, or mailbox/EmCall payload buffers.
+ *
+ * A value stops being secret when it passes through a cryptographic
+ * sanitizer (encrypt, MAC, sign, hash, public-key derivation) or when
+ * a line is annotated `// htlint: declassify(<reason>)` with a
+ * non-empty reason. Taint propagates across TU boundaries through
+ * call-site arguments and return-value summaries; diagnostics carry
+ * the full source-to-sink chain (rendered as SARIF codeFlows).
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_TAINT_HH
+#define HYPERTEE_TOOLS_HTLINT_TAINT_HH
+
+#include <vector>
+
+#include "tools/htlint/rules.hh"
+
+namespace hypertee::htlint
+{
+
+/** Whole-program entry point for the `secret-flow` rule. */
+void checkSecretFlow(const Project &proj, std::vector<Diagnostic> &out);
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_TAINT_HH
