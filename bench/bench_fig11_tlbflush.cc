@@ -4,6 +4,12 @@
  * switch frequency (100 Hz baseline to 4x) and miniz working sets of
  * 2-32 MB.
  *
+ * Each working-set size is an independent shard (its no-switch base
+ * run plus every switch rate, since the overheads are relative to
+ * that base), so the sweep fans sizes across --jobs workers with
+ * byte-identical output for any job count; --stats-json carries the
+ * raw per-rate tick counts.
+ *
  * Paper: at most 1.81% overhead (32 MB at 400 Hz). Flushes from
  * bitmap updates are rare (16.72 per billion instructions), so the
  * switch-driven flushes dominate and still barely matter.
@@ -67,6 +73,35 @@ runWithSwitchRate(HyperTeeSystem &sys, const WorkloadProfile &profile,
     return total.ticks;
 }
 
+BenchShardResult
+runSize(Addr mb, const std::vector<double> &rates_hz, bool smoke)
+{
+    WorkloadProfile profile = minizProfile(Addr(mb) << 20);
+    profile.instructions = smoke ? 2'000'000 : 8'000'000;
+
+    auto fresh_ticks = [&](double hz) {
+        SystemParams p = evalSystem(true);
+        p.csMemSize = 1024ULL << 20;
+        p.ems.pool.initialPages = 40000;
+        HyperTeeSystem sys(p);
+        return runWithSwitchRate(sys, profile, hz);
+    };
+
+    BenchShardResult result;
+    const std::string prefix = std::to_string(mb) + "MB";
+    Tick base = fresh_ticks(0);
+    result.stats.scalar(prefix + ".base_ticks").set(double(base));
+    std::vector<std::string> row = {prefix};
+    for (double hz : rates_hz) {
+        Tick t = fresh_ticks(hz);
+        result.stats.scalar(prefix + "." + num(hz, 0) + "hz_ticks")
+            .set(double(t));
+        row.push_back(pct(double(t) / double(base) - 1.0, 2));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+}
+
 } // namespace
 
 int
@@ -92,27 +127,16 @@ main(int argc, char **argv)
         header.push_back(num(hz, 0) + "Hz");
     printRow(header);
 
-    for (Addr mb : sizes_mb) {
-        WorkloadProfile profile = minizProfile(Addr(mb) << 20);
-        profile.instructions = opts.smoke ? 2'000'000 : 8'000'000;
+    ShardStats merged = runShardedBench(
+        opts, sizes_mb.size(), 14, [&](ShardContext &ctx) {
+            return runSize(sizes_mb[ctx.index], rates_hz,
+                           opts.smoke);
+        });
 
-        auto fresh_ticks = [&](double hz) {
-            SystemParams p = evalSystem(true);
-            p.csMemSize = 1024ULL << 20;
-            p.ems.pool.initialPages = 40000;
-            HyperTeeSystem sys(p);
-            return runWithSwitchRate(sys, profile, hz);
-        };
+    StatGroup tlbflush_stats("fig11_tlbflush");
+    merged.registerWith(tlbflush_stats);
 
-        Tick base = fresh_ticks(0);
-        std::vector<std::string> row = {std::to_string(mb) + "MB"};
-        for (double hz : rates_hz) {
-            Tick t = fresh_ticks(hz);
-            row.push_back(pct(double(t) / double(base) - 1.0, 2));
-        }
-        printRow(row);
-    }
     std::printf("\npaper: <=1.81%% (32MB at 400Hz); overhead grows "
                 "with both size and switch rate but stays marginal\n");
-    return finishBench(opts, {});
+    return finishBench(opts, {&tlbflush_stats});
 }

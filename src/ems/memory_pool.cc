@@ -13,6 +13,9 @@ EnclaveMemoryPool::EnclaveMemoryPool(OsAllocator alloc, OsReleaser release,
 {
     panicIf(!_alloc, "pool needs an OS allocator");
     fatalIf(_p.minThreshold > _p.maxThreshold, "bad threshold band");
+    fatalIf(_p.lowWatermark != 0 && _p.highWatermark != 0 &&
+                _p.lowWatermark > _p.highWatermark,
+            "bad watermark band");
     rerandomizeThreshold();
     refill(_p.initialPages);
 }
@@ -86,8 +89,26 @@ EnclaveMemoryPool::returnToOs(std::size_t n)
         pages.push_back(_free.front());
         _free.pop_front();
     }
-    if (_release && !pages.empty())
+    if (_release && !pages.empty()) {
         _release(pages);
+        _osReturns += pages.size();
+    }
+}
+
+EnclaveMemoryPool::Rebalance
+EnclaveMemoryPool::rebalance()
+{
+    Rebalance moved;
+    if (_p.lowWatermark > 0 && _free.size() < _p.lowWatermark) {
+        std::size_t before = _free.size();
+        refill(_p.lowWatermark - before);
+        moved.refilled = _free.size() - before;
+    } else if (_p.highWatermark > 0 &&
+               _free.size() > _p.highWatermark) {
+        moved.returned = _free.size() - _p.highWatermark;
+        returnToOs(moved.returned);
+    }
+    return moved;
 }
 
 } // namespace hypertee

@@ -44,6 +44,22 @@ class EnclaveMemoryPool
         std::size_t refillBatch = 2048;
         std::size_t minThreshold = 256;   ///< randomization floor
         std::size_t maxThreshold = 1024;  ///< randomization ceiling
+        /**
+         * Scheduler watermarks (fleet-scale EMS): rebalance() refills
+         * from the OS when the free count drops below lowWatermark
+         * and returns the excess above highWatermark. Both default to
+         * 0 = disabled, preserving the demand-driven refill behaviour
+         * of the single-enclave benches.
+         */
+        std::size_t lowWatermark = 0;
+        std::size_t highWatermark = 0;
+    };
+
+    /** What one rebalance() pass moved between the OS and the pool. */
+    struct Rebalance
+    {
+        std::size_t refilled = 0; ///< pages pulled from the OS
+        std::size_t returned = 0; ///< pages handed back to the OS
     };
 
     EnclaveMemoryPool(OsAllocator alloc, OsReleaser release,
@@ -69,8 +85,19 @@ class EnclaveMemoryPool
     /** Shrink: hand pages back to the OS. */
     void returnToOs(std::size_t n);
 
+    /**
+     * Watermark maintenance (the EMS scheduler's background duty):
+     * refill up to the low watermark, shed down to the high
+     * watermark. A no-op when the watermarks are disabled, so the
+     * demand-driven paths are unchanged for existing configurations.
+     */
+    Rebalance rebalance();
+
     std::size_t freePages() const { return _free.size(); }
     std::size_t threshold() const { return _threshold; }
+
+    /** Pages handed back to the OS across every shrink. */
+    std::uint64_t osReturns() const { return _osReturns; }
 
     /** OS-visible events: this is the controlled-channel surface. */
     std::uint64_t osRequests() const { return _osRequests; }
@@ -91,6 +118,7 @@ class EnclaveMemoryPool
     std::deque<Addr> _free;
     std::size_t _threshold;
     std::uint64_t _osRequests = 0;
+    std::uint64_t _osReturns = 0;
     std::vector<std::size_t> _osRequestSizes;
 };
 

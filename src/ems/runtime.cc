@@ -295,6 +295,16 @@ EmsRuntime::handleImpl(const PrimitiveRequest &req)
     panicIf(handler == nullptr, "unhandled primitive");
 
     PrimitiveResponse resp = (this->*handler)(req, service);
+
+    // Watermark maintenance after every pool-touching primitive: a
+    // fleet-scale EMS keeps the free-page pool inside its
+    // [low, high] band so create bursts do not stall on demand-driven
+    // OS refills. The bookkeeping time is charged to the primitive
+    // that tripped the rebalance. No-op (and no charge) when the
+    // watermarks are disabled, which is every pre-fleet scenario.
+    EnclaveMemoryPool::Rebalance moved = _pool->rebalance();
+    service += _cost.perPageMapTime(moved.refilled + moved.returned);
+
     resp.completedAt = service + _pendingFrameCharge;
     return resp;
 }

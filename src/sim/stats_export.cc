@@ -183,6 +183,7 @@ StatGroup::writeJsonBody(JsonWriter &w) const
             w.member("p50", d->quantile(0.50));
             w.member("p90", d->quantile(0.90));
             w.member("p99", d->quantile(0.99));
+            w.member("p999", d->quantile(0.999));
             w.member("max", d->max());
         }
         w.endObject();

@@ -1,0 +1,548 @@
+#include "workload/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hypertee
+{
+
+const char *
+fleetOpName(FleetOp op)
+{
+    switch (op) {
+      case FleetOp::Create: return "create";
+      case FleetOp::Attest: return "attest";
+      case FleetOp::Seal: return "seal";
+      case FleetOp::Unseal: return "unseal";
+      case FleetOp::Destroy: return "destroy";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * Exponential draw with the given mean, via inverse CDF. rng.real()
+ * is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+ */
+double
+expDraw(Random &rng, double mean)
+{
+    return -mean * std::log(1.0 - rng.real());
+}
+
+} // namespace
+
+// ------------------------------------------------------ arrival processes
+
+PoissonArrivals::PoissonArrivals(double rate_per_sec,
+                                 std::uint64_t seed)
+    : _ratePerSec(rate_per_sec),
+      _meanTicks(double(ticksPerSecond) / rate_per_sec), _rng(seed)
+{
+    fatalIf(rate_per_sec <= 0, "Poisson arrivals need a rate");
+}
+
+Tick
+PoissonArrivals::next()
+{
+    return static_cast<Tick>(expDraw(_rng, _meanTicks));
+}
+
+MmppArrivals::MmppArrivals(const Params &params, std::uint64_t seed)
+    : _p(params), _rng(seed)
+{
+    fatalIf(_p.quietRatePerSec <= 0 || _p.burstRatePerSec <= 0,
+            "MMPP needs positive rates");
+    fatalIf(_p.meanQuietSec <= 0 || _p.meanBurstSec <= 0,
+            "MMPP needs positive dwell times");
+    _dwellLeftTicks =
+        expDraw(_rng, _p.meanQuietSec * double(ticksPerSecond));
+}
+
+Tick
+MmppArrivals::next()
+{
+    // Competing exponentials: within a state, the next arrival is
+    // exponential at the state's rate; if the state's remaining dwell
+    // expires first, switch states and redraw (memorylessness makes
+    // the restart exact).
+    double elapsed = 0;
+    for (;;) {
+        double rate =
+            _burst ? _p.burstRatePerSec : _p.quietRatePerSec;
+        double candidate =
+            expDraw(_rng, double(ticksPerSecond) / rate);
+        if (candidate <= _dwellLeftTicks) {
+            _dwellLeftTicks -= candidate;
+            return static_cast<Tick>(elapsed + candidate);
+        }
+        elapsed += _dwellLeftTicks;
+        _burst = !_burst;
+        double dwell_sec =
+            _burst ? _p.meanBurstSec : _p.meanQuietSec;
+        _dwellLeftTicks =
+            expDraw(_rng, dwell_sec * double(ticksPerSecond));
+    }
+}
+
+double
+MmppArrivals::analyticMeanRatePerSec() const
+{
+    return (_p.quietRatePerSec * _p.meanQuietSec +
+            _p.burstRatePerSec * _p.meanBurstSec) /
+           (_p.meanQuietSec + _p.meanBurstSec);
+}
+
+double
+MmppArrivals::analyticMeanInterarrivalTicks() const
+{
+    return double(ticksPerSecond) / analyticMeanRatePerSec();
+}
+
+// ------------------------------------------------------- FleetTrafficSim
+
+FleetTrafficSim::FleetTrafficSim(const FleetTrafficParams &params,
+                                 std::string stat_prefix,
+                                 ShardStats &stats)
+    : _p(params), _prefix(std::move(stat_prefix)), _stats(stats),
+      _rng(shardSeed(params.seed, 0))
+{
+    fatalIf(_p.emsCores == 0, "fleet sim needs EMS cores");
+    fatalIf(_p.batchMax == 0, "fleet sim needs a batch size");
+    fatalIf(_p.queueCapacity == 0, "fleet sim needs a queue");
+    fatalIf(_p.enclaveSlots == 0, "fleet sim needs enclave slots");
+
+    switch (_p.mode) {
+      case FleetLoadMode::OpenPoisson:
+        _arrivals = std::make_unique<PoissonArrivals>(
+            _p.offeredRatePerSec, shardSeed(_p.seed, 1));
+        break;
+      case FleetLoadMode::OpenMmpp:
+        _arrivals = std::make_unique<MmppArrivals>(
+            _p.mmpp, shardSeed(_p.seed, 1));
+        break;
+      case FleetLoadMode::ClosedLoop:
+        fatalIf(_p.clients == 0, "closed loop needs clients");
+        break;
+    }
+
+    // Modelled OS backing store: grants recycle released frames
+    // first, then mint fresh PPNs — never exhausted, so pool pressure
+    // shows up as grant *latency*, not allocation failure.
+    auto os_alloc = [this](std::size_t n) {
+        std::vector<Addr> out;
+        out.reserve(n);
+        while (n > 0 && !_osFree.empty()) {
+            out.push_back(_osFree.back());
+            _osFree.pop_back();
+            --n;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(_osNextPpn++);
+        return out;
+    };
+    auto os_release = [this](const std::vector<Addr> &pages) {
+        _osFree.insert(_osFree.end(), pages.begin(), pages.end());
+    };
+    _pool = std::make_unique<EnclaveMemoryPool>(
+        os_alloc, os_release, _p.pool, shardSeed(_p.seed, 2));
+
+    _slotPages.resize(_p.enclaveSlots);
+    _freeSlots.reserve(_p.enclaveSlots);
+    for (std::size_t s = _p.enclaveSlots; s > 0; --s)
+        _freeSlots.push_back(static_cast<std::uint32_t>(s - 1));
+    _live.reserve(_p.enclaveSlots);
+
+    // Pre-warmed fleet: the full enclave population is live before
+    // the first measured request, so every load point samples steady
+    // state rather than the create-heavy ramp transient. Creates are
+    // still exercised — the churn mix re-creates what it destroys.
+    for (std::size_t s = 0; s < _p.enclaveSlots; ++s) {
+        std::uint32_t slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _slotPages[slot] = _pool->allocate(_p.pagesPerEnclave);
+        panicIf(_slotPages[slot].size() != _p.pagesPerEnclave,
+                "modelled OS ran out of pages during pre-warm");
+        _live.push_back(slot);
+    }
+    _peakLive = _live.size();
+
+    _serverBusy.assign(_p.emsCores, false);
+    _serverBatch.resize(_p.emsCores);
+    for (unsigned s = 0; s < _p.emsCores; ++s) {
+        _serverDone.push_back(std::make_unique<Event>(
+            "fleet-batch-done-" + std::to_string(s),
+            [this, s] { finishBatch(s); }));
+    }
+}
+
+FleetTrafficSim::~FleetTrafficSim() = default;
+
+void
+FleetTrafficSim::run()
+{
+    if (_p.mode == FleetLoadMode::ClosedLoop) {
+        _clientOutstanding.assign(_p.clients, 0);
+        for (unsigned c = 0; c < _p.clients; ++c) {
+            _clientEv.push_back(std::make_unique<Event>(
+                "fleet-client-" + std::to_string(c),
+                [this, c] { clientIssue(c); }));
+            // Staggered starts keep the client fleet decorrelated.
+            Tick start =
+                _rng.below(_p.thinkTime + _p.thinkJitter + 1);
+            _eq.reschedule(_clientEv[c].get(), start);
+        }
+    } else {
+        _arrivalEv = std::make_unique<Event>(
+            "fleet-arrival", [this] { offerRequest(); });
+        _eq.reschedule(_arrivalEv.get(), _arrivals->next());
+    }
+    _eq.run();
+
+    // Summary telemetry behind the knee curve. Each load point uses
+    // a distinct prefix, so shard merging never double-counts.
+    _stats.scalar(_prefix + ".offered").set(double(_offered));
+    _stats.scalar(_prefix + ".completed").set(double(_completed));
+    _stats.scalar(_prefix + ".rejected").set(double(_rejected));
+    _stats.scalar(_prefix + ".goodput_rps").set(goodputPerSec());
+    _stats.scalar(_prefix + ".peak_live_enclaves")
+        .set(double(_peakLive));
+    _stats.scalar(_prefix + ".peak_queue_depth")
+        .set(double(_peakQueueDepth));
+    _stats.scalar(_prefix + ".peak_in_flight")
+        .set(double(_peakInFlight));
+    _stats.scalar(_prefix + ".pool_os_requests")
+        .set(double(_pool->osRequests()));
+    _stats.scalar(_prefix + ".pool_os_returns")
+        .set(double(_pool->osReturns()));
+    _stats.scalar(_prefix + ".pool_grant_stalls")
+        .set(double(_osGrantStalls));
+}
+
+double
+FleetTrafficSim::goodputPerSec() const
+{
+    Tick end = _eq.now();
+    if (end == 0)
+        return 0;
+    return double(_completed) * double(ticksPerSecond) / double(end);
+}
+
+void
+FleetTrafficSim::offerRequest()
+{
+    if (_issued >= _p.requests)
+        return;
+    ++_issued;
+    admit(makeRequest());
+    if (_issued < _p.requests)
+        _eq.reschedule(_arrivalEv.get(),
+                       _eq.now() + _arrivals->next());
+}
+
+void
+FleetTrafficSim::clientIssue(unsigned client)
+{
+    // The previous round trip (and its think time) has fully
+    // elapsed once this event fires: the client is idle again.
+    if (_clientOutstanding[client]) {
+        _clientOutstanding[client] = 0;
+        --_inFlight;
+    }
+    if (_issued >= _p.requests)
+        return; // budget spent: this client retires
+    ++_issued;
+    Request req = makeRequest();
+    req.client = client;
+    if (admit(std::move(req))) {
+        _clientOutstanding[client] = 1;
+    } else {
+        // Rejection response still pays the transport; the client
+        // thinks, then retries with a fresh request.
+        Tick think = _p.thinkTime + (_p.thinkJitter > 0
+                                         ? _rng.below(_p.thinkJitter + 1)
+                                         : 0);
+        _eq.reschedule(_clientEv[client].get(),
+                       _eq.now() + _p.transportOverhead + think);
+    }
+}
+
+FleetTrafficSim::Request
+FleetTrafficSim::makeRequest()
+{
+    // Op-mix policy, a pure function of fleet state and the RNG:
+    // fill the fleet first (9:1 create-heavy warm-up), then churn
+    // with balanced create/destroy so the live population holds at
+    // the slot count.
+    Request req;
+    req.client = invalidClient;
+    req.slot = 0;
+    if (_live.empty()) {
+        req.op = FleetOp::Create;
+        return req;
+    }
+    bool warming = !_freeSlots.empty() &&
+                   _live.size() < _p.enclaveSlots &&
+                   _peakLive < _p.enclaveSlots;
+    std::uint64_t roll = _rng.below(1000);
+    if (warming && roll < 900) {
+        req.op = FleetOp::Create;
+        return req;
+    }
+    // Steady churn: attest 35%, seal 25%, unseal 25%, create 7.5%,
+    // destroy 7.5%.
+    if (roll < 350) {
+        req.op = FleetOp::Attest;
+    } else if (roll < 600) {
+        req.op = FleetOp::Seal;
+    } else if (roll < 850) {
+        req.op = FleetOp::Unseal;
+    } else if (roll < 925) {
+        req.op = FleetOp::Create;
+    } else {
+        req.op = FleetOp::Destroy;
+    }
+    if (req.op == FleetOp::Create && _freeSlots.empty())
+        req.op = FleetOp::Attest; // fleet full: nothing to create
+    if (req.op != FleetOp::Create)
+        req.slot = _live[_rng.below(_live.size())];
+    return req;
+}
+
+Tick
+FleetTrafficSim::serviceTime(FleetOp op, std::uint32_t slot)
+{
+    EmsCostModel cost(_p.cost);
+    Tick service = 0;
+    switch (op) {
+      case FleetOp::Create: {
+        service =
+            cost.instTime(EmsCostModel::baseInsts(
+                PrimitiveOp::ECreate)) +
+            cost.perPageZeroTime(_p.pagesPerEnclave) +
+            cost.perPageMapTime(_p.pagesPerEnclave);
+        std::uint64_t grants_before = _pool->osRequests();
+        _slotPages[slot] = _pool->allocate(_p.pagesPerEnclave);
+        panicIf(_slotPages[slot].size() != _p.pagesPerEnclave,
+                "modelled OS ran out of pages");
+        if (_pool->osRequests() != grants_before) {
+            // The pool crossed its refill threshold mid-create: the
+            // request eats the OS round trip the pool normally hides.
+            std::size_t granted = _pool->osRequestSizes().back();
+            service += _p.osGrantBase +
+                       _p.osGrantPerPage * Tick(granted);
+            ++_osGrantStalls;
+        }
+        break;
+      }
+      case FleetOp::Attest:
+        service = cost.instTime(
+                      EmsCostModel::baseInsts(PrimitiveOp::EMeas) +
+                      EmsCostModel::baseInsts(PrimitiveOp::EAttest)) +
+                  _p.attestCryptoTime;
+        break;
+      case FleetOp::Seal:
+        service = cost.instTime(
+                      EmsCostModel::baseInsts(PrimitiveOp::EWb)) +
+                  _p.sealCryptoPerPage * Tick(_p.sealPages);
+        break;
+      case FleetOp::Unseal:
+        service = cost.instTime(
+                      EmsCostModel::baseInsts(PrimitiveOp::EAdd)) +
+                  _p.sealCryptoPerPage * Tick(_p.sealPages);
+        break;
+      case FleetOp::Destroy:
+        service =
+            cost.instTime(EmsCostModel::baseInsts(
+                PrimitiveOp::EDestroy)) +
+            cost.perPageZeroTime(_slotPages[slot].size()) +
+            cost.perPageMapTime(_slotPages[slot].size());
+        _pool->release(_slotPages[slot]);
+        _slotPages[slot].clear();
+        break;
+    }
+    // Per-request service variance (EMS cache state, page walk
+    // depth): +/-20% uniform.
+    return service * _rng.between(80, 120) / 100;
+}
+
+bool
+FleetTrafficSim::admit(Request req)
+{
+    ++_offered;
+    _stats.scalar(_prefix + "." + fleetOpName(req.op) + "_offered") +=
+        1;
+    if (_queue.size() >= _p.queueCapacity) {
+        ++_rejected;
+        _stats.scalar(_prefix + "." + fleetOpName(req.op) +
+                      "_rejected") += 1;
+        return false;
+    }
+
+    // Fleet bookkeeping happens only for admitted requests, so a
+    // rejected create never leaks a slot.
+    if (req.op == FleetOp::Create) {
+        req.slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _live.push_back(req.slot);
+        _peakLive = std::max<std::uint64_t>(_peakLive, _live.size());
+    } else if (req.op == FleetOp::Destroy) {
+        auto it = std::find(_live.begin(), _live.end(), req.slot);
+        panicIf(it == _live.end(), "destroy of a dead slot");
+        *it = _live.back();
+        _live.pop_back();
+        _freeSlots.push_back(req.slot);
+    }
+    req.arrival = _eq.now();
+    req.service = serviceTime(req.op, req.slot);
+
+    _queue.push_back(std::move(req));
+    _peakQueueDepth =
+        std::max<std::uint64_t>(_peakQueueDepth, _queue.size());
+    ++_inFlight;
+    _peakInFlight = std::max(_peakInFlight, _inFlight);
+    tryDispatch();
+    return true;
+}
+
+void
+FleetTrafficSim::tryDispatch()
+{
+    for (unsigned s = 0; s < _p.emsCores && !_queue.empty(); ++s) {
+        if (_serverBusy[s])
+            continue;
+        _serverBusy[s] = true;
+        std::vector<Request> &batch = _serverBatch[s];
+        batch.clear();
+
+        // One doorbell/mailbox round trip covers the whole batch;
+        // members complete in order at their cumulative offsets.
+        Tick t = _p.batchOverhead + _pendingMaintenance;
+        _pendingMaintenance = 0;
+        while (!_queue.empty() && batch.size() < _p.batchMax) {
+            Request req = std::move(_queue.front());
+            _queue.pop_front();
+            t += req.service;
+            recordCompletion(req, _eq.now() + t);
+            batch.push_back(std::move(req));
+        }
+        _eq.reschedule(_serverDone[s].get(), _eq.now() + t);
+    }
+}
+
+void
+FleetTrafficSim::finishBatch(unsigned server)
+{
+    _serverBusy[server] = false;
+    if (_p.mode != FleetLoadMode::ClosedLoop)
+        _inFlight -= _serverBatch[server].size();
+    _serverBatch[server].clear();
+
+    // Watermark maintenance between batches: the scheduler's
+    // background duty. Its OS traffic is charged to the *next* batch
+    // on this EMS, never to the requests that already completed.
+    EnclaveMemoryPool::Rebalance moved = _pool->rebalance();
+    if (moved.refilled > 0) {
+        _pendingMaintenance +=
+            _p.osGrantBase + _p.osGrantPerPage * Tick(moved.refilled);
+        _stats.scalar(_prefix + ".rebalance_refills") += 1;
+    }
+    if (moved.returned > 0) {
+        EmsCostModel cost(_p.cost);
+        _pendingMaintenance += cost.perPageMapTime(moved.returned);
+        _stats.scalar(_prefix + ".rebalance_returns") += 1;
+    }
+    tryDispatch();
+}
+
+void
+FleetTrafficSim::recordCompletion(const Request &req, Tick finish)
+{
+    Tick latency = finish + _p.transportOverhead - req.arrival;
+    _stats
+        .distribution(_prefix + "." + fleetOpName(req.op) +
+                      "_latency")
+        .sample(double(latency));
+    ++_completed;
+    if (_p.mode == FleetLoadMode::ClosedLoop && req.client !=
+        invalidClient) {
+        Tick think = _p.thinkTime + (_p.thinkJitter > 0
+                                         ? _rng.below(_p.thinkJitter + 1)
+                                         : 0);
+        _eq.reschedule(_clientEv[req.client].get(),
+                       finish + _p.transportOverhead + think);
+    }
+}
+
+// ------------------------------------------------------ sweep definition
+
+std::vector<FleetScenario>
+fleetSloScenarios(bool smoke, std::uint64_t seed)
+{
+    // The modelled 2-core EMS saturates near ~185k requests/sec for
+    // this op mix, so the Poisson points straddle the knee.
+    std::vector<double> rates;
+    if (smoke)
+        rates = {40'000, 175'000, 225'000};
+    else
+        rates = {40'000, 90'000,  150'000,
+                 175'000, 195'000, 225'000};
+
+    FleetTrafficParams base;
+    base.enclaveSlots = smoke ? 1024 : 4096;
+    base.requests = smoke ? 8'000 : 60'000;
+    base.pagesPerEnclave = 8;
+    base.queueCapacity = 1024;
+    base.batchMax = 8;
+    base.emsCores = 2;
+    base.pool.initialPages = smoke ? 4096 : 16384;
+    base.pool.refillBatch = 4096;
+    base.pool.lowWatermark = 2048;
+    base.pool.highWatermark = smoke ? 16384 : 65536;
+    base.seed = seed;
+
+    std::vector<FleetScenario> out;
+    for (double rate : rates) {
+        FleetScenario s;
+        s.params = base;
+        s.params.mode = FleetLoadMode::OpenPoisson;
+        s.params.offeredRatePerSec = rate;
+        // Each load point gets an independent seed split so its
+        // streams never correlate with a neighbouring point.
+        s.params.seed = shardSeed(seed, out.size());
+        s.name =
+            "poisson_" + std::to_string(std::uint64_t(rate) / 1000) +
+            "k";
+        out.push_back(std::move(s));
+    }
+    {
+        FleetScenario s;
+        s.params = base;
+        s.params.mode = FleetLoadMode::OpenMmpp;
+        s.params.mmpp.quietRatePerSec = 60'000;
+        s.params.mmpp.burstRatePerSec = 600'000;
+        s.params.mmpp.meanQuietSec = 4e-3;
+        s.params.mmpp.meanBurstSec = 1e-3;
+        s.params.seed = shardSeed(seed, out.size());
+        s.name = "mmpp_burst";
+        out.push_back(std::move(s));
+    }
+    {
+        FleetScenario s;
+        s.params = base;
+        s.params.mode = FleetLoadMode::ClosedLoop;
+        s.params.clients = 512;
+        s.params.thinkTime = 4'000'000;
+        s.params.thinkJitter = 4'000'000;
+        s.params.seed = shardSeed(seed, out.size());
+        s.name = "closed_512c";
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace hypertee

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Fleet-scale EMS traffic driver.
+ *
+ * Extends the Figure 6 SLO methodology (single-digit enclave counts,
+ * closed loop only) to the service shape a production EMS must
+ * survive: a front-end request generator — open-loop Poisson,
+ * open-loop bursty (two-state MMPP), or closed-loop with think time —
+ * driving enclave create/attest/seal/unseal/destroy churn across a
+ * pool of thousands of concurrent enclaves.
+ *
+ * The system under test is the EMS scheduler: a bounded admission
+ * queue with per-class rejection accounting, request batching that
+ * amortizes the doorbell/mailbox overhead, and the shared
+ * EnclaveMemoryPool with high/low free-page watermarks
+ * (`EnclaveMemoryPool::rebalance`). Per-request latencies land in
+ * per-operation-class Distributions so p50/p99/p999 vs offered load
+ * (the knee curve), goodput, and rejection rate come out of the
+ * standard `--stats-json` pipeline.
+ *
+ * Everything is deterministic from one seed: every Random stream is
+ * split from FleetTrafficParams::seed, which the bench derives from
+ * the per-shard `shardSeed` — so a load sweep fans out across shards
+ * with byte-identical output for any `--jobs`.
+ */
+
+#ifndef HYPERTEE_WORKLOAD_TRAFFIC_HH
+#define HYPERTEE_WORKLOAD_TRAFFIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ems/cost_model.hh"
+#include "ems/memory_pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/shard.hh"
+#include "sim/types.hh"
+
+namespace hypertee
+{
+
+/** The enclave-management operation classes the fleet churns. */
+enum class FleetOp : std::uint8_t
+{
+    Create = 0,
+    Attest,
+    Seal,
+    Unseal,
+    Destroy,
+};
+
+constexpr std::size_t fleetOpCount = 5;
+
+/** Stable lower-case name used in stat keys and table rows. */
+const char *fleetOpName(FleetOp op);
+
+/**
+ * A deterministic interarrival-time source: one call per request,
+ * reproducible from the construction seed.
+ */
+class InterarrivalProcess
+{
+  public:
+    virtual ~InterarrivalProcess() = default;
+
+    /** Ticks until the next arrival. */
+    virtual Tick next() = 0;
+};
+
+/**
+ * Open-loop Poisson arrivals: exponential interarrivals at a fixed
+ * rate, memoryless and smooth (CV = 1). The textbook open-loop
+ * traffic model every queueing result is quoted against.
+ */
+class PoissonArrivals final : public InterarrivalProcess
+{
+  public:
+    /** @param rate_per_sec offered load, requests per second. */
+    PoissonArrivals(double rate_per_sec, std::uint64_t seed);
+
+    Tick next() override;
+
+    double ratePerSec() const { return _ratePerSec; }
+
+  private:
+    double _ratePerSec;
+    double _meanTicks;
+    Random _rng;
+};
+
+/**
+ * Two-state Markov-modulated Poisson process: a quiet state and a
+ * burst state, each with its own arrival rate, with exponentially
+ * distributed dwell times. Models flash-crowd request traffic; the
+ * interarrival CV exceeds 1, which is what stresses the admission
+ * queue and the pool watermarks.
+ */
+class MmppArrivals final : public InterarrivalProcess
+{
+  public:
+    struct Params
+    {
+        double quietRatePerSec = 20'000;
+        double burstRatePerSec = 200'000;
+        double meanQuietSec = 4e-3;
+        double meanBurstSec = 1e-3;
+    };
+
+    MmppArrivals(const Params &params, std::uint64_t seed);
+
+    Tick next() override;
+
+    /** Time-averaged arrival rate of the modulated process. */
+    double analyticMeanRatePerSec() const;
+
+    /** Analytic mean interarrival time, in ticks. */
+    double analyticMeanInterarrivalTicks() const;
+
+  private:
+    Params _p;
+    Random _rng;
+    bool _burst = false;
+    double _dwellLeftTicks;
+};
+
+/** How the front end offers load to the EMS. */
+enum class FleetLoadMode : std::uint8_t
+{
+    OpenPoisson,
+    OpenMmpp,
+    ClosedLoop,
+};
+
+struct FleetTrafficParams
+{
+    FleetLoadMode mode = FleetLoadMode::OpenPoisson;
+
+    // ---- open-loop front end ----
+    /** Offered load for OpenPoisson, requests per second. */
+    double offeredRatePerSec = 50'000;
+    /** Burst shape for OpenMmpp. */
+    MmppArrivals::Params mmpp;
+
+    // ---- closed-loop front end ----
+    /** Concurrent clients; in-flight requests never exceed this. */
+    unsigned clients = 256;
+    Tick thinkTime = 2'000'000;   ///< 2 us of client-side work
+    Tick thinkJitter = 2'000'000; ///< +U[0, jitter] decorrelation
+
+    /** Total requests the front end offers before stopping. */
+    std::uint64_t requests = 50'000;
+
+    // ---- fleet shape ----
+    /** Enclave slots; live enclaves converge to this population. */
+    std::size_t enclaveSlots = 4096;
+    /** Pages a create draws from the pool (destroy returns them). */
+    std::size_t pagesPerEnclave = 8;
+    /** Pages sealed/unsealed per request. */
+    std::size_t sealPages = 4;
+
+    // ---- EMS scheduler under test ----
+    unsigned emsCores = 2;
+    EmsCostParams cost = emsMediumCost();
+    /** Admission bound: arrivals beyond this depth are rejected. */
+    std::size_t queueCapacity = 1024;
+    /** Requests coalesced into one doorbell/mailbox round trip. */
+    std::size_t batchMax = 8;
+    /** Fixed cost per batch (doorbell + mailbox + dispatch). */
+    Tick batchOverhead = 900'000;
+    /** Gate + response transport added to every round trip. */
+    Tick transportOverhead = 300'000;
+
+    // ---- crypto service terms ----
+    Tick attestCryptoTime = 6'000'000; ///< quote signing on the engine
+    Tick sealCryptoPerPage = 450'000;  ///< AES-GCM per 4 KiB page
+
+    // ---- free-page pool ----
+    EnclaveMemoryPool::Params pool;
+    /** Fixed OS round-trip charged when a refill leaves the EMS. */
+    Tick osGrantBase = 8'000'000;
+    /** Per-page OS cost within a grant (batched fault path). */
+    Tick osGrantPerPage = 60'000;
+
+    /** Root of every internal Random stream (split per consumer). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Event-driven simulation of the EMS management plane under fleet
+ * traffic. Samples per-class latencies, offered/rejected counts and
+ * pool/scheduler telemetry into a caller-owned ShardStats under
+ * `<prefix>.` so independent load points merge cleanly across shards.
+ */
+class FleetTrafficSim
+{
+  public:
+    FleetTrafficSim(const FleetTrafficParams &params,
+                    std::string stat_prefix, ShardStats &stats);
+    ~FleetTrafficSim();
+
+    FleetTrafficSim(const FleetTrafficSim &) = delete;
+    FleetTrafficSim &operator=(const FleetTrafficSim &) = delete;
+
+    /** Run until the request budget is offered and drained. */
+    void run();
+
+    // ---- results (also exported through the ShardStats) ----
+    std::uint64_t offered() const { return _offered; }
+    std::uint64_t completed() const { return _completed; }
+    std::uint64_t rejected() const { return _rejected; }
+    std::uint64_t peakInFlight() const { return _peakInFlight; }
+    std::uint64_t peakQueueDepth() const { return _peakQueueDepth; }
+    std::uint64_t peakLiveEnclaves() const { return _peakLive; }
+    Tick endTime() const { return _eq.now(); }
+    /** Completed requests per simulated second. */
+    double goodputPerSec() const;
+    const EnclaveMemoryPool &pool() const { return *_pool; }
+
+  private:
+    static constexpr std::uint32_t invalidClient = 0xffffffff;
+
+    struct Request
+    {
+        FleetOp op;
+        std::uint32_t slot;   ///< fleet slot the op targets
+        std::uint32_t client; ///< issuing client, or invalidClient
+        Tick arrival;         ///< admission tick
+        Tick service;         ///< EMS-side service time
+    };
+
+    void offerRequest();
+    Request makeRequest();
+    Tick serviceTime(FleetOp op, std::uint32_t slot);
+    /** @return false when the admission queue rejected the request. */
+    bool admit(Request req);
+    void tryDispatch();
+    void finishBatch(unsigned server);
+    void clientIssue(unsigned client);
+    void recordCompletion(const Request &req, Tick finish);
+
+    FleetTrafficParams _p;
+    std::string _prefix;
+    ShardStats &_stats;
+
+    EventQueue _eq;
+    Random _rng; ///< op mix, service variance, think jitter
+    std::unique_ptr<InterarrivalProcess> _arrivals;
+    std::unique_ptr<EnclaveMemoryPool> _pool;
+
+    // Modelled OS backing store for the pool: a free-PPN recycler.
+    std::vector<Addr> _osFree;
+    Addr _osNextPpn = 0x100000;
+
+    // Fleet state: slot -> pages held; free slots; live slot list.
+    std::vector<std::vector<Addr>> _slotPages;
+    std::vector<std::uint32_t> _freeSlots;
+    std::vector<std::uint32_t> _live;
+
+    // Scheduler state.
+    std::deque<Request> _queue;
+    std::vector<bool> _serverBusy;
+    std::vector<std::unique_ptr<Event>> _serverDone;
+    std::vector<std::vector<Request>> _serverBatch;
+    std::unique_ptr<Event> _arrivalEv;
+    std::vector<std::unique_ptr<Event>> _clientEv;
+    /** Closed loop: 1 while the client's request is outstanding. */
+    std::vector<std::uint8_t> _clientOutstanding;
+    /** Maintenance time (watermark refills) owed by the next batch. */
+    Tick _pendingMaintenance = 0;
+
+    std::uint64_t _offered = 0;
+    std::uint64_t _issued = 0;
+    std::uint64_t _completed = 0;
+    std::uint64_t _rejected = 0;
+    std::uint64_t _inFlight = 0;
+    std::uint64_t _peakInFlight = 0;
+    std::uint64_t _peakQueueDepth = 0;
+    std::uint64_t _peakLive = 0;
+    std::uint64_t _osGrantStalls = 0;
+};
+
+/** One sweep point of the fleet SLO bench / golden fixture. */
+struct FleetScenario
+{
+    std::string name; ///< stat prefix and row label
+    FleetTrafficParams params;
+};
+
+/**
+ * The bench_fleet_slo sweep: offered-load points below, at and beyond
+ * the modelled EMS capacity (the knee curve), plus one bursty MMPP
+ * point and one closed-loop point, over a fleet of
+ * `enclaveSlots` >= 1024 concurrent enclaves. The @p smoke variant
+ * trims request counts and sweep width for CI; both variants are
+ * pure functions of @p seed.
+ */
+std::vector<FleetScenario> fleetSloScenarios(bool smoke,
+                                             std::uint64_t seed);
+
+} // namespace hypertee
+
+#endif // HYPERTEE_WORKLOAD_TRAFFIC_HH

@@ -145,5 +145,66 @@ TEST_F(PoolFixture, ExhaustedOsYieldsEmptyAllocation)
     EXPECT_TRUE(pool.allocate(100000).empty());
 }
 
+TEST_F(PoolFixture, RebalanceDisabledIsANoOp)
+{
+    EnclaveMemoryPool pool(allocator(), releaser(), smallParams());
+    std::size_t before = pool.freePages();
+    std::uint64_t calls_before = osCalls;
+    EnclaveMemoryPool::Rebalance moved = pool.rebalance();
+    EXPECT_EQ(moved.refilled, 0u);
+    EXPECT_EQ(moved.returned, 0u);
+    EXPECT_EQ(pool.freePages(), before);
+    EXPECT_EQ(osCalls, calls_before);
+    EXPECT_EQ(pool.osReturns(), 0u);
+}
+
+TEST_F(PoolFixture, RebalanceRefillsUpFromLowWatermark)
+{
+    EnclaveMemoryPool::Params p = smallParams();
+    p.lowWatermark = 48;
+    p.highWatermark = 512;
+    EnclaveMemoryPool pool(allocator(), releaser(), p);
+    // Drain below the low watermark without tripping the demand
+    // threshold path (threshold <= 12 < 48).
+    while (pool.freePages() >= p.lowWatermark - 8)
+        ASSERT_EQ(pool.allocate(1).size(), 1u);
+    std::uint64_t requests_before = pool.osRequests();
+    EnclaveMemoryPool::Rebalance moved = pool.rebalance();
+    EXPECT_GT(moved.refilled, 0u);
+    EXPECT_EQ(moved.returned, 0u);
+    EXPECT_GE(pool.freePages(), p.lowWatermark);
+    EXPECT_EQ(pool.osRequests(), requests_before + 1)
+        << "one batched OS request, not per-page faults";
+}
+
+TEST_F(PoolFixture, RebalanceShedsDownToHighWatermark)
+{
+    EnclaveMemoryPool::Params p = smallParams();
+    p.initialPages = 64;
+    p.lowWatermark = 8;
+    p.highWatermark = 40;
+    EnclaveMemoryPool pool(allocator(), releaser(), p);
+    ASSERT_GT(pool.freePages(), p.highWatermark);
+    EnclaveMemoryPool::Rebalance moved = pool.rebalance();
+    EXPECT_EQ(moved.refilled, 0u);
+    EXPECT_GT(moved.returned, 0u);
+    EXPECT_EQ(pool.freePages(), p.highWatermark);
+    EXPECT_EQ(pool.osReturns(), moved.returned);
+    EXPECT_EQ(returned.size(), moved.returned);
+}
+
+TEST_F(PoolFixture, RebalanceInsideBandMovesNothing)
+{
+    EnclaveMemoryPool::Params p = smallParams();
+    p.lowWatermark = 16;
+    p.highWatermark = 128;
+    EnclaveMemoryPool pool(allocator(), releaser(), p);
+    ASSERT_GE(pool.freePages(), p.lowWatermark);
+    ASSERT_LE(pool.freePages(), p.highWatermark);
+    EnclaveMemoryPool::Rebalance moved = pool.rebalance();
+    EXPECT_EQ(moved.refilled, 0u);
+    EXPECT_EQ(moved.returned, 0u);
+}
+
 } // namespace
 } // namespace hypertee

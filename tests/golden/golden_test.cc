@@ -23,6 +23,7 @@
 #include "bench/bench_util.hh"
 #include "workload/profiles.hh"
 #include "workload/runner.hh"
+#include "workload/traffic.hh"
 
 namespace hypertee
 {
@@ -149,6 +150,45 @@ TEST(Golden, Fig10BitmapOverheads)
         actual[prefix + ".stores"] = bitmap.stores;
     }
     checkGolden("fig10_bitmap.golden", actual);
+}
+
+/**
+ * The exact bench_fleet_slo --smoke sweep (same scenario list, same
+ * seed): every load point's throughput/rejection counters and the
+ * attest-class latency quantiles, pinned to the tick. This is the
+ * fixture behind the fleet traffic driver — if the scheduler model,
+ * the arrival processes or the pool watermark policy change
+ * behaviour, this is where it shows up first.
+ */
+TEST(Golden, FleetSloSmokeSweep)
+{
+    logging_detail::setVerbose(false);
+    GoldenMap actual;
+    for (const FleetScenario &scenario :
+         fleetSloScenarios(/*smoke=*/true, /*seed=*/42)) {
+        ShardStats stats;
+        FleetTrafficSim sim(scenario.params, scenario.name, stats);
+        sim.run();
+
+        const std::string prefix = scenario.name;
+        actual[prefix + ".offered"] = sim.offered();
+        actual[prefix + ".completed"] = sim.completed();
+        actual[prefix + ".rejected"] = sim.rejected();
+        actual[prefix + ".peak_live"] = sim.peakLiveEnclaves();
+        actual[prefix + ".peak_queue"] = sim.peakQueueDepth();
+        actual[prefix + ".end_ticks"] = sim.endTime();
+        actual[prefix + ".pool_os_requests"] = sim.pool().osRequests();
+        actual[prefix + ".pool_os_returns"] = sim.pool().osReturns();
+        Distribution &attest =
+            stats.distribution(prefix + ".attest_latency");
+        actual[prefix + ".attest_p50_ticks"] =
+            std::uint64_t(attest.quantile(0.5));
+        actual[prefix + ".attest_p99_ticks"] =
+            std::uint64_t(attest.quantile(0.99));
+        actual[prefix + ".attest_p999_ticks"] =
+            std::uint64_t(attest.quantile(0.999));
+    }
+    checkGolden("fleet_slo.golden", actual);
 }
 
 } // namespace

@@ -409,7 +409,8 @@ TEST_P(StatShardMerge, MergedQuantilesMatchConcatenatedSamples)
         rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
         return sorted[rank - 1];
     };
-    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+    for (double q :
+         {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0})
         EXPECT_DOUBLE_EQ(merged.quantile(q), nearest_rank(q))
             << "q=" << q << " shards=" << shards;
     EXPECT_DOUBLE_EQ(merged.min(), sorted.front());

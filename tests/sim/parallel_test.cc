@@ -309,8 +309,10 @@ expectJobsInvariant(const std::string &bench)
         const char *tag;
         const char *jobs; ///< also exercises both flag spellings
     };
-    const std::vector<RunSpec> runs = {
-        {"j1", "--jobs=1"}, {"j4", "--jobs 4"}, {"j4b", "--jobs=4"}};
+    const std::vector<RunSpec> runs = {{"j1", "--jobs=1"},
+                                       {"j4", "--jobs 4"},
+                                       {"j4b", "--jobs=4"},
+                                       {"j8", "--jobs=8"}};
 
     std::vector<std::string> stdouts, jsons;
     for (const RunSpec &run : runs) {
@@ -325,8 +327,10 @@ expectJobsInvariant(const std::string &bench)
     }
     EXPECT_EQ(stdouts[0], stdouts[1]) << bench << " stdout j1 vs j4";
     EXPECT_EQ(stdouts[1], stdouts[2]) << bench << " stdout j4 vs j4";
+    EXPECT_EQ(stdouts[0], stdouts[3]) << bench << " stdout j1 vs j8";
     EXPECT_EQ(jsons[0], jsons[1]) << bench << " json j1 vs j4";
     EXPECT_EQ(jsons[1], jsons[2]) << bench << " json j4 vs j4";
+    EXPECT_EQ(jsons[0], jsons[3]) << bench << " json j1 vs j8";
     EXPECT_FALSE(jsons[0].empty());
 }
 
@@ -350,6 +354,26 @@ TEST(BenchDeterminism, Fig10Bitmap)
 TEST(BenchDeterminism, Fig12Comm)
 {
     expectJobsInvariant("bench_fig12_comm");
+}
+
+TEST(BenchDeterminism, Fig8bMemstream)
+{
+    expectJobsInvariant("bench_fig8b_memstream");
+}
+
+TEST(BenchDeterminism, Fig9WolfsslMm)
+{
+    expectJobsInvariant("bench_fig9_wolfssl_mm");
+}
+
+TEST(BenchDeterminism, Fig11TlbFlush)
+{
+    expectJobsInvariant("bench_fig11_tlbflush");
+}
+
+TEST(BenchDeterminism, FleetSlo)
+{
+    expectJobsInvariant("bench_fleet_slo");
 }
 
 } // namespace

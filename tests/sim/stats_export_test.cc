@@ -63,6 +63,9 @@ TEST(StatGroupJson, RoundTripsThroughValidator)
     EXPECT_NE(json.find("90000"), std::string::npos);
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
     EXPECT_NE(json.find("99000"), std::string::npos);
+    // With only 100 samples the p999 collapses to the max (100000).
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+    EXPECT_NE(json.find("100000"), std::string::npos);
     EXPECT_NE(json.find("\"min\""), std::string::npos);
     EXPECT_NE(json.find("\"max\""), std::string::npos);
 }
@@ -80,6 +83,7 @@ TEST(StatGroupJson, EmptyDistributionOmitsQuantiles)
     EXPECT_NE(json.find("\"count\""), std::string::npos);
     EXPECT_EQ(json.find("\"p50\""), std::string::npos);
     EXPECT_EQ(json.find("\"p99\""), std::string::npos);
+    EXPECT_EQ(json.find("\"p999\""), std::string::npos);
 }
 
 TEST(StatGroupJson, EmptyGroupIsStillValid)

@@ -94,6 +94,62 @@ TEST(Distribution, QuantileMedianEvenCount)
     EXPECT_DOUBLE_EQ(d.quantile(0.75), 30.0);
 }
 
+TEST(Distribution, P999SmallSampleCountsCollapseToMax)
+{
+    // Nearest-rank: for n < 1000, ceil(0.999 * n) == n, so the p999
+    // must be exactly the maximum — never an interpolated or
+    // out-of-range value.
+    for (int n : {1, 2, 10, 99, 100, 500, 999}) {
+        Distribution d;
+        for (int i = 1; i <= n; ++i)
+            d.sample(i);
+        EXPECT_DOUBLE_EQ(d.quantile(0.999), double(n))
+            << "n=" << n;
+        EXPECT_DOUBLE_EQ(d.quantile(0.999), d.quantile(1.0))
+            << "n=" << n;
+    }
+}
+
+TEST(Distribution, P999ExactAtOneThousandSamples)
+{
+    // n = 1000 is the first count where the p999 separates from the
+    // max: ceil(0.999 * 1000) = 999 (and the epsilon guard must not
+    // let representation error push it to rank 1000).
+    Distribution d;
+    for (int i = 1; i <= 1000; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.quantile(0.999), 999.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 1000.0);
+
+    // One more sample: ceil(0.999 * 1001) = 1000, still below max.
+    d.sample(1001);
+    EXPECT_DOUBLE_EQ(d.quantile(0.999), 1000.0);
+}
+
+TEST(Distribution, P999OfMergedShardsMatchesGlobalSort)
+{
+    // Shard merging concatenates sample sequences; the merged p999
+    // must equal the nearest-rank p999 of the union, including when
+    // every extreme value lives in one shard.
+    Distribution shard0, shard1, shard2;
+    for (int i = 1; i <= 600; ++i)
+        shard0.sample(i);
+    for (int i = 601; i <= 1200; ++i)
+        shard1.sample(i);
+    // The tail outliers all land in the last shard.
+    for (int i = 0; i < 300; ++i)
+        shard2.sample(1'000'000 + i);
+
+    Distribution merged;
+    merged.merge(shard0);
+    merged.merge(shard1);
+    merged.merge(shard2);
+    ASSERT_EQ(merged.count(), 1500u);
+    // ceil(0.999 * 1500) = 1499 -> second-from-last outlier.
+    EXPECT_DOUBLE_EQ(merged.quantile(0.999), 1'000'298.0);
+    EXPECT_DOUBLE_EQ(merged.quantile(1.0), 1'000'299.0);
+}
+
 TEST(Distribution, FractionAtOrBelow)
 {
     Distribution d;
