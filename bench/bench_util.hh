@@ -275,6 +275,9 @@ writePerfJson(const BenchOptions &opts)
     std::uint64_t events = perf::totalEventsFired();
     double rate =
         wall > 0 ? static_cast<double>(events) / wall : 0.0;
+    std::uint64_t insts = perf::totalInstsRetired();
+    double inst_rate =
+        wall > 0 ? static_cast<double>(insts) / wall : 0.0;
     std::ostringstream body;
     {
         JsonWriter w(body);
@@ -286,6 +289,8 @@ writePerfJson(const BenchOptions &opts)
         w.member("events_fired", events);
         w.member("wall_seconds", wall);
         w.member("events_per_sec", rate);
+        w.member("instructions", insts);
+        w.member("insts_per_sec", inst_rate);
         w.member("peak_rss_kb", perf::peakRssKb());
         w.member("deterministic_events", opts.deterministicEvents);
         w.endObject();

@@ -5,6 +5,7 @@
  *
  *   perf_baseline --out=BENCH_2026-08-09.json --date=2026-08-09
  *                 [--smoke] [--bench-dir=DIR] [--only=a,b,c]
+ *                 [--repeat=N]
  *
  * Each bench binary in --bench-dir (default: the directory holding
  * this executable) is fork/exec'd with `--perf-json=<tmp>` (plus
@@ -17,6 +18,12 @@
  *
  * Benches run sequentially so they never contend for cores and the
  * events/sec figures stay comparable run to run.
+ *
+ * --repeat=N runs each bench N times and keeps the repeat with the
+ * smallest self-measured wall time. Workloads are deterministic, so
+ * the event and instruction counts are identical across repeats and
+ * best-of-N discards only scheduler/cache noise — short smoke runs
+ * otherwise jitter well past the regression band's 10% tolerance.
  */
 
 #include <algorithm>
@@ -151,6 +158,13 @@ recordFor(const std::string &name, const std::string &perf_path,
                 v->numberAt("events_fired", 0));
             r.wallSeconds = v->numberAt("wall_seconds", 0);
             r.eventsPerSec = v->numberAt("events_per_sec", 0);
+            r.instructions = static_cast<std::uint64_t>(
+                v->numberAt("instructions", 0));
+            r.instsPerSec = v->numberAt("insts_per_sec", 0);
+            // Band eligibility is decided (and recorded) at baseline
+            // time so the committed file states which benches the
+            // perf gate actually covers.
+            r.gated = gatedByFloors(r.eventsFired, r.instructions);
             r.peakRssKb = static_cast<std::uint64_t>(
                 v->numberAt("peak_rss_kb", 0));
             if (const JsonValue *d = v->find("deterministic_events"))
@@ -176,7 +190,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s --out=FILE [--date=YYYY-MM-DD] [--smoke] "
-                 "[--bench-dir=DIR] [--only=name,name,...]\n",
+                 "[--bench-dir=DIR] [--only=name,name,...] "
+                 "[--repeat=N]\n",
                  argv0);
 }
 
@@ -185,9 +200,10 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string out_path, date = "undated", only_csv;
+    std::string out_path, date = "undated", only_csv, repeat_str;
     std::string bench_dir = dirnameOf(argv[0]);
     bool smoke = false;
+    int repeat = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -201,6 +217,12 @@ main(int argc, char **argv)
         };
         if (arg == "--smoke") {
             smoke = true;
+        } else if (value_of("--repeat", repeat_str)) {
+            repeat = std::atoi(repeat_str.c_str());
+            if (repeat < 1) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (value_of("--out", out_path) ||
                    value_of("--date", date) ||
                    value_of("--bench-dir", bench_dir) ||
@@ -250,13 +272,25 @@ main(int argc, char **argv)
 
         std::fprintf(stderr, "[perf_baseline] %s ...\n",
                      name.c_str());
-        perf::WallTimer timer;
-        int exit_code = runBench(bench_dir + "/" + name, args);
-        double harness_wall = timer.elapsedSeconds();
-
-        BenchRecord r =
-            recordFor(name, perf_path, exit_code, harness_wall);
-        unlink(perf_path.c_str());
+        // Best-of-N: keep the repeat with the smallest bench-side
+        // wall time. A failed repeat wins so failures never hide
+        // behind a clean retry.
+        BenchRecord r;
+        for (int rep = 0; rep < repeat; ++rep) {
+            perf::WallTimer timer;
+            int exit_code =
+                runBench(bench_dir + "/" + name, args);
+            double harness_wall = timer.elapsedSeconds();
+            BenchRecord cand = recordFor(name, perf_path,
+                                         exit_code, harness_wall);
+            unlink(perf_path.c_str());
+            if (cand.exitCode != 0) {
+                r = std::move(cand);
+                break;
+            }
+            if (rep == 0 || cand.wallSeconds < r.wallSeconds)
+                r = std::move(cand);
+        }
         if (r.exitCode != 0) {
             any_failed = true;
             std::fprintf(stderr, "[perf_baseline] %s FAILED (%d)\n",
@@ -264,10 +298,13 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "[perf_baseline] %s ok: %.2fs, "
-                         "%llu events\n",
+                         "%llu events, %llu insts%s\n",
                          name.c_str(), r.wallSeconds,
                          static_cast<unsigned long long>(
-                             r.eventsFired));
+                             r.eventsFired),
+                         static_cast<unsigned long long>(
+                             r.instructions),
+                         r.gated ? "" : " (not gated)");
         }
         baseline.benches.push_back(std::move(r));
     }

@@ -7,35 +7,23 @@ namespace hypertee
 
 // ---------------------------------------------------------------- gshare
 
+namespace
+{
+
+/** size-1 when @p n is a power of two, else 0 (modulo fallback). */
+std::uint64_t
+pow2Mask(std::size_t n)
+{
+    return (n > 0 && (n & (n - 1)) == 0) ? (n - 1) : 0;
+}
+
+} // namespace
+
 GshareBp::GshareBp(std::size_t entries, int history_bits)
-    : _counters(entries, 2), _historyMask((1ULL << history_bits) - 1)
+    : _counters(entries, 2), _historyMask((1ULL << history_bits) - 1),
+      _indexMask(pow2Mask(entries))
 {
     fatalIf(entries == 0, "gshare needs entries");
-}
-
-std::size_t
-GshareBp::index(std::uint64_t pc) const
-{
-    return ((pc >> 2) ^ (_history & _historyMask)) % _counters.size();
-}
-
-bool
-GshareBp::predict(std::uint64_t pc)
-{
-    _lastPrediction = _counters[index(pc)] >= 2;
-    return _lastPrediction;
-}
-
-void
-GshareBp::update(std::uint64_t pc, bool taken)
-{
-    std::uint8_t &ctr = _counters[index(pc)];
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    record(_lastPrediction == taken);
-    _history = (_history << 1) | (taken ? 1 : 0);
 }
 
 void
@@ -57,10 +45,18 @@ TageBp::TageBp(std::size_t entries)
                                                   16);
     int hist = 4;
     for (int t = 0; t < numTables; ++t) {
-        _tables.emplace_back(per_table);
         _historyLen[t] = hist;
         hist *= 3; // geometric series: 4, 12, 36, 108
     }
+    _perTable = per_table;
+    _tagged.assign(numTables * per_table, TaggedEntry{});
+    _bimodalMask = pow2Mask(_bimodal.size());
+    _taggedMask = pow2Mask(per_table);
+    // refreshFolds() hardcodes the closed forms of foldedHistory()
+    // for exactly this length series; keep them in lockstep.
+    fatalIf(_historyLen[0] != 4 || _historyLen[1] != 12 ||
+                _historyLen[2] != 36 || _historyLen[3] != 108,
+            "TAGE fold closed forms assume the 4/12/36/108 series");
 }
 
 std::uint64_t
@@ -82,92 +78,11 @@ TageBp::foldedHistory(int bits) const
     return h;
 }
 
-std::size_t
-TageBp::tableIndex(int table, std::uint64_t pc) const
-{
-    std::uint64_t h = foldedHistory(_historyLen[table]);
-    return ((pc >> 2) ^ h ^ (h << 3) ^ table) % _tables[table].size();
-}
-
-std::uint16_t
-TageBp::tableTag(int table, std::uint64_t pc) const
-{
-    std::uint64_t h = foldedHistory(_historyLen[table]);
-    return static_cast<std::uint16_t>(((pc >> 5) ^ (h >> 2) ^
-                                       (table * 0x9e37)) &
-                                      0x3ff);
-}
-
-bool
-TageBp::predict(std::uint64_t pc)
-{
-    _providerTable = -1;
-    _altPred = _bimodal[(pc >> 2) % _bimodal.size()] >= 2;
-    bool pred = _altPred;
-
-    for (int t = numTables - 1; t >= 0; --t) {
-        std::size_t idx = tableIndex(t, pc);
-        const TaggedEntry &e = _tables[t][idx];
-        if (e.tag == tableTag(t, pc)) {
-            _providerTable = t;
-            _providerIndex = idx;
-            pred = e.counter >= 0;
-            break;
-        }
-    }
-    _providerPred = pred;
-    return pred;
-}
-
-void
-TageBp::update(std::uint64_t pc, bool taken)
-{
-    record(_providerPred == taken);
-
-    // Base table always trains.
-    std::uint8_t &base = _bimodal[(pc >> 2) % _bimodal.size()];
-    if (taken && base < 3)
-        ++base;
-    else if (!taken && base > 0)
-        --base;
-
-    if (_providerTable >= 0) {
-        TaggedEntry &e = _tables[_providerTable][_providerIndex];
-        if (taken && e.counter < 3)
-            ++e.counter;
-        else if (!taken && e.counter > -4)
-            --e.counter;
-        if (_providerPred == taken && _providerPred != _altPred) {
-            if (e.useful < 3)
-                ++e.useful;
-        }
-    }
-
-    // On a mispredict, allocate into a longer-history table.
-    if (_providerPred != taken) {
-        int start = _providerTable + 1;
-        for (int t = start; t < numTables; ++t) {
-            std::size_t idx = tableIndex(t, pc);
-            TaggedEntry &e = _tables[t][idx];
-            if (e.useful == 0) {
-                e.tag = tableTag(t, pc);
-                e.counter = taken ? 0 : -1;
-                break;
-            }
-            if (e.useful > 0)
-                --e.useful; // age out
-        }
-    }
-
-    _history = (_history << 1) | (taken ? 1 : 0);
-}
-
 void
 TageBp::reset()
 {
     std::fill(_bimodal.begin(), _bimodal.end(), 2);
-    for (auto &table : _tables)
-        std::fill(table.begin(), table.end(), TaggedEntry{});
+    std::fill(_tagged.begin(), _tagged.end(), TaggedEntry{});
     _history = 0;
     _providerTable = -1;
 }

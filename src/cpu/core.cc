@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/perf.hh"
+#include "workload/synthetic.hh"
 
 namespace hypertee
 {
@@ -23,6 +25,22 @@ Core::Core(const CoreParams &params, const EnclaveBitmap *bitmap)
                                  _hierarchy.get(), _p.stlbEntries,
                                  _p.stlbWays);
     _bp = makePredictor(_p.bpKind, _p.bpEntries);
+
+    // Precompute the per-OpType issue cost once. Each table entry is
+    // the exact double issueCost() returns, so the fast engine's
+    // `cycles += _issueCost[type]` replays the reference accumulation
+    // bit-for-bit (FP addition is order-sensitive; the order is the
+    // program order in both engines).
+    _issueCost[static_cast<std::size_t>(OpType::IntAlu)] =
+        issueCost(OpType::IntAlu);
+    _issueCost[static_cast<std::size_t>(OpType::FpAlu)] =
+        issueCost(OpType::FpAlu);
+    _issueCost[static_cast<std::size_t>(OpType::Load)] =
+        issueCost(OpType::Load);
+    _issueCost[static_cast<std::size_t>(OpType::Store)] =
+        issueCost(OpType::Store);
+    _issueCost[static_cast<std::size_t>(OpType::Branch)] =
+        issueCost(OpType::Branch);
 }
 
 void
@@ -48,8 +66,207 @@ Core::issueCost(OpType type) const
     return 1.0;
 }
 
+TranslateResult
+Core::handleFault(Addr va, bool write, TranslateResult tr,
+                  RunStats &stats, double &cycles)
+{
+    if (!_faultHandler) {
+        // The reference retry loop with no handler charges a
+        // default FaultOutcome: toCycles(0) == 0 cycles, then breaks
+        // on !resolved. Counting the fault and dropping the access is
+        // therefore exactly equivalent — and skips a translate-sized
+        // chunk of work per unresolvable fault.
+        ++stats.faults;
+        return tr;
+    }
+    int attempts = 0;
+    while (tr.fault != MemFault::None && attempts < 2) {
+        ++stats.faults;
+        FaultOutcome outcome = _faultHandler(va, tr.fault, write);
+        cycles += static_cast<double>(_clock.toCycles(outcome.latency));
+        if (!outcome.resolved)
+            break;
+        ++attempts;
+        tr = _mmu->translate(va, write, false);
+    }
+    return tr;
+}
+
+// htlint: hot-loop
+template <typename Bp>
+RunStats
+Core::runEngine(InstStream &stream, std::uint64_t max_insts, Bp &bp)
+{
+    RunStats stats;
+    double cycles = 0.0;
+    const Tick l1_hit = _clock.toTicks(4);
+    const double overlap = _p.outOfOrder ? _p.memOverlap : 0.0;
+    const double keep = 1.0 - overlap;
+
+    MicroOp block[blockSize];
+    for (;;) {
+        // Never fetch past the budget: chunked callers (quantum
+        // loops) resume the same stream, so an op generated here but
+        // not executed would be lost.
+        std::uint64_t remaining = max_insts - stats.instructions;
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(blockSize, remaining));
+        std::size_t n = stream.fill(block, want);
+        if (n == 0)
+            break;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const MicroOp &op = block[i];
+            ++stats.instructions;
+            cycles += _issueCost[static_cast<std::size_t>(op.type)];
+
+            if (_pendingStall > 0) {
+                cycles +=
+                    static_cast<double>(_clock.toCycles(_pendingStall));
+                _pendingStall = 0;
+            }
+
+            switch (op.type) {
+              case OpType::Branch: {
+                ++stats.branches;
+                bool pred;
+                // Concrete predictors expose the fused per-branch call
+                // (identical state changes to predict-then-update); the
+                // virtual fallback keeps the two-call sequence.
+                if constexpr (requires { bp.predictAndUpdate(op.pc,
+                                                             op.taken); }) {
+                    pred = bp.predictAndUpdate(op.pc, op.taken);
+                } else {
+                    pred = bp.predict(op.pc);
+                    bp.update(op.pc, op.taken);
+                }
+                if (pred != op.taken) {
+                    ++stats.mispredicts;
+                    cycles += _p.mispredictPenalty;
+                }
+                break;
+              }
+              // Load and Store are separate cases (instead of one
+              // merged case re-testing op.type) so `write` reaches
+              // memAccess as a constant: the 13-vs-28 store/load
+              // split otherwise cost a mispredicting branch per op.
+              case OpType::Load:
+                ++stats.loads;
+                memAccess<false>(op.addr, l1_hit, keep, stats, cycles);
+                break;
+              case OpType::Store:
+                ++stats.stores;
+                memAccess<true>(op.addr, l1_hit, keep, stats, cycles);
+                break;
+              case OpType::IntAlu:
+              case OpType::FpAlu:
+                break;
+            }
+        }
+
+        if (stats.instructions >= max_insts)
+            break;
+    }
+
+    stats.cycles = static_cast<std::uint64_t>(std::ceil(cycles));
+    stats.ticks = _clock.toTicks(stats.cycles);
+    perf::noteInstsRetired(stats.instructions);
+    return stats;
+}
+
+// htlint: hot-loop
+template <typename Bp>
+RunStats
+Core::runFused(SyntheticWorkload &stream, std::uint64_t max_insts, Bp &bp)
+{
+    RunStats stats;
+    double cycles = 0.0;
+    const Tick l1_hit = _clock.toTicks(4);
+    const double overlap = _p.outOfOrder ? _p.memOverlap : 0.0;
+    const double keep = 1.0 - overlap;
+
+    // stream.next() binds statically (SyntheticWorkload is final), so
+    // generation inlines into this loop and op.type is a value the
+    // host already branched on inside emit() — the switch below
+    // folds into that cascade instead of re-dispatching cold.
+    MicroOp op;
+    while (stats.instructions < max_insts && stream.next(op)) {
+        ++stats.instructions;
+        cycles += _issueCost[static_cast<std::size_t>(op.type)];
+
+        if (_pendingStall > 0) {
+            cycles += static_cast<double>(_clock.toCycles(_pendingStall));
+            _pendingStall = 0;
+        }
+
+        switch (op.type) {
+          case OpType::Branch: {
+            ++stats.branches;
+            bool pred;
+            // Concrete predictors expose the fused per-branch call
+            // (identical state changes to predict-then-update); the
+            // virtual fallback keeps the two-call sequence.
+            if constexpr (requires { bp.predictAndUpdate(op.pc,
+                                                         op.taken); }) {
+                pred = bp.predictAndUpdate(op.pc, op.taken);
+            } else {
+                pred = bp.predict(op.pc);
+                bp.update(op.pc, op.taken);
+            }
+            if (pred != op.taken) {
+                ++stats.mispredicts;
+                cycles += _p.mispredictPenalty;
+            }
+            break;
+          }
+          // Separate Load/Store cases: `write` reaches memAccess as
+          // a constant (see runEngine).
+          case OpType::Load:
+            ++stats.loads;
+            memAccess<false>(op.addr, l1_hit, keep, stats, cycles);
+            break;
+          case OpType::Store:
+            ++stats.stores;
+            memAccess<true>(op.addr, l1_hit, keep, stats, cycles);
+            break;
+          case OpType::IntAlu:
+          case OpType::FpAlu:
+            break;
+        }
+    }
+
+    stats.cycles = static_cast<std::uint64_t>(std::ceil(cycles));
+    stats.ticks = _clock.toTicks(stats.cycles);
+    perf::noteInstsRetired(stats.instructions);
+    return stats;
+}
+
+// htlint: hot-loop
 RunStats
 Core::run(InstStream &stream, std::uint64_t max_insts)
+{
+    // Select the engine for the concrete stream and predictor once
+    // per run; inside the loop generation (synthetic streams) and
+    // predict/update are then direct (devirtualized) calls. Unknown
+    // stream types use the block-batched fill() engine; unknown
+    // predictor types fall back to virtual dispatch with the same
+    // timing behavior.
+    if (auto *syn = dynamic_cast<SyntheticWorkload *>(&stream)) {
+        if (auto *gshare = dynamic_cast<GshareBp *>(_bp.get()))
+            return runFused(*syn, max_insts, *gshare);
+        if (auto *tage = dynamic_cast<TageBp *>(_bp.get()))
+            return runFused(*syn, max_insts, *tage);
+        return runFused(*syn, max_insts, *_bp);
+    }
+    if (auto *gshare = dynamic_cast<GshareBp *>(_bp.get()))
+        return runEngine(stream, max_insts, *gshare);
+    if (auto *tage = dynamic_cast<TageBp *>(_bp.get()))
+        return runEngine(stream, max_insts, *tage);
+    return runEngine(stream, max_insts, *_bp);
+}
+
+RunStats
+Core::runReference(InstStream &stream, std::uint64_t max_insts)
 {
     RunStats stats;
     double cycles = 0.0;
@@ -126,6 +343,7 @@ Core::run(InstStream &stream, std::uint64_t max_insts)
 
     stats.cycles = static_cast<std::uint64_t>(std::ceil(cycles));
     stats.ticks = _clock.toTicks(stats.cycles);
+    perf::noteInstsRetired(stats.instructions);
     return stats;
 }
 

@@ -28,6 +28,8 @@
 namespace hypertee
 {
 
+class SyntheticWorkload;
+
 /** Aggregate results of a run() call. */
 struct RunStats
 {
@@ -93,14 +95,126 @@ class Core
     /**
      * Execute up to @p max_insts from @p stream.
      * Unresolved faults abort the op (counted in RunStats::faults).
+     *
+     * This is the block-batched fast engine: ops are fetched in
+     * blocks of up to blockSize via InstStream::fill (amortizing the
+     * per-op virtual dispatch), the branch predictor is devirtualized
+     * once per run, and cycle accounting uses the precomputed
+     * per-OpType cost table. Produces results bit-identical to
+     * runReference() — the differential test pins that equivalence.
      */
     RunStats run(InstStream &stream, std::uint64_t max_insts = ~0ULL);
+
+    /**
+     * Reference scalar implementation: one virtual next() per op,
+     * per-op issueCost() calls, virtual predictor dispatch. Kept (and
+     * tested against run()) as the executable specification of the
+     * timing model; not for use on hot paths.
+     */
+    RunStats runReference(InstStream &stream,
+                          std::uint64_t max_insts = ~0ULL);
 
     /** Charge an externally imposed stall (primitive round trips). */
     void chargeStall(Tick t) { _pendingStall += t; }
 
+    /** Ops fetched per InstStream::fill call by the fast engine. */
+    static constexpr std::size_t blockSize = 256;
+
   private:
     double issueCost(OpType type) const;
+
+    /**
+     * The fast engine, instantiated per concrete predictor type so
+     * predict/update devirtualize (GshareBp/TageBp are final).
+     */
+    template <typename Bp>
+    RunStats runEngine(InstStream &stream, std::uint64_t max_insts,
+                       Bp &bp);
+
+    /**
+     * Generation-fused engine for the dominant stream type: with
+     * SyntheticWorkload::next() statically bound (the class is final
+     * and next/emit are header-inline), emit()'s mix cascade becomes
+     * the execution dispatch — one data-dependent host branch per op
+     * where the block engine pays the cascade *and* a far-separated
+     * (hence unpredicted) execute switch. Charging code is identical
+     * to runEngine's, so results stay bit-for-bit the same.
+     */
+    template <typename Bp>
+    RunStats runFused(SyntheticWorkload &stream, std::uint64_t max_insts,
+                      Bp &bp);
+
+    /**
+     * One load/store: translate, fault handling, hierarchy access,
+     * stall accounting. Shared verbatim by both fast engines. Write
+     * is a template constant so each switch arm compiles a straight
+     * path with no per-op load-vs-store re-test (that re-test was a
+     * mispredicting branch: the split is data-dependent).
+     */
+    template <bool Write>
+    void
+    memAccess(Addr addr, Tick l1_hit, double keep, RunStats &stats,
+              double &cycles)
+    {
+        // TLB-hit fast path, inlined from Mmu::translate: a hit with
+        // valid permissions yields fault == None, tlbHit == true and
+        // latency == 0, so the TranslateResult assembly and the
+        // fault/tlbMiss/latency tests on it all fold away. The lookup
+        // itself (LRU stamp + hit/miss counters) is the same one
+        // translate() performs.
+        Tick mem_lat;
+        const TlbEntry *entry = _mmu->tlb().lookup(addr);
+        if (entry && permsAllow(entry->perms, Write, false)) {
+            Addr pa =
+                (entry->ppn << pageShift) | (addr & (pageSize - 1));
+            mem_lat = _hierarchy->access(pa, Write, entry->keyId);
+        } else {
+            TranslateResult tr;
+            if (entry) {
+                // Hit with bad permissions: translate() returns
+                // exactly this result.
+                tr.fault = MemFault::PermissionFault;
+                tr.tlbHit = true;
+            } else {
+                tr = _mmu->translateMissed(addr, Write, false);
+            }
+            if (tr.fault != MemFault::None) {
+                tr = handleFault(addr, Write, tr, stats, cycles);
+                if (tr.fault != MemFault::None)
+                    return; // access dropped
+            }
+
+            if (!tr.tlbHit)
+                ++stats.tlbMisses;
+
+            mem_lat = _hierarchy->access(tr.pa, Write, tr.keyId);
+            // Translation is on the critical path of the access: a
+            // PTW (and its bitmap retrieval) cannot be hidden by the
+            // window, the dependent access waits for it. Skipping the
+            // += when the term is exactly 0.0 leaves the accumulator
+            // bits untouched (x + 0.0 == x).
+            if (tr.latency != 0)
+                cycles +=
+                    static_cast<double>(_clock.toCycles(tr.latency));
+        }
+        // The pipelined L1 hit is already covered by issue cost;
+        // anything beyond it is a stall the window may hide.
+        if (mem_lat > l1_hit) {
+            double stall_cycles =
+                static_cast<double>(_clock.toCycles(mem_lat - l1_hit));
+            cycles += stall_cycles * keep;
+        }
+    }
+
+    /**
+     * Cold path of a faulting access. Mirrors the reference retry
+     * loop; returns the (possibly resolved) translation. When no
+     * handler is installed the fault is simply counted — the
+     * reference loop charges toCycles(0) == 0 cycles and breaks, so
+     * skipping it entirely is provably identical.
+     */
+    TranslateResult handleFault(Addr va, bool write, TranslateResult tr,
+                                RunStats &stats, double &cycles);
 
     CoreParams _p;
     ClockDomain _clock;
@@ -109,6 +223,12 @@ class Core
     std::unique_ptr<BranchPredictor> _bp;
     FaultHandler _faultHandler;
     Tick _pendingStall = 0;
+    /**
+     * issueCost(OpType) precomputed per type at construction. Each
+     * entry holds the identical double the switch-and-divide form
+     * produces, so accumulation order and rounding are unchanged.
+     */
+    double _issueCost[5] = {1.0, 1.0, 1.0, 1.0, 1.0};
 };
 
 } // namespace hypertee

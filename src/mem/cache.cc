@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hypertee
@@ -29,103 +31,40 @@ Cache::Cache(std::size_t size_bytes, std::size_t ways,
             "cache size must divide into ways*linesize");
     _sets = size_bytes / (ways * line_bytes);
     _lineShiftBits = log2Exact(line_bytes);
-    _lines.resize(_sets * _ways);
-}
-
-std::size_t
-Cache::setFor(Addr addr) const
-{
-    return (addr >> _lineShiftBits) % _sets;
-}
-
-Addr
-Cache::tagFor(Addr addr) const
-{
-    return (addr >> _lineShiftBits) / _sets;
-}
-
-Cache::Line *
-Cache::find(Addr addr)
-{
-    std::size_t set = setFor(addr);
-    Addr tag = tagFor(addr);
-    for (std::size_t w = 0; w < _ways; ++w) {
-        Line &l = _lines[set * _ways + w];
-        if (l.valid && l.tag == tag)
-            return &l;
+    if (_sets > 0 && (_sets & (_sets - 1)) == 0) {
+        _setsPow2 = true;
+        _setShiftBits = log2Exact(_sets);
     }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::find(Addr addr) const
-{
-    return const_cast<Cache *>(this)->find(addr);
-}
-
-CacheAccessResult
-Cache::access(Addr addr, bool write)
-{
-    CacheAccessResult res;
-    Line *line = find(addr);
-    if (line) {
-        ++_hits;
-        res.hit = true;
-        line->lruStamp = ++_stamp;
-        line->dirty |= write;
-        return res;
-    }
-
-    ++_misses;
-    std::size_t set = setFor(addr);
-    Line *victim = &_lines[set * _ways];
-    for (std::size_t w = 0; w < _ways; ++w) {
-        Line &l = _lines[set * _ways + w];
-        if (!l.valid) {
-            victim = &l;
-            break;
-        }
-        if (l.lruStamp < victim->lruStamp)
-            victim = &l;
-    }
-    if (victim->valid && victim->dirty) {
-        res.writebackNeeded = true;
-        res.writebackAddr =
-            ((victim->tag * _sets) + set) << _lineShiftBits;
-        ++_writebacks;
-    }
-    victim->valid = true;
-    victim->dirty = write;
-    victim->tag = tagFor(addr);
-    victim->lruStamp = ++_stamp;
-    return res;
+    _tags.assign(_sets * _ways, 0);
+    _stamps.assign(_sets * _ways, 0);
+    _valid.assign(_sets * _ways, 0);
+    _dirty.assign(_sets * _ways, 0);
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    return find(addr) != nullptr;
+    return findWay(setFor(addr) * _ways, tagFor(addr)) != _ways;
 }
 
 bool
 Cache::invalidateLine(Addr addr)
 {
-    Line *line = find(addr);
-    if (!line)
+    std::size_t b = setFor(addr) * _ways;
+    std::size_t w = findWay(b, tagFor(addr));
+    if (w == _ways)
         return false;
-    bool dirty = line->dirty;
-    line->valid = false;
-    line->dirty = false;
+    bool dirty = _dirty[b + w] != 0;
+    _valid[b + w] = 0;
+    _dirty[b + w] = 0;
     return dirty;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &l : _lines) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    std::fill(_valid.begin(), _valid.end(), std::uint8_t(0));
+    std::fill(_dirty.begin(), _dirty.end(), std::uint8_t(0));
 }
 
 } // namespace hypertee

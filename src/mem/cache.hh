@@ -10,6 +10,7 @@
 #ifndef HYPERTEE_MEM_CACHE_HH
 #define HYPERTEE_MEM_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -35,8 +36,45 @@ class Cache
     Cache(std::size_t size_bytes, std::size_t ways,
           std::size_t line_bytes = lineSize);
 
-    /** Access one line; fills on miss. */
-    CacheAccessResult access(Addr addr, bool write);
+    /**
+     * Access one line; fills on miss. Header-inline: this sits on the
+     * per-instruction load/store path (MemHierarchy::access L1 hop).
+     *
+     * Both the way probe and the victim scan are select-chains over
+     * the structure-of-arrays state rather than early-exit loops:
+     * the host pipeline sees only predictable loop branches, not a
+     * data-dependent break per access.
+     */
+    CacheAccessResult
+    access(Addr addr, bool write)
+    {
+        CacheAccessResult res;
+        std::size_t set = setFor(addr);
+        Addr tag = tagFor(addr);
+        std::size_t b = set * _ways;
+        std::size_t hit = findWay(b, tag);
+        if (hit != _ways) {
+            ++_hits;
+            res.hit = true;
+            _stamps[b + hit] = ++_stamp;
+            _dirty[b + hit] |= static_cast<std::uint8_t>(write);
+            return res;
+        }
+
+        ++_misses;
+        std::size_t victim = victimWay(b);
+        if (_valid[b + victim] && _dirty[b + victim]) {
+            res.writebackNeeded = true;
+            res.writebackAddr =
+                ((_tags[b + victim] * _sets) + set) << _lineShiftBits;
+            ++_writebacks;
+        }
+        _valid[b + victim] = 1;
+        _dirty[b + victim] = static_cast<std::uint8_t>(write);
+        _tags[b + victim] = tag;
+        _stamps[b + victim] = ++_stamp;
+        return res;
+    }
 
     /** Probe without side effects. */
     bool contains(Addr addr) const;
@@ -63,24 +101,132 @@ class Cache
     std::size_t sizeBytes() const { return _sets * _ways * _lineBytes; }
 
   private:
-    struct Line
+    /**
+     * Set/tag split of a line address. Every cache HyperTEE
+     * configures has a power-of-two set count, so the common path is
+     * a shift and a mask; the divide/modulo form stays as the
+     * fallback for odd geometries constructed in tests.
+     */
+    std::size_t
+    setFor(Addr addr) const
     {
-        bool valid = false;
-        bool dirty = false;
-        Addr tag = 0;
-        std::uint64_t lruStamp = 0;
-    };
+        Addr line = addr >> _lineShiftBits;
+        return _setsPow2 ? (line & (_sets - 1)) : (line % _sets);
+    }
 
-    std::size_t setFor(Addr addr) const;
-    Addr tagFor(Addr addr) const;
-    Line *find(Addr addr);
-    const Line *find(Addr addr) const;
+    Addr
+    tagFor(Addr addr) const
+    {
+        Addr line = addr >> _lineShiftBits;
+        return _setsPow2 ? (line >> _setShiftBits) : (line / _sets);
+    }
+
+    /**
+     * Fixed-width probe body: the compile-time trip count fully
+     * unrolls, turning the probe into W independent compare/mask ops
+     * reduced through a bitmask (no loop-carried select chain, no
+     * data-dependent break). Tags within a set are unique, so at most
+     * one mask bit is set and countr_zero recovers the matching way.
+     * Returns W (== _ways at every dispatch site) on a miss.
+     */
+    template <std::size_t W>
+    std::size_t
+    probeWays(std::size_t b, Addr tag) const
+    {
+        unsigned mask = 0;
+        for (std::size_t w = 0; w < W; ++w)
+            mask |= static_cast<unsigned>(
+                        _valid[b + w] & (_tags[b + w] == tag))
+                    << w;
+        return mask != 0
+                   ? static_cast<std::size_t>(std::countr_zero(mask))
+                   : W;
+    }
+
+    /**
+     * Way of the matching line in the set at base @p b, or _ways on a
+     * miss. _ways is fixed per cache, so the dispatch switch predicts
+     * perfectly; odd associativities fall back to a runtime-width
+     * keep-last select chain with identical semantics.
+     */
+    std::size_t
+    findWay(std::size_t b, Addr tag) const
+    {
+        switch (_ways) {
+          case 1: return probeWays<1>(b, tag);
+          case 2: return probeWays<2>(b, tag);
+          case 4: return probeWays<4>(b, tag);
+          case 8: return probeWays<8>(b, tag);
+          default: break;
+        }
+        std::size_t hit = _ways;
+        for (std::size_t w = 0; w < _ways; ++w) {
+            bool m = _valid[b + w] & (_tags[b + w] == tag);
+            hit = m ? w : hit;
+        }
+        return hit;
+    }
+
+    /**
+     * Victim = first invalid way, else the lowest-stamp way (earliest
+     * index on ties). Valid stamps are >= 1 (the first ++_stamp
+     * yields 1), so keying invalid ways at 0 with a strict < argmin
+     * reproduces the break-at-first-invalid / first-minimum scan
+     * exactly.
+     */
+    template <std::size_t W>
+    std::size_t
+    victimWays(std::size_t b) const
+    {
+        std::size_t victim = 0;
+        std::uint64_t best = _valid[b] ? _stamps[b] : 0;
+        for (std::size_t w = 1; w < W; ++w) {
+            std::uint64_t key = _valid[b + w] ? _stamps[b + w] : 0;
+            bool better = key < best;
+            victim = better ? w : victim;
+            best = better ? key : best;
+        }
+        return victim;
+    }
+
+    std::size_t
+    victimWay(std::size_t b) const
+    {
+        switch (_ways) {
+          case 1: return 0;
+          case 2: return victimWays<2>(b);
+          case 4: return victimWays<4>(b);
+          case 8: return victimWays<8>(b);
+          default: break;
+        }
+        std::size_t victim = 0;
+        std::uint64_t best = _valid[b] ? _stamps[b] : 0;
+        for (std::size_t w = 1; w < _ways; ++w) {
+            std::uint64_t key = _valid[b + w] ? _stamps[b + w] : 0;
+            bool better = key < best;
+            victim = better ? w : victim;
+            best = better ? key : best;
+        }
+        return victim;
+    }
 
     std::size_t _sets;
     std::size_t _ways;
     std::size_t _lineBytes;
     unsigned _lineShiftBits;
-    std::vector<Line> _lines;
+    bool _setsPow2 = false;
+    unsigned _setShiftBits = 0; ///< log2(_sets) when _setsPow2
+
+    /**
+     * Structure-of-arrays line state, each indexed set*_ways + way.
+     * Split so the hit probe streams tags/valid flags only and the
+     * LRU scan streams stamps only.
+     */
+    std::vector<Addr> _tags;
+    std::vector<std::uint64_t> _stamps;
+    std::vector<std::uint8_t> _valid;
+    std::vector<std::uint8_t> _dirty;
+
     std::uint64_t _stamp = 0;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

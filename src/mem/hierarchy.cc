@@ -10,14 +10,11 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params) : _p(params)
 }
 
 Tick
-MemHierarchy::access(Addr pa, bool write, KeyId key_id)
+MemHierarchy::accessSlow(Addr pa, bool write, KeyId key_id)
 {
-    Tick latency = _p.l1HitLatency;
-    CacheAccessResult l1_res = _l1->access(pa, write);
-    if (l1_res.hit)
-        return latency;
-
-    latency += _p.l2HitLatency;
+    // The inline fast path already performed (and missed) the L1
+    // access; this continuation charges L1 + L2 and beyond.
+    Tick latency = _p.l1HitLatency + _p.l2HitLatency;
     CacheAccessResult l2_res = _l2->access(pa, write);
     if (l2_res.hit)
         return latency;

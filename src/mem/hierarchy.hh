@@ -47,8 +47,19 @@ class MemHierarchy
      * encryption domain from the PTE; nonzero engages the encryption
      * engine on off-chip traffic.
      * @return total latency in ticks.
+     *
+     * The L1-hit fast path is header-inline (the overwhelmingly
+     * common case on the per-instruction path); misses take the
+     * out-of-line slow path.
      */
-    Tick access(Addr pa, bool write, KeyId key_id = 0);
+    Tick
+    access(Addr pa, bool write, KeyId key_id = 0)
+    {
+        CacheAccessResult l1_res = _l1->access(pa, write);
+        if (l1_res.hit)
+            return _p.l1HitLatency;
+        return accessSlow(pa, write, key_id);
+    }
 
     /** Attach the (system-shared) encryption/integrity engines. */
     void
@@ -71,6 +82,9 @@ class MemHierarchy
     void flushAll();
 
   private:
+    /** L1-miss continuation: L2, DRAM, and protection latency. */
+    Tick accessSlow(Addr pa, bool write, KeyId key_id);
+
     HierarchyParams _p;
     std::unique_ptr<Cache> _l1;
     std::unique_ptr<Cache> _l2;

@@ -27,30 +27,11 @@ Mmu::flushTlbs()
 }
 
 TranslateResult
-Mmu::translate(Addr va, bool write, bool execute)
+Mmu::translateSlow(Addr va, bool write, bool execute)
 {
+    // The inline fast path already took (and counted) the L1 TLB
+    // miss; everything from the STLB onward happens here.
     TranslateResult res;
-
-    auto check_perms = [&](std::uint64_t perms) {
-        if (write && !(perms & PteWrite))
-            return false;
-        if (execute && !(perms & PteExec))
-            return false;
-        if (!write && !execute && !(perms & PteRead))
-            return false;
-        return true;
-    };
-
-    if (const TlbEntry *entry = _tlb.lookup(va)) {
-        res.tlbHit = true;
-        if (!check_perms(entry->perms)) {
-            res.fault = MemFault::PermissionFault;
-            return res;
-        }
-        res.pa = (entry->ppn << pageShift) | (va & (pageSize - 1));
-        res.keyId = entry->keyId;
-        return res;
-    }
 
     // Second-level TLB: a hit skips the PTW (and the bitmap check —
     // the entry was verified when it was filled).
@@ -59,7 +40,7 @@ Mmu::translate(Addr va, bool write, bool execute)
             ++_stlbHits;
             res.tlbHit = true;
             res.latency = _stlbLatency;
-            if (!check_perms(entry->perms)) {
+            if (!permsAllow(entry->perms, write, execute)) {
                 res.fault = MemFault::PermissionFault;
                 return res;
             }
@@ -96,7 +77,7 @@ Mmu::translate(Addr va, bool write, bool execute)
         res.fault = MemFault::PageFault;
         return res;
     }
-    if (!check_perms(walk.perms)) {
+    if (!permsAllow(walk.perms, write, execute)) {
         res.latency = upper_latency + leaf_latency;
         res.fault = MemFault::PermissionFault;
         return res;

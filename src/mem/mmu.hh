@@ -37,6 +37,23 @@ enum class MemFault
     BitmapViolation,  ///< non-enclave touch of enclave memory
 };
 
+/**
+ * R/W/X permission check shared by every translation path. Hoisted
+ * out of Mmu::translate (it used to be a per-call lambda) so the
+ * TLB-hit fast path stays flat.
+ */
+inline bool
+permsAllow(std::uint64_t perms, bool write, bool execute)
+{
+    if (write && !(perms & PteWrite))
+        return false;
+    if (execute && !(perms & PteExec))
+        return false;
+    if (!write && !execute && !(perms & PteRead))
+        return false;
+    return true;
+}
+
 struct TranslateResult
 {
     MemFault fault = MemFault::None;
@@ -75,8 +92,41 @@ class Mmu
      * Translate @p va for an access. Performs TLB lookup, PTW on
      * miss (each PTE fetch charged through the hierarchy), then the
      * bitmap check for non-enclave accesses.
+     *
+     * The L1-TLB-hit path is header-inline and branch-minimal; the
+     * STLB/PTW/bitmap machinery lives in the out-of-line slow path.
      */
-    TranslateResult translate(Addr va, bool write, bool execute);
+    // htlint: hot-loop
+    TranslateResult
+    translate(Addr va, bool write, bool execute)
+    {
+        if (const TlbEntry *entry = _tlb.lookup(va)) {
+            TranslateResult res;
+            res.tlbHit = true;
+            if (!permsAllow(entry->perms, write, execute)) {
+                res.fault = MemFault::PermissionFault;
+                return res;
+            }
+            res.pa = (entry->ppn << pageShift) | (va & (pageSize - 1));
+            res.keyId = entry->keyId;
+            return res;
+        }
+        return translateSlow(va, write, execute);
+    }
+
+    /**
+     * L1-TLB-miss continuation for callers that already probed the
+     * L1 TLB themselves (the core engine's fused fast path calls
+     * tlb().lookup() directly to skip TranslateResult assembly on
+     * hits). The lookup must have just missed on @p va — this
+     * performs the STLB/PTW/bitmap part only, exactly as translate()
+     * would after its own missed lookup.
+     */
+    TranslateResult
+    translateMissed(Addr va, bool write, bool execute)
+    {
+        return translateSlow(va, write, execute);
+    }
 
     Tlb &tlb() { return _tlb; }
     const Tlb &tlb() const { return _tlb; }
@@ -91,6 +141,9 @@ class Mmu
     std::uint64_t stlbHits() const { return _stlbHits; }
 
   private:
+    /** L1-TLB-miss continuation: STLB, PTW, bitmap check. */
+    TranslateResult translateSlow(Addr va, bool write, bool execute);
+
     Tlb _tlb;
     std::unique_ptr<Tlb> _stlb;
     const EnclaveBitmap *_bitmap;

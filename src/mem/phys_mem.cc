@@ -16,22 +16,29 @@ PhysicalMemory::PhysicalMemory(Addr base, Addr size)
 }
 
 PhysicalMemory::Page &
-PhysicalMemory::pageFor(Addr addr)
+PhysicalMemory::pageForSlow(Addr page_base)
 {
-    Addr page_base = pageAlign(addr);
     auto &slot = _pages[page_base];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    std::size_t s = lookupSlot(page_base);
+    _lookupBase[s] = page_base;
+    _lookupPage[s] = slot.get();
     return *slot;
 }
 
 const PhysicalMemory::Page *
-PhysicalMemory::pageForRead(Addr addr) const
+PhysicalMemory::pageForReadSlow(Addr page_base) const
 {
-    auto it = _pages.find(pageAlign(addr));
-    return it == _pages.end() ? nullptr : it->second.get();
+    auto it = _pages.find(page_base);
+    if (it == _pages.end())
+        return nullptr; // absent pages are never cached
+    std::size_t s = lookupSlot(page_base);
+    _lookupBase[s] = page_base;
+    _lookupPage[s] = it->second.get();
+    return it->second.get();
 }
 
 void
@@ -84,7 +91,7 @@ PhysicalMemory::readBytes(Addr addr, Addr len) const
 }
 
 std::uint64_t
-PhysicalMemory::read64(Addr addr) const
+PhysicalMemory::read64Spanning(Addr addr) const
 {
     std::uint8_t buf[8];
     read(addr, buf, 8);
@@ -95,7 +102,7 @@ PhysicalMemory::read64(Addr addr) const
 }
 
 void
-PhysicalMemory::write64(Addr addr, std::uint64_t value)
+PhysicalMemory::write64Spanning(Addr addr, std::uint64_t value)
 {
     std::uint8_t buf[8];
     for (int i = 0; i < 8; ++i)
@@ -111,7 +118,11 @@ PhysicalMemory::zero(Addr addr, Addr len)
         Addr in_page = addr - pageAlign(addr);
         Addr take = std::min<Addr>(len, pageSize - in_page);
         if (in_page == 0 && take == pageSize) {
-            // Whole page: drop the backing store instead of writing.
+            // Whole page: drop the backing store instead of writing,
+            // and drop any cached pointer into it.
+            std::size_t s = lookupSlot(addr);
+            if (_lookupPage[s] && _lookupBase[s] == addr)
+                _lookupPage[s] = nullptr;
             _pages.erase(addr);
         } else {
             std::memset(pageFor(addr).data() + in_page, 0, take);

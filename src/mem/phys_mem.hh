@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "crypto/bytes.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace hypertee
@@ -62,8 +63,45 @@ class PhysicalMemory
     void writeBytes(Addr addr, const Bytes &data);
     Bytes readBytes(Addr addr, Addr len) const;
 
-    std::uint64_t read64(Addr addr) const;
-    void write64(Addr addr, std::uint64_t value);
+    /**
+     * 64-bit accessors. Header-inline single-page fast path: these
+     * carry every PTE fetch of every page-table walk, where the
+     * generic read()/write() loop plus the page-map probe dominated
+     * the TLB-miss cost.
+     */
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        Addr in_page = addr & (pageSize - 1);
+        if (in_page <= pageSize - 8) {
+            panicIf(!containsRange(addr, 8),
+                    "physical read out of range: ", addr, "+", Addr(8));
+            const Page *page = pageForRead(addr);
+            if (!page)
+                return 0; // untouched page reads as zero
+            const std::uint8_t *b = page->data() + in_page;
+            std::uint64_t v = 0;
+            for (int i = 7; i >= 0; --i)
+                v = (v << 8) | b[i]; // folds into one little-endian load
+            return v;
+        }
+        return read64Spanning(addr);
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        Addr in_page = addr & (pageSize - 1);
+        if (in_page <= pageSize - 8) {
+            panicIf(!containsRange(addr, 8),
+                    "physical write out of range: ", addr, "+", Addr(8));
+            std::uint8_t *b = pageFor(addr).data() + in_page;
+            for (int i = 0; i < 8; ++i)
+                b[i] = static_cast<std::uint8_t>(value >> (8 * i));
+            return;
+        }
+        write64Spanning(addr, value);
+    }
 
     /** Zero a region (page scrubbing on free/alloc). */
     void zero(Addr addr, Addr len);
@@ -74,12 +112,51 @@ class PhysicalMemory
   private:
     using Page = std::array<std::uint8_t, pageSize>;
 
-    Page &pageFor(Addr addr);
-    const Page *pageForRead(Addr addr) const;
+    /**
+     * Direct-mapped cache of page-map probes. Backing pages are heap
+     * allocations owned by _pages, so cached pointers stay valid
+     * across map rehashes; the only invalidation point is the
+     * whole-page erase in zero(). Misses (absent pages) are never
+     * cached, so lazily materialized pages are picked up naturally.
+     */
+    static constexpr std::size_t lookupSlots = 64;
+
+    std::size_t
+    lookupSlot(Addr page_base) const
+    {
+        return (page_base >> pageShift) & (lookupSlots - 1);
+    }
+
+    Page &
+    pageFor(Addr addr)
+    {
+        Addr page_base = pageAlign(addr);
+        std::size_t slot = lookupSlot(page_base);
+        if (_lookupPage[slot] && _lookupBase[slot] == page_base)
+            return *_lookupPage[slot];
+        return pageForSlow(page_base);
+    }
+
+    const Page *
+    pageForRead(Addr addr) const
+    {
+        Addr page_base = pageAlign(addr);
+        std::size_t slot = lookupSlot(page_base);
+        if (_lookupPage[slot] && _lookupBase[slot] == page_base)
+            return _lookupPage[slot];
+        return pageForReadSlow(page_base);
+    }
+
+    Page &pageForSlow(Addr page_base);
+    const Page *pageForReadSlow(Addr page_base) const;
+    std::uint64_t read64Spanning(Addr addr) const;
+    void write64Spanning(Addr addr, std::uint64_t value);
 
     Addr _base;
     Addr _size;
     std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+    mutable std::array<Page *, lookupSlots> _lookupPage{};
+    mutable std::array<Addr, lookupSlots> _lookupBase{};
 };
 
 } // namespace hypertee

@@ -1,5 +1,7 @@
 #include "mem/tlb.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -11,32 +13,11 @@ Tlb::Tlb(std::size_t entries, std::size_t ways) : _ways(ways)
     fatalIf(entries == 0 || ways == 0, "TLB needs entries and ways");
     fatalIf(entries % ways != 0, "TLB entries must divide into ways");
     _sets = entries / ways;
+    if (_sets > 0 && (_sets & (_sets - 1)) == 0)
+        _setMask = _sets - 1;
     _entries.resize(entries);
-}
-
-TlbEntry *
-Tlb::findEntry(Addr vpn)
-{
-    std::size_t set = setIndex(vpn);
-    for (std::size_t w = 0; w < _ways; ++w) {
-        TlbEntry &e = _entries[set * _ways + w];
-        if (e.valid && e.vpn == vpn)
-            return &e;
-    }
-    return nullptr;
-}
-
-const TlbEntry *
-Tlb::lookup(Addr va)
-{
-    TlbEntry *e = findEntry(pageNumber(va));
-    if (e) {
-        e->lruStamp = ++_stamp;
-        ++_hits;
-        return e;
-    }
-    ++_misses;
-    return nullptr;
+    _probeVpn.assign(entries, 0);
+    _probeValid.assign(entries, 0);
 }
 
 void
@@ -44,19 +25,24 @@ Tlb::insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
             bool bitmap_checked)
 {
     Addr vpn = pageNumber(va);
+    std::size_t b = setIndex(vpn) * _ways;
     TlbEntry *victim = findEntry(vpn);
     if (!victim) {
-        std::size_t set = setIndex(vpn);
-        victim = &_entries[set * _ways];
-        for (std::size_t w = 0; w < _ways; ++w) {
-            TlbEntry &e = _entries[set * _ways + w];
-            if (!e.valid) {
-                victim = &e;
-                break;
-            }
-            if (e.lruStamp < victim->lruStamp)
-                victim = &e;
+        // Victim = first invalid way, else lowest-stamp way (earliest
+        // index on ties). Valid stamps are >= 1, so keying invalid
+        // ways at 0 with a strict < argmin reproduces the
+        // break-at-first-invalid / first-minimum scan exactly.
+        std::size_t vw = 0;
+        std::uint64_t best =
+            _entries[b].valid ? _entries[b].lruStamp : 0;
+        for (std::size_t w = 1; w < _ways; ++w) {
+            const TlbEntry &e = _entries[b + w];
+            std::uint64_t key = e.valid ? e.lruStamp : 0;
+            bool better = key < best;
+            vw = better ? w : vw;
+            best = better ? key : best;
         }
+        victim = &_entries[b + vw];
     }
     victim->valid = true;
     victim->vpn = vpn;
@@ -65,6 +51,9 @@ Tlb::insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
     victim->keyId = key_id;
     victim->bitmapChecked = bitmap_checked;
     victim->lruStamp = ++_stamp;
+    std::size_t idx = static_cast<std::size_t>(victim - _entries.data());
+    _probeVpn[idx] = vpn;
+    _probeValid[idx] = 1;
 }
 
 void
@@ -77,6 +66,7 @@ Tlb::flushAll()
             ++killed;
         e.valid = false;
     }
+    std::fill(_probeValid.begin(), _probeValid.end(), std::uint8_t(0));
     _invalidations += killed;
     // A full flush is one real flush operation even on an empty TLB:
     // the hardware walks every set regardless.
@@ -93,6 +83,7 @@ Tlb::flushPage(Addr va)
     if (!e)
         return; // no matching entry: nothing was flushed
     e->valid = false;
+    _probeValid[static_cast<std::size_t>(e - _entries.data())] = 0;
     ++_invalidations;
     ++_flushes;
     HT_TRACE_INSTANT1(TraceCategory::Tlb, "tlb.flushPage",

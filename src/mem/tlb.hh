@@ -12,6 +12,7 @@
 #ifndef HYPERTEE_MEM_TLB_HH
 #define HYPERTEE_MEM_TLB_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -38,8 +39,23 @@ class Tlb
     /** @param entries total entries; @param ways associativity. */
     Tlb(std::size_t entries, std::size_t ways);
 
-    /** Lookup; returns nullptr on miss. Updates LRU + stats. */
-    const TlbEntry *lookup(Addr va);
+    /**
+     * Lookup; returns nullptr on miss. Updates LRU + stats.
+     * Header-inline: this is the first hop of every simulated memory
+     * access (Mmu::translate fast path).
+     */
+    const TlbEntry *
+    lookup(Addr va)
+    {
+        TlbEntry *e = findEntry(pageNumber(va));
+        if (e) {
+            e->lruStamp = ++_stamp;
+            ++_hits;
+            return e;
+        }
+        ++_misses;
+        return nullptr;
+    }
 
     /** Install a translation (evicts LRU within the set). */
     void insert(Addr va, Addr pa, std::uint64_t perms, KeyId key_id,
@@ -76,12 +92,75 @@ class Tlb
     std::size_t entryCount() const { return _sets * _ways; }
 
   private:
-    std::size_t setIndex(Addr vpn) const { return vpn % _sets; }
-    TlbEntry *findEntry(Addr vpn);
+    /** Set selection: single AND when _sets is a power of two. */
+    std::size_t
+    setIndex(Addr vpn) const
+    {
+        return _setMask ? (vpn & _setMask) : (vpn % _sets);
+    }
+
+    /**
+     * Fixed-width probe body over the packed vpn/valid shadow arrays
+     * (8+1 bytes per way instead of a full sizeof(TlbEntry) stride).
+     * The compile-time trip count fully unrolls into W independent
+     * compare/mask ops reduced through a bitmask — no data-dependent
+     * break for the host to mispredict. VPNs within a set are unique
+     * (insert() replaces in place), so at most one mask bit is set
+     * and countr_zero recovers the matching way. Returns W (== _ways
+     * at every dispatch site) on a miss.
+     */
+    template <std::size_t W>
+    std::size_t
+    probeWays(std::size_t b, Addr vpn) const
+    {
+        unsigned mask = 0;
+        for (std::size_t w = 0; w < W; ++w)
+            mask |= static_cast<unsigned>(
+                        _probeValid[b + w] & (_probeVpn[b + w] == vpn))
+                    << w;
+        return mask != 0
+                   ? static_cast<std::size_t>(std::countr_zero(mask))
+                   : W;
+    }
+
+    /**
+     * Matching entry or nullptr. _ways is fixed per TLB, so the
+     * dispatch switch predicts perfectly; odd associativities fall
+     * back to a runtime-width keep-last select chain with identical
+     * semantics. The shadows are kept in sync by insert(), flushAll()
+     * and flushPage(); _entries stays the source of truth for
+     * everything but the probe.
+     */
+    TlbEntry *
+    findEntry(Addr vpn)
+    {
+        std::size_t b = setIndex(vpn) * _ways;
+        std::size_t hit;
+        switch (_ways) {
+          case 1: hit = probeWays<1>(b, vpn); break;
+          case 2: hit = probeWays<2>(b, vpn); break;
+          case 4: hit = probeWays<4>(b, vpn); break;
+          case 8: hit = probeWays<8>(b, vpn); break;
+          default: {
+            hit = _ways;
+            for (std::size_t w = 0; w < _ways; ++w) {
+                bool m = _probeValid[b + w] & (_probeVpn[b + w] == vpn);
+                hit = m ? w : hit;
+            }
+            break;
+          }
+        }
+        return hit == _ways ? nullptr : &_entries[b + hit];
+    }
 
     std::size_t _sets;
     std::size_t _ways;
+    /** _sets - 1 when _sets is a power of two, else 0 (use modulo). */
+    std::size_t _setMask = 0;
     std::vector<TlbEntry> _entries;
+    /** Packed probe shadows of _entries' vpn/valid fields. */
+    std::vector<Addr> _probeVpn;
+    std::vector<std::uint8_t> _probeValid;
     std::uint64_t _stamp = 0;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

@@ -18,21 +18,28 @@ namespace perf
 namespace detail
 {
 thread_local std::uint64_t t_pendingEventsFired = 0;
+thread_local std::uint64_t t_pendingInstsRetired = 0;
 } // namespace detail
 
 namespace
 {
 std::atomic<std::uint64_t> g_eventsFired{0};
+std::atomic<std::uint64_t> g_instsRetired{0};
 } // namespace
 
 void
 flushThreadCounters()
 {
     std::uint64_t pending = detail::t_pendingEventsFired;
-    if (pending == 0)
-        return;
-    detail::t_pendingEventsFired = 0;
-    g_eventsFired.fetch_add(pending, std::memory_order_relaxed);
+    if (pending != 0) {
+        detail::t_pendingEventsFired = 0;
+        g_eventsFired.fetch_add(pending, std::memory_order_relaxed);
+    }
+    std::uint64_t insts = detail::t_pendingInstsRetired;
+    if (insts != 0) {
+        detail::t_pendingInstsRetired = 0;
+        g_instsRetired.fetch_add(insts, std::memory_order_relaxed);
+    }
 }
 
 std::uint64_t
@@ -42,11 +49,20 @@ totalEventsFired()
            detail::t_pendingEventsFired;
 }
 
+std::uint64_t
+totalInstsRetired()
+{
+    return g_instsRetired.load(std::memory_order_relaxed) +
+           detail::t_pendingInstsRetired;
+}
+
 void
 resetEventsFired()
 {
     g_eventsFired.store(0, std::memory_order_relaxed);
     detail::t_pendingEventsFired = 0;
+    g_instsRetired.store(0, std::memory_order_relaxed);
+    detail::t_pendingInstsRetired = 0;
 }
 
 std::uint64_t

@@ -40,6 +40,8 @@ namespace detail
 {
 /** Calling thread's not-yet-flushed fired-event count. */
 extern thread_local std::uint64_t t_pendingEventsFired;
+/** Calling thread's not-yet-flushed retired-instruction count. */
+extern thread_local std::uint64_t t_pendingInstsRetired;
 } // namespace detail
 
 /** Record one fired event; called from EventQueue::step(). */
@@ -47,6 +49,17 @@ inline void
 noteEventFired()
 {
     ++detail::t_pendingEventsFired;
+}
+
+/**
+ * Record @p n simulated instructions retired; called once per
+ * Core::run with the whole run's count, so the instruction hot loop
+ * itself carries no accounting cost.
+ */
+inline void
+noteInstsRetired(std::uint64_t n)
+{
+    detail::t_pendingInstsRetired += n;
 }
 
 /**
@@ -63,7 +76,16 @@ void flushThreadCounters();
  */
 std::uint64_t totalEventsFired();
 
-/** Reset the process total and the calling thread's pending count. */
+/**
+ * Process-wide retired-instruction total, with the same flush
+ * semantics as totalEventsFired(). Like the event count, it is a
+ * pure function of the simulated workload — identical for every
+ * --jobs value — which is what lets the perf baseline exact-match it
+ * for deterministic benches.
+ */
+std::uint64_t totalInstsRetired();
+
+/** Reset the process totals and the calling thread's pending counts. */
 void resetEventsFired();
 
 /**

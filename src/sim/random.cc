@@ -1,20 +1,7 @@
 #include "sim/random.hh"
 
-#include "sim/logging.hh"
-
 namespace hypertee
 {
-
-namespace
-{
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
 
 std::uint64_t
 Random::splitmix64(std::uint64_t &state)
@@ -30,54 +17,6 @@ Random::Random(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &s : _s)
         s = splitmix64(sm);
-}
-
-std::uint64_t
-Random::next()
-{
-    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
-    const std::uint64_t t = _s[1] << 17;
-
-    _s[2] ^= _s[0];
-    _s[3] ^= _s[1];
-    _s[1] ^= _s[2];
-    _s[0] ^= _s[3];
-    _s[2] ^= t;
-    _s[3] = rotl(_s[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Random::below(std::uint64_t bound)
-{
-    panicIf(bound == 0, "Random::below(0)");
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
-    std::uint64_t draw;
-    do {
-        draw = next();
-    } while (draw >= limit);
-    return draw % bound;
-}
-
-std::uint64_t
-Random::between(std::uint64_t lo, std::uint64_t hi)
-{
-    panicIf(lo > hi, "Random::between with lo > hi");
-    return lo + below(hi - lo + 1);
-}
-
-double
-Random::real()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Random::chance(double p)
-{
-    return real() < p;
 }
 
 } // namespace hypertee

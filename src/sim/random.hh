@@ -7,12 +7,18 @@
  * randomized: the memory-pool refill threshold, EWB page selection,
  * and the EMCall response-polling obfuscation jitter. All draws are
  * reproducible from the seed so experiments are repeatable.
+ *
+ * The draw methods are header-inline: synthetic workloads draw one or
+ * two values per simulated instruction, so an out-of-line call per
+ * draw is measurable on the instruction hot path.
  */
 
 #ifndef HYPERTEE_SIM_RANDOM_HH
 #define HYPERTEE_SIM_RANDOM_HH
 
 #include <cstdint>
+
+#include "sim/logging.hh"
 
 namespace hypertee
 {
@@ -23,21 +29,107 @@ class Random
     explicit Random(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
 
     /** Next raw 64-bit draw. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panicIf(bound == 0, "Random::below(0)");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit =
+            ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+        std::uint64_t draw;
+        do {
+            draw = next();
+        } while (draw >= limit);
+        return draw % bound;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        panicIf(lo > hi, "Random::between with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double real();
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /**
+     * Precomputed below(bound): hoists the rejection-sampling limit
+     * (a 64-bit divide) and, for power-of-two bounds, replaces the
+     * final modulo with a mask. Draws the generator in exactly the
+     * same sequence as below(bound) and returns the same values —
+     * callers with a loop-invariant bound (workload address streams)
+     * construct one of these once instead of paying two divides per
+     * draw.
+     */
+    class Bounded
+    {
+      public:
+        explicit Bounded(std::uint64_t bound) : _bound(bound)
+        {
+            if (bound == 0)
+                return; // draw() panics, matching below(0)
+            _limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+            if ((bound & (bound - 1)) == 0)
+                _mask = bound - 1;
+        }
+
+        std::uint64_t
+        draw(Random &rng) const
+        {
+            panicIf(_bound == 0, "Random::below(0)");
+            std::uint64_t d;
+            do {
+                d = rng.next();
+            } while (d >= _limit);
+            return _mask ? (d & _mask) : (d % _bound);
+        }
+
+        std::uint64_t bound() const { return _bound; }
+
+      private:
+        std::uint64_t _bound;
+        std::uint64_t _limit = 0;
+        /** bound-1 when bound is a power of two, else 0. */
+        std::uint64_t _mask = 0;
+    };
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     static std::uint64_t splitmix64(std::uint64_t &state);
 
     std::uint64_t _s[4];

@@ -1,5 +1,7 @@
 #include "workload/synthetic.hh"
 
+#include <algorithm>
+
 namespace hypertee
 {
 
@@ -7,8 +9,18 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadProfile &profile,
                                      Addr base, Addr sparse_base,
                                      std::uint64_t seed)
     : _p(profile), _base(base), _sparseBase(sparse_base), _seed(seed),
-      _rng(seed)
+      _rng(seed), _wsDraw(profile.workingSetBytes),
+      _sparseDraw(profile.sparsePages)
 {
+    _thLoad = _p.loadFrac;
+    _thStore = _p.loadFrac + _p.storeFrac;
+    _thBranch = _p.loadFrac + _p.storeFrac + _p.branchFrac;
+    _thFp = _p.loadFrac + _p.storeFrac + _p.branchFrac + _p.fpFrac;
+    _thSparse = _p.sequentialFrac + _p.sparseFrac;
+    unsigned period = _p.branchPeriod;
+    if (period > 0 && (period & (period - 1)) == 0)
+        _phaseMask = period - 1;
+    _phaseHalf = (period + 1) / 2;
 }
 
 void
@@ -16,58 +28,10 @@ SyntheticWorkload::reset()
 {
     _rng = Random(_seed);
     _emitted = 0;
+    _siteRot = 0;
     _streamCursor = 0;
     _branchPhase = 0;
     _pc = 0x40'0000;
-}
-
-Addr
-SyntheticWorkload::nextDataAddr()
-{
-    double draw = _rng.real();
-    if (draw < _p.sequentialFrac) {
-        // Streaming access: stride one word, wrapping the set.
-        _streamCursor = (_streamCursor + 8) % _p.workingSetBytes;
-        return _base + _streamCursor;
-    }
-    if (draw < _p.sequentialFrac + _p.sparseFrac) {
-        // Sparse far touch: TLB stress.
-        Addr page = _rng.below(_p.sparsePages);
-        return _sparseBase + page * pageSize +
-               (_rng.next() & (pageSize - 8));
-    }
-    // Uniform random within the working set.
-    return _base + (_rng.below(_p.workingSetBytes) & ~Addr(7));
-}
-
-bool
-SyntheticWorkload::next(MicroOp &op)
-{
-    if (_emitted >= _p.instructions)
-        return false;
-    ++_emitted;
-
-    double draw = _rng.real();
-    _pc += 4;
-    if (draw < _p.loadFrac) {
-        op = {OpType::Load, _pc, nextDataAddr(), false};
-    } else if (draw < _p.loadFrac + _p.storeFrac) {
-        op = {OpType::Store, _pc, nextDataAddr(), false};
-    } else if (draw < _p.loadFrac + _p.storeFrac + _p.branchFrac) {
-        // A small set of branch sites with periodic outcomes.
-        std::uint64_t site = 0x10'0000 + (_emitted % 13) * 8;
-        bool taken = (_branchPhase++ % _p.branchPeriod) <
-                     (_p.branchPeriod + 1) / 2;
-        if (_rng.chance(_p.branchNoise))
-            taken = !taken;
-        op = {OpType::Branch, site, 0, taken};
-    } else if (draw <
-               _p.loadFrac + _p.storeFrac + _p.branchFrac + _p.fpFrac) {
-        op = {OpType::FpAlu, _pc, 0, false};
-    } else {
-        op = {OpType::IntAlu, _pc, 0, false};
-    }
-    return true;
 }
 
 } // namespace hypertee

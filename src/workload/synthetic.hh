@@ -12,6 +12,7 @@
 #ifndef HYPERTEE_WORKLOAD_SYNTHETIC_HH
 #define HYPERTEE_WORKLOAD_SYNTHETIC_HH
 
+#include <algorithm>
 #include <string>
 
 #include "cpu/micro_op.hh"
@@ -64,13 +65,43 @@ struct WorkloadProfile
  * [base, base + workingSetBytes) plus, for the sparse component,
  * [sparseBase, sparseBase + sparsePages*pageSize).
  */
-class SyntheticWorkload : public InstStream
+class SyntheticWorkload final : public InstStream
 {
   public:
     SyntheticWorkload(const WorkloadProfile &profile, Addr base,
                       Addr sparse_base, std::uint64_t seed = 1);
 
-    bool next(MicroOp &op) override;
+    // next/fill are header-inline (and this class final) so the
+    // synthetic-specialized Core engine can fuse generation into
+    // execution with no virtual dispatch per op.
+    bool
+    next(MicroOp &op) override
+    {
+        if (_emitted >= _p.instructions)
+            return false;
+        ++_emitted;
+        emit(op);
+        return true;
+    }
+
+    /**
+     * Block generation: emits min(max, remaining) ops in one call.
+     * Draws the RNG in exactly the order next() would, so the two
+     * entry points produce bit-identical streams.
+     */
+    std::size_t
+    fill(MicroOp *buf, std::size_t max) override
+    {
+        std::uint64_t remaining =
+            _p.instructions - std::min(_emitted, _p.instructions);
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max, remaining));
+        for (std::size_t i = 0; i < n; ++i) {
+            ++_emitted;
+            emit(buf[i]);
+        }
+        return n;
+    }
 
     /** Restart from the beginning (fresh run, same sequence). */
     void reset();
@@ -79,14 +110,98 @@ class SyntheticWorkload : public InstStream
     const WorkloadProfile &profile() const { return _p; }
 
   private:
-    Addr nextDataAddr();
+    /**
+     * One op of the sequence. Header-inline so Core's synthetic-
+     * specialized engine fuses generation into execution: the type
+     * cascade below then doubles as the execution dispatch, costing
+     * one data-dependent host branch per op instead of two.
+     *
+     * The thresholds are the cumulative mix fractions precomputed by
+     * the constructor — the same doubles the cascade previously
+     * re-summed per op.
+     */
+    void
+    emit(MicroOp &op)
+    {
+        double draw = _rng.real();
+        _pc += 4;
+        // _siteRot tracks _emitted % 13 (callers bump _emitted exactly
+        // once per emit) so the branch arm needs no 64-bit divide.
+        unsigned site_rot = _siteRot + 1;
+        _siteRot = site_rot == 13 ? 0 : site_rot;
+        if (draw < _thLoad) {
+            op = {OpType::Load, _pc, nextDataAddr(), false};
+        } else if (draw < _thStore) {
+            op = {OpType::Store, _pc, nextDataAddr(), false};
+        } else if (draw < _thBranch) {
+            // A small set of branch sites with periodic outcomes.
+            std::uint64_t site = 0x10'0000 + _siteRot * std::uint64_t(8);
+            unsigned phase = _branchPhase++;
+            phase = _phaseMask ? (phase & _phaseMask)
+                               : (phase % _p.branchPeriod);
+            bool taken = phase < _phaseHalf;
+            if (_rng.chance(_p.branchNoise))
+                taken = !taken;
+            op = {OpType::Branch, site, 0, taken};
+        } else if (draw < _thFp) {
+            op = {OpType::FpAlu, _pc, 0, false};
+        } else {
+            op = {OpType::IntAlu, _pc, 0, false};
+        }
+    }
+
+    Addr
+    nextDataAddr()
+    {
+        double draw = _rng.real();
+        if (draw < _p.sequentialFrac) {
+            // Streaming access: stride one word, wrapping the set.
+            // The conditional subtract matches (_streamCursor + 8) %
+            // workingSetBytes exactly while the cursor stays below
+            // the set size, which holds whenever workingSetBytes >=
+            // 8.
+            if (_p.workingSetBytes >= 8) {
+                _streamCursor += 8;
+                if (_streamCursor >= _p.workingSetBytes)
+                    _streamCursor -= _p.workingSetBytes;
+            } else {
+                _streamCursor = (_streamCursor + 8) % _p.workingSetBytes;
+            }
+            return _base + _streamCursor;
+        }
+        if (draw < _thSparse) {
+            // Sparse far touch: TLB stress.
+            Addr page = _sparseDraw.draw(_rng);
+            return _sparseBase + page * pageSize +
+                   (_rng.next() & (pageSize - 8));
+        }
+        // Uniform random within the working set.
+        return _base + (_wsDraw.draw(_rng) & ~Addr(7));
+    }
 
     WorkloadProfile _p;
     Addr _base;
     Addr _sparseBase;
     std::uint64_t _seed;
     Random _rng;
+    /** Precomputed bounded draws (same sequences as Random::below). */
+    Random::Bounded _wsDraw;
+    Random::Bounded _sparseDraw;
+    /** Cumulative mix thresholds (exactly the per-op sums emit()
+     *  used to recompute: loadFrac, +storeFrac, +branchFrac,
+     *  +fpFrac; sequentialFrac + sparseFrac for addresses). */
+    double _thLoad;
+    double _thStore;
+    double _thBranch;
+    double _thFp;
+    double _thSparse;
+    /** branchPeriod-1 when the period is a power of two, else 0
+     *  (modulo fallback — identical values either way). */
+    unsigned _phaseMask = 0;
+    unsigned _phaseHalf;
     std::uint64_t _emitted = 0;
+    /** _emitted % 13 maintained incrementally (branch-site select). */
+    unsigned _siteRot = 0;
     Addr _streamCursor = 0;
     unsigned _branchPhase = 0;
     std::uint64_t _pc = 0x40'0000;

@@ -188,6 +188,133 @@ TEST(Compare, ModeMismatchFails)
     EXPECT_FALSE(r.ok);
 }
 
+/** record() plus the instruction-throughput metric. */
+BenchRecord
+recordWithInsts(const std::string &name, std::uint64_t events,
+                double rate, std::uint64_t insts, double inst_rate)
+{
+    BenchRecord r = record(name, events, rate);
+    r.instructions = insts;
+    r.instsPerSec = inst_rate;
+    r.gated = gatedByFloors(events, insts);
+    return r;
+}
+
+TEST(Baseline, JsonRoundTripPreservesInstructionFields)
+{
+    Baseline b = baselineOf(
+        {recordWithInsts("bench_a", 500, 1e5, 2'000'000, 4e6)});
+    b.benches[0].gated = false; // explicit flag survives verbatim
+
+    std::ostringstream os;
+    b.writeJson(os);
+    auto parsed = Baseline::fromJsonText(os.str());
+    ASSERT_TRUE(parsed.has_value());
+    const BenchRecord &a = parsed->benches[0];
+    EXPECT_EQ(a.instructions, 2'000'000u);
+    EXPECT_DOUBLE_EQ(a.instsPerSec, 4e6);
+    EXPECT_FALSE(a.gated);
+}
+
+TEST(Baseline, LegacyFilesDeriveGatedFromTheFloors)
+{
+    // A pre-field baseline record: no instructions, insts_per_sec or
+    // gated members. Gating falls back to the events floor.
+    const char *text =
+        "{\"schema\": \"hypertee-bench-baseline-v1\","
+        " \"date\": \"2026-08-09\", \"mode\": \"smoke\","
+        " \"benches\": ["
+        "  {\"bench\": \"bench_big\", \"events_fired\": 50000,"
+        "   \"wall_seconds\": 1.0, \"events_per_sec\": 50000},"
+        "  {\"bench\": \"bench_tiny\", \"events_fired\": 12,"
+        "   \"wall_seconds\": 0.001, \"events_per_sec\": 12000}]}";
+    auto parsed = Baseline::fromJsonText(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->benches[0].gated);
+    EXPECT_FALSE(parsed->benches[1].gated);
+    EXPECT_EQ(parsed->benches[0].instructions, 0u);
+}
+
+TEST(Compare, InstructionThroughputBandsIndependentlyOfEvents)
+{
+    // Zero events fired (instruction-driven bench), well above the
+    // instruction floor: a 2x insts/sec drop must still regress.
+    Baseline before = baselineOf(
+        {recordWithInsts("bench_fig10", 0, 0, 10'000'000, 2e7)});
+    Baseline after = baselineOf(
+        {recordWithInsts("bench_fig10", 0, 0, 10'000'000, 1e7)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.benches[0].regressed);
+
+    // Same drop below the floor: noise, not a regression.
+    before = baselineOf(
+        {recordWithInsts("bench_fig10", 0, 0, 50'000, 2e7)});
+    after = baselineOf(
+        {recordWithInsts("bench_fig10", 0, 0, 50'000, 1e7)});
+    r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.ok);
+}
+
+TEST(Compare, DeterministicInstCountMismatchFailsOnlyWhenRecorded)
+{
+    Baseline before = baselineOf(
+        {recordWithInsts("bench_a", 100'000, 1e6, 5'000'000, 1e7)});
+    Baseline after = baselineOf(
+        {recordWithInsts("bench_a", 100'000, 1e6, 5'000'001, 1e7)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.benches[0].instsMismatch);
+
+    // Legacy old side recorded 0 instructions: no exact match to
+    // hold the new side to.
+    before = baselineOf({record("bench_a", 100'000, 1e6)});
+    r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.benches[0].instsMismatch);
+}
+
+TEST(Compare, ExplicitlyUngatedBenchesNeverRegress)
+{
+    // Above both floors but marked gated: false in the committed
+    // file — the explicit flag wins and exempts the bench.
+    Baseline before = baselineOf(
+        {recordWithInsts("bench_opt_out", 100'000, 1e6, 5'000'000,
+                         1e7)});
+    before.benches[0].gated = false;
+    Baseline after = baselineOf(
+        {recordWithInsts("bench_opt_out", 100'000, 1e5, 5'000'000,
+                         1e6)});
+    CompareResult r = compareBaselines(before, after, {});
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.benches[0].regressed);
+    EXPECT_TRUE(r.benches[0].notGated);
+
+    std::ostringstream os;
+    renderComparison(os, r, {}, false);
+    EXPECT_NE(os.str().find("not-gated"), std::string::npos);
+}
+
+TEST(Compare, InstRatiosPoolIntoTheNormalizationMedian)
+{
+    // Suite of one events-metric bench and two insts-metric benches,
+    // all uniformly 2x slower: the pooled median cancels the machine
+    // speed and nothing regresses.
+    Baseline before = baselineOf(
+        {record("bench_ev", 100'000, 1e6),
+         recordWithInsts("bench_i1", 0, 0, 10'000'000, 4e7),
+         recordWithInsts("bench_i2", 0, 0, 10'000'000, 2e7)});
+    Baseline after = baselineOf(
+        {record("bench_ev", 100'000, 0.5e6),
+         recordWithInsts("bench_i1", 0, 0, 10'000'000, 2e7),
+         recordWithInsts("bench_i2", 0, 0, 10'000'000, 1e7)});
+    CompareOptions opts;
+    opts.speedNormalize = true;
+    CompareResult r = compareBaselines(before, after, opts);
+    EXPECT_TRUE(r.ok);
+    EXPECT_DOUBLE_EQ(r.medianRatio, 0.5);
+}
+
 TEST(Compare, RenderMentionsRegressedBenches)
 {
     Baseline before = baselineOf({record("bench_a", 100'000, 1e6)});

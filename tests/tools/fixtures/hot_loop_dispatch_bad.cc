@@ -1,0 +1,56 @@
+// Fixture: every dispatch flavour the rule must catch inside an
+// annotated hot loop -- a std::function call (directly and through a
+// type alias) and virtual calls through unique_ptr to a class the
+// project derives from.
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace hypertee
+{
+
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+    virtual bool predict(std::uint64_t pc) = 0;
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+};
+
+class GsharePredictor final : public Predictor
+{
+  public:
+    bool predict(std::uint64_t) override { return true; }
+    void update(std::uint64_t, bool) override {}
+};
+
+class Engine
+{
+  public:
+    using FaultHook = std::function<void(std::uint64_t va)>;
+
+    // htlint: hot-loop
+    std::uint64_t
+    run(std::uint64_t n)
+    {
+        std::uint64_t mispredicts = 0;
+        for (std::uint64_t pc = 0; pc < n; ++pc) {
+            bool pred = _bp->predict(pc); // BAD: virtual per op
+            if (!pred)
+                _bp->update(pc, true); // BAD: virtual per op
+            if (_hook)
+                _hook(pc); // BAD: std::function per op
+            _onRetire(pc); // BAD: aliased std::function per op
+            ++mispredicts;
+        }
+        return mispredicts;
+    }
+
+  private:
+    std::unique_ptr<Predictor> _bp =
+        std::make_unique<GsharePredictor>();
+    std::function<void(std::uint64_t)> _hook;
+    FaultHook _onRetire;
+};
+
+} // namespace hypertee

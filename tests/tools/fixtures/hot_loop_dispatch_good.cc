@@ -1,0 +1,69 @@
+// Fixture: the accepted hot-loop shapes. The concrete predictor is
+// selected once per run and dispatches statically inside the loop;
+// the std::function fault hook only runs on the out-of-line cold
+// path, which is not annotated. Indirect dispatch in *unannotated*
+// functions is fine -- the rule is scoped to declared hot loops.
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace hypertee
+{
+
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+    virtual bool predict(std::uint64_t pc) = 0;
+};
+
+class GsharePredictor final : public Predictor
+{
+  public:
+    bool predict(std::uint64_t) override { return true; }
+};
+
+class Engine
+{
+  public:
+    using FaultHook = std::function<void(std::uint64_t va)>;
+
+    std::uint64_t
+    run(std::uint64_t n)
+    {
+        // Devirtualize once, outside the loop.
+        if (auto *gshare = dynamic_cast<GsharePredictor *>(_bp.get()))
+            return runEngine(n, *gshare);
+        return runEngine(n, *_bp);
+    }
+
+  private:
+    // htlint: hot-loop
+    template <typename Bp>
+    std::uint64_t
+    runEngine(std::uint64_t n, Bp &bp)
+    {
+        std::uint64_t taken = 0;
+        for (std::uint64_t pc = 0; pc < n; ++pc) {
+            if (bp.predict(pc)) // static (or devirtualized) call
+                ++taken;
+            else
+                handleFault(pc); // cold path, out of line
+        }
+        return taken;
+    }
+
+    /** Cold path: free to use the opaque hook (not annotated). */
+    void
+    handleFault(std::uint64_t va)
+    {
+        if (_hook)
+            _hook(va);
+    }
+
+    std::unique_ptr<Predictor> _bp =
+        std::make_unique<GsharePredictor>();
+    FaultHook _hook;
+};
+
+} // namespace hypertee

@@ -338,6 +338,43 @@ TEST(HtlintHeaderHygiene, AcceptsGuardedHeaders)
     EXPECT_EQ(countRule(diags, "header-hygiene"), 0);
 }
 
+// ------------------------------------------------ hot-loop-dispatch
+
+TEST(HtlintHotLoopDispatch, FlagsIndirectDispatchInAnnotatedLoops)
+{
+    auto diags = lintAs({{"hot_loop_dispatch_bad.cc",
+                          "src/cpu/hot_loop_dispatch_bad.cc"}});
+    // Two virtual calls through unique_ptr<Predictor>, one direct
+    // std::function call, one through the FaultHook alias.
+    EXPECT_EQ(countRule(diags, "hot-loop-dispatch"), 4);
+}
+
+TEST(HtlintHotLoopDispatch, AcceptsDevirtualizedAndColdPathShapes)
+{
+    auto diags = lintAs({{"hot_loop_dispatch_good.cc",
+                          "src/cpu/hot_loop_dispatch_good.cc"}});
+    EXPECT_EQ(countRule(diags, "hot-loop-dispatch"), 0);
+}
+
+TEST(HtlintHotLoopDispatch, SeededHotLoopsStayClean)
+{
+    // The annotations this rule was built for: the core engines and
+    // the MMU translate fast path must never regrow per-op indirect
+    // dispatch. Lint the real sources (plus the headers that declare
+    // the members) and require silence.
+    auto root = std::filesystem::path(HTLINT_FIXTURE_DIR)
+                    .parent_path()
+                    .parent_path()
+                    .parent_path();
+    Project proj;
+    for (const char *rel :
+         {"src/cpu/core.cc", "src/cpu/core.hh",
+          "src/cpu/branch_predictor.hh", "src/mem/mmu.hh",
+          "src/mem/mmu.cc"})
+        ASSERT_TRUE(proj.addFile((root / rel).string(), rel));
+    EXPECT_EQ(countRule(proj.run(), "hot-loop-dispatch"), 0);
+}
+
 // ------------------------------------------------------ suppressions
 
 TEST(HtlintSuppression, AllowCommentSilencesFinding)

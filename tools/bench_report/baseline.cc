@@ -26,6 +26,15 @@ recordFromJson(const JsonValue &v)
         static_cast<std::uint64_t>(v.numberAt("events_fired", 0));
     r.wallSeconds = v.numberAt("wall_seconds", 0);
     r.eventsPerSec = v.numberAt("events_per_sec", 0);
+    r.instructions =
+        static_cast<std::uint64_t>(v.numberAt("instructions", 0));
+    r.instsPerSec = v.numberAt("insts_per_sec", 0);
+    // Legacy baselines predate the explicit flag; derive it from the
+    // same floors the writer uses so old and new files band alike.
+    if (const JsonValue *g = v.find("gated"))
+        r.gated = g->isBool() ? g->boolean() : true;
+    else
+        r.gated = gatedByFloors(r.eventsFired, r.instructions);
     r.peakRssKb =
         static_cast<std::uint64_t>(v.numberAt("peak_rss_kb", 0));
     if (const JsonValue *d = v.find("deterministic_events"))
@@ -45,6 +54,9 @@ writeRecord(JsonWriter &w, const BenchRecord &r)
     w.member("events_fired", r.eventsFired);
     w.member("wall_seconds", r.wallSeconds);
     w.member("events_per_sec", r.eventsPerSec);
+    w.member("instructions", r.instructions);
+    w.member("insts_per_sec", r.instsPerSec);
+    w.member("gated", r.gated);
     w.member("peak_rss_kb", r.peakRssKb);
     w.member("deterministic_events", r.deterministicEvents);
     w.member("exit_code", static_cast<double>(r.exitCode));
@@ -170,20 +182,41 @@ compareBaselines(const Baseline &before, const Baseline &after,
         if (o) {
             c.oldEvents = o->eventsFired;
             c.oldRate = o->eventsPerSec;
+            c.oldInsts = o->instructions;
+            c.oldInstRate = o->instsPerSec;
+            c.notGated = !o->gated;
         }
         if (n) {
             c.newEvents = n->eventsFired;
             c.newRate = n->eventsPerSec;
+            c.newInsts = n->instructions;
+            c.newInstRate = n->instsPerSec;
         }
+        // The two throughput metrics band independently; their
+        // ratios pool into one median so normalization cancels the
+        // same machine-speed factor for both.
         if (o && n && o->eventsPerSec > 0 && n->eventsPerSec > 0) {
             c.ratio = n->eventsPerSec / o->eventsPerSec;
-            if (o->eventsFired >= opts.minEvents)
+            if (o->gated && o->eventsFired >= opts.minEvents)
                 ratios.push_back(c.ratio);
+        }
+        if (o && n && o->instsPerSec > 0 && n->instsPerSec > 0) {
+            c.instRatio = n->instsPerSec / o->instsPerSec;
+            if (o->gated && o->instructions >= opts.minInstructions)
+                ratios.push_back(c.instRatio);
         }
         if (o && n && o->deterministicEvents &&
             n->deterministicEvents &&
             o->eventsFired != n->eventsFired) {
             c.eventsMismatch = true;
+        }
+        // Instruction counts are equally deterministic, but only
+        // files new enough to record them (nonzero) can be held to
+        // the exact match.
+        if (o && n && o->deterministicEvents &&
+            n->deterministicEvents && o->instructions > 0 &&
+            o->instructions != n->instructions) {
+            c.instsMismatch = true;
         }
         result.benches.push_back(std::move(c));
     }
@@ -204,12 +237,22 @@ compareBaselines(const Baseline &before, const Baseline &after,
             opts.speedNormalize && c.ratio > 0
                 ? c.ratio / result.medianRatio
                 : c.ratio;
-        if (c.inOld && c.inNew && c.ratio > 0 &&
-            c.oldEvents >= opts.minEvents &&
-            c.normalizedRatio < 1.0 - opts.tolerance) {
-            c.regressed = true;
+        c.normalizedInstRatio =
+            opts.speedNormalize && c.instRatio > 0
+                ? c.instRatio / result.medianRatio
+                : c.instRatio;
+        if (c.inOld && c.inNew && !c.notGated) {
+            if (c.ratio > 0 && c.oldEvents >= opts.minEvents &&
+                c.normalizedRatio < 1.0 - opts.tolerance) {
+                c.regressed = true;
+            }
+            if (c.instRatio > 0 &&
+                c.oldInsts >= opts.minInstructions &&
+                c.normalizedInstRatio < 1.0 - opts.tolerance) {
+                c.regressed = true;
+            }
         }
-        if (c.eventsMismatch || c.regressed)
+        if (c.eventsMismatch || c.instsMismatch || c.regressed)
             result.ok = false;
     }
     // A smoke run is not comparable to a full run: every per-bench
@@ -257,8 +300,12 @@ statusOf(const BenchComparison &c)
         return "removed";
     if (c.eventsMismatch)
         return "EVENTS-MISMATCH";
+    if (c.instsMismatch)
+        return "INSTS-MISMATCH";
     if (c.regressed)
         return "REGRESSED";
+    if (c.notGated)
+        return "not-gated";
     return "ok";
 }
 
@@ -279,10 +326,11 @@ renderComparison(std::ostream &os, const CompareResult &result,
     if (markdown)
         os << "| ";
     os << pad("bench", 28) << sep << pad("old ev/s", 10) << sep
-       << pad("new ev/s", 10) << sep << pad("ratio", 7) << sep
-       << pad("status", 8);
+       << pad("new ev/s", 10) << sep << pad("ev ratio", 8) << sep
+       << pad("old i/s", 10) << sep << pad("new i/s", 10) << sep
+       << pad("i ratio", 8) << sep << pad("status", 9);
     if (markdown) {
-        os << " |\n|---|---|---|---|---|";
+        os << " |\n|---|---|---|---|---|---|---|---|";
     }
     os << "\n";
 
@@ -293,8 +341,14 @@ renderComparison(std::ostream &os, const CompareResult &result,
            << sep << pad(fmtRate(c.newRate), 10) << sep
            << pad(fmtRatio(opts.speedNormalize ? c.normalizedRatio
                                                : c.ratio),
-                  7)
-           << sep << pad(statusOf(c), 8);
+                  8)
+           << sep << pad(fmtRate(c.oldInstRate), 10) << sep
+           << pad(fmtRate(c.newInstRate), 10) << sep
+           << pad(fmtRatio(opts.speedNormalize
+                               ? c.normalizedInstRatio
+                               : c.instRatio),
+                  8)
+           << sep << pad(statusOf(c), 9);
         if (markdown)
             os << " |";
         os << "\n";
@@ -311,7 +365,8 @@ renderComparison(std::ostream &os, const CompareResult &result,
         os << "warning: comparing baselines of different modes "
               "(smoke vs full)\n";
     os << "tolerance: " << int(opts.tolerance * 100 + 0.5)
-       << "% events/sec drop allowed\n";
+       << "% throughput drop allowed (events/sec and insts/sec; "
+          "not-gated benches are exempt)\n";
     os << "result: " << (result.ok ? "OK" : "REGRESSION") << "\n";
 }
 

@@ -12,7 +12,9 @@
  *     "benches": [
  *       { "bench": "bench_fig6_slo", "mode": "smoke", "jobs": 1,
  *         "events_fired": 123, "wall_seconds": 1.5,
- *         "events_per_sec": 82.0, "peak_rss_kb": 40000,
+ *         "events_per_sec": 82.0, "instructions": 2000000,
+ *         "insts_per_sec": 1333333.0, "gated": true,
+ *         "peak_rss_kb": 40000,
  *         "deterministic_events": true, "exit_code": 0,
  *         "harness_wall_seconds": 1.6 },
  *       ...
@@ -29,15 +31,27 @@
  *    *determinism regression* and always fails (bench_micro's
  *    google-benchmark iteration counts adapt to host speed, so it
  *    opts out).
- *  - events_per_sec is host-dependent. Comparing runs from different
+ *  - instructions is likewise a pure function of the workload
+ *    (perf::totalInstsRetired, the simulated-instruction count), so
+ *    deterministic benches also exact-match it — but only when the
+ *    old file recorded a nonzero count, so legacy baselines written
+ *    before the field existed still compare cleanly.
+ *  - events_per_sec and insts_per_sec are host-dependent. Each is a
+ *    separately banded metric: a bench participates in a metric's
+ *    band only when its old-side volume clears that metric's floor
+ *    (minEvents / minInstructions). Comparing runs from different
  *    machines, pass speedNormalize: every per-bench new/old ratio is
- *    divided by the suite's median ratio, cancelling overall machine
- *    speed and flagging only benches that regressed *relative to the
- *    rest of the suite*. Same-machine comparisons (the re-baseline
- *    workflow) can leave it off for absolute checking.
- *  - A bench regresses when its (normalized) ratio drops below
- *    1 - tolerance. New or removed benches are reported but do not
- *    fail the comparison.
+ *    divided by the suite's median ratio — pooled across both
+ *    metrics — cancelling overall machine speed and flagging only
+ *    benches that regressed *relative to the rest of the suite*.
+ *    Same-machine comparisons (the re-baseline workflow) can leave
+ *    it off for absolute checking.
+ *  - A bench regresses when a banded metric's (normalized) ratio
+ *    drops below 1 - tolerance. New or removed benches are reported
+ *    but do not fail the comparison.
+ *  - Benches below *both* floors carry an explicit "gated": false in
+ *    the file and are reported as not-gated: visible in the table,
+ *    exempt from the band (sub-millisecond runs are timing noise).
  */
 
 #ifndef HYPERTEE_TOOLS_BENCH_REPORT_BASELINE_HH
@@ -56,6 +70,22 @@ namespace hypertee::benchreport
 inline constexpr const char *baselineSchema =
     "hypertee-bench-baseline-v1";
 
+/**
+ * Band floors shared by the baseline writer (which derives each
+ * record's "gated" flag) and CompareOptions (whose defaults must
+ * agree, or a file's explicit flag would contradict the band).
+ */
+inline constexpr std::uint64_t gateMinEvents = 10000;
+inline constexpr std::uint64_t gateMinInstructions = 100000;
+
+/** The explicit per-record band-eligibility flag (see gated). */
+inline constexpr bool
+gatedByFloors(std::uint64_t events_fired, std::uint64_t instructions)
+{
+    return events_fired >= gateMinEvents ||
+           instructions >= gateMinInstructions;
+}
+
 /** One bench's measurement inside a baseline. */
 struct BenchRecord
 {
@@ -65,6 +95,17 @@ struct BenchRecord
     std::uint64_t eventsFired = 0;
     double wallSeconds = 0;
     double eventsPerSec = 0;
+    /** Simulated instructions retired (0 in pre-field baselines). */
+    std::uint64_t instructions = 0;
+    double instsPerSec = 0;
+    /**
+     * Whether the bench clears at least one band floor (events or
+     * instructions). Written explicitly so exemption from the perf
+     * band is a reviewed fact in the committed file, not an implicit
+     * threshold effect; derived from the floors when a legacy file
+     * lacks the field.
+     */
+    bool gated = true;
     std::uint64_t peakRssKb = 0;
     /** False for adaptive-iteration benches (bench_micro). */
     bool deterministicEvents = true;
@@ -108,10 +149,16 @@ struct CompareOptions
     bool speedNormalize = false;
     /**
      * Benches whose old run fired fewer events than this are
-     * reported but never regression-checked (or included in the
-     * median): sub-millisecond runs are pure timing noise.
+     * exempt from the events/sec band (and its median): sub-
+     * millisecond runs are pure timing noise.
      */
-    std::uint64_t minEvents = 10000;
+    std::uint64_t minEvents = gateMinEvents;
+    /**
+     * Floor for the insts/sec band, mirroring minEvents: benches
+     * that simulated fewer instructions than this on the old side
+     * are exempt from the instruction-throughput band.
+     */
+    std::uint64_t minInstructions = gateMinInstructions;
 };
 
 /** One bench's comparison outcome. */
@@ -124,12 +171,22 @@ struct BenchComparison
     std::uint64_t newEvents = 0;
     double oldRate = 0;
     double newRate = 0;
+    std::uint64_t oldInsts = 0;
+    std::uint64_t newInsts = 0;
+    double oldInstRate = 0;
+    double newInstRate = 0;
     /** newRate / oldRate; 0 when either side is missing or zero. */
     double ratio = 0;
     /** ratio / medianRatio when normalizing, else ratio. */
     double normalizedRatio = 0;
+    /** Same pair for the insts/sec metric. */
+    double instRatio = 0;
+    double normalizedInstRatio = 0;
+    /** Neither metric clears its floor: reported, never banded. */
+    bool notGated = false;
     bool eventsMismatch = false; ///< deterministic counts differ
-    bool regressed = false;      ///< events/sec below the band
+    bool instsMismatch = false;  ///< deterministic inst counts differ
+    bool regressed = false;      ///< a banded metric below the band
 };
 
 /** Whole-suite comparison outcome. */

@@ -29,7 +29,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <old.json> <new.json> "
-                 "[--tolerance=FRAC] [--min-events=N] "
+                 "[--tolerance=FRAC] [--min-events=N] [--min-insts=N] "
                  "[--speed-normalize] [--markdown]\n",
                  argv0);
 }
@@ -55,6 +55,15 @@ main(int argc, char **argv)
                 arg.c_str() + std::strlen("--min-events="), &end, 10);
             if (!end || *end != '\0') {
                 std::fprintf(stderr, "bad --min-events value: %s\n",
+                             arg.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--min-insts=", 0) == 0) {
+            char *end = nullptr;
+            opts.minInstructions = std::strtoull(
+                arg.c_str() + std::strlen("--min-insts="), &end, 10);
+            if (!end || *end != '\0') {
+                std::fprintf(stderr, "bad --min-insts value: %s\n",
                              arg.c_str());
                 return 2;
             }

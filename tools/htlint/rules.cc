@@ -1009,6 +1009,218 @@ checkHeaderHygiene(const SourceFile &f, const Project &,
     }
 }
 
+// ------------------------------------------------- hot-loop-dispatch
+
+/**
+ * Matching '>' of a template argument list whose '<' is at @p lt;
+ * 0 when the list never closes (then this was a comparison, not a
+ * template argument list).
+ */
+std::size_t
+matchAngle(const std::vector<Token> &toks, std::size_t lt)
+{
+    int depth = 0;
+    for (std::size_t i = lt; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (t == "<") {
+            ++depth;
+        } else if (t == ">") {
+            if (--depth == 0)
+                return i;
+        } else if (t == ";" || t == "{" || t == "}") {
+            break;
+        }
+    }
+    return 0;
+}
+
+/** Is toks[i..] the start of `std :: name` ? Returns index past it. */
+std::size_t
+matchStdName(const std::vector<Token> &toks, std::size_t i,
+             const char *name)
+{
+    if (i + 2 < toks.size() && toks[i].text == "std" &&
+        toks[i + 1].text == "::" && toks[i + 2].text == name)
+        return i + 3;
+    return 0;
+}
+
+/**
+ * Dispatch declarations the project knows about: which names are
+ * std::function-typed callables and which are unique_ptr members,
+ * and which classes act as interfaces (someone derives from them).
+ */
+struct DispatchDecls
+{
+    std::set<std::string> functionTypes; ///< aliases of std::function
+    std::set<std::string> functionVars;  ///< variables of those types
+    std::map<std::string, std::string> uniquePtrVars; ///< name -> T
+    std::set<std::string> interfaces; ///< classes with derived classes
+};
+
+DispatchDecls
+collectDispatchDecls(const Project &proj)
+{
+    DispatchDecls d;
+    // Pass 1: `using X = std::function<...>` aliases, class names.
+    std::vector<std::string> classes;
+    for (const auto &file : proj.files()) {
+        const auto &toks = file->tokens();
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].text == "using" &&
+                toks[i + 1].kind == TokKind::Identifier &&
+                toks[i + 2].text == "=") {
+                if (matchStdName(toks, i + 3, "function"))
+                    d.functionTypes.insert(toks[i + 1].text);
+            }
+        }
+        for (const Block &blk : file->blocks())
+            if (blk.kind == Block::Kind::Type && !blk.name.empty())
+                classes.push_back(blk.name);
+    }
+    // A class is an interface when any project class derives from
+    // it (transitively) -- calls through a pointer to it dispatch
+    // virtually in practice.
+    for (const std::string &c : classes) {
+        std::deque<std::string> work(proj.basesOf(c).begin(),
+                                     proj.basesOf(c).end());
+        while (!work.empty()) {
+            std::string base = work.front();
+            work.pop_front();
+            if (!d.interfaces.insert(base).second)
+                continue;
+            for (const std::string &b : proj.basesOf(base))
+                work.push_back(b);
+        }
+    }
+    // Pass 2: variable/member declarations of the interesting types.
+    for (const auto &file : proj.files()) {
+        const auto &toks = file->tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].inDirective)
+                continue;
+            // `std::function<...> name` (members, locals, params).
+            if (std::size_t after = matchStdName(toks, i, "function");
+                after && after < toks.size() &&
+                toks[after].text == "<") {
+                std::size_t gt = matchAngle(toks, after);
+                if (gt && gt + 1 < toks.size() &&
+                    toks[gt + 1].kind == TokKind::Identifier)
+                    d.functionVars.insert(toks[gt + 1].text);
+                continue;
+            }
+            // `Alias name` where Alias names a std::function type.
+            if (toks[i].kind == TokKind::Identifier &&
+                d.functionTypes.count(toks[i].text) &&
+                i + 1 < toks.size() &&
+                toks[i + 1].kind == TokKind::Identifier)
+                d.functionVars.insert(toks[i + 1].text);
+            // `std::unique_ptr<T> name`.
+            if (std::size_t after =
+                    matchStdName(toks, i, "unique_ptr");
+                after && after < toks.size() &&
+                toks[after].text == "<" && after + 1 < toks.size() &&
+                toks[after + 1].kind == TokKind::Identifier) {
+                std::size_t gt = matchAngle(toks, after);
+                if (gt && gt + 1 < toks.size() &&
+                    toks[gt + 1].kind == TokKind::Identifier)
+                    d.uniquePtrVars[toks[gt + 1].text] =
+                        toks[after + 1].text;
+            }
+        }
+    }
+    return d;
+}
+
+/** Function blocks carrying the hot-loop annotation comment. */
+std::vector<std::size_t>
+hotLoopFunctions(const SourceFile &f)
+{
+    std::vector<std::size_t> hot;
+    const auto &toks = f.tokens();
+    for (const Comment &cm : f.comments()) {
+        if (cm.text.find("htlint: hot-loop") == std::string::npos ||
+            cm.text.find("hot-loop-dispatch") != std::string::npos)
+            continue;
+        // The annotation marks the next function defined after it:
+        // the first Function block whose body opens at or below the
+        // comment (the signature itself may span template and
+        // return-type lines between the two).
+        std::size_t best = 0;
+        bool found = false;
+        for (std::size_t b = 0; b < f.blocks().size(); ++b) {
+            const Block &blk = f.blocks()[b];
+            if (blk.kind != Block::Kind::Function)
+                continue;
+            if (toks[blk.open].line < cm.endLine)
+                continue;
+            if (!found || blk.open < f.blocks()[best].open) {
+                best = b;
+                found = true;
+            }
+        }
+        if (found)
+            hot.push_back(best);
+    }
+    return hot;
+}
+
+void
+checkHotLoopDispatch(const Project &proj, std::vector<Diagnostic> &out)
+{
+    DispatchDecls decls = collectDispatchDecls(proj);
+    for (const auto &file : proj.files()) {
+        const SourceFile &f = *file;
+        const auto &toks = f.tokens();
+        for (std::size_t b : hotLoopFunctions(f)) {
+            const Block &blk = f.blocks()[b];
+            for (std::size_t i = blk.open + 1;
+                 i < blk.close && i < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.inDirective || t.kind != TokKind::Identifier)
+                    continue;
+                // `callable(...)` through a std::function --
+                // opaque indirect call per op.
+                if (decls.functionVars.count(t.text) &&
+                    i + 1 < toks.size() && toks[i + 1].text == "(" &&
+                    (i == 0 || (toks[i - 1].text != "." &&
+                                toks[i - 1].text != "->" &&
+                                toks[i - 1].text != "::"))) {
+                    report(out, f, t.line, "hot-loop-dispatch",
+                           "call through std::function '" + t.text +
+                               "' inside hot-loop function '" +
+                               blk.name +
+                               "' -- hoist the target out of the "
+                               "loop or take the cold path "
+                               "out-of-line");
+                    continue;
+                }
+                // `ptr->method(...)` where ptr is a unique_ptr to a
+                // class with derived classes: a virtual dispatch on
+                // the per-instruction path.
+                auto up = decls.uniquePtrVars.find(t.text);
+                if (up != decls.uniquePtrVars.end() &&
+                    decls.interfaces.count(up->second) &&
+                    i + 3 < toks.size() && toks[i + 1].text == "->" &&
+                    toks[i + 2].kind == TokKind::Identifier &&
+                    toks[i + 3].text == "(") {
+                    report(out, f, t.line, "hot-loop-dispatch",
+                           "virtual call '" + t.text + "->" +
+                               toks[i + 2].text +
+                               "()' through unique_ptr<" +
+                               up->second +
+                               "> inside hot-loop function '" +
+                               blk.name +
+                               "' -- devirtualize: select the "
+                               "concrete type once per run and "
+                               "dispatch statically inside the "
+                               "loop");
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -1059,6 +1271,12 @@ allRules()
          "headers need an include guard and must not contain "
          "'using namespace'",
          &checkHeaderHygiene},
+        {"hot-loop-dispatch",
+         "functions annotated '// htlint: hot-loop' must not call "
+         "through std::function or virtually through a unique_ptr "
+         "to an interface -- per-op indirect dispatch belongs "
+         "outside the instruction path (whole-program)",
+         nullptr, &checkHotLoopDispatch},
     };
     return rules;
 }
