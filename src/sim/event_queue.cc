@@ -6,6 +6,14 @@
 namespace hypertee
 {
 
+EventQueue::~EventQueue()
+{
+    for (HeapEntry &entry : _heap) {
+        entry.event->_heapIndex = Event::notInHeap;
+        entry.event->_queue = nullptr;
+    }
+}
+
 void
 EventQueue::siftUp(std::size_t hole, HeapEntry entry)
 {
@@ -66,6 +74,7 @@ EventQueue::schedule(Event *ev, Tick when)
             "' scheduled in the past (", when, " < ", _now, ")");
 
     ev->_when = when;
+    ev->_queue = this;
     _heap.push_back(HeapEntry{when, _seq++, ev});
     siftUp(_heap.size() - 1, _heap.back());
 }
@@ -78,6 +87,7 @@ EventQueue::deschedule(Event *ev)
             "' is not scheduled");
     std::size_t index = ev->_heapIndex;
     ev->_heapIndex = Event::notInHeap;
+    ev->_queue = nullptr;
     removeAt(index);
 }
 
@@ -114,6 +124,7 @@ EventQueue::step()
     panicIf(when < _now, "event queue time went backwards");
     _now = when;
     ev->_heapIndex = Event::notInHeap;
+    ev->_queue = nullptr;
     removeAt(0);
     ++_fired;
     perf::noteEventFired();

@@ -31,6 +31,8 @@
 namespace hypertee
 {
 
+class EventQueue;
+
 /**
  * A schedulable unit of work. Events are owned by the caller; the
  * queue holds non-owning heap entries and an event knows its own
@@ -43,6 +45,19 @@ class Event
     explicit Event(std::string name, std::function<void()> callback)
         : _name(std::move(name)), _callback(std::move(callback))
     {}
+
+    /**
+     * Destroying a still-scheduled event cancels it: the queue holds
+     * a non-owning pointer, so anything else would leave a dangling
+     * entry in the heap that fires into freed memory.
+     */
+    ~Event();
+
+    // Non-copyable, non-movable: the queue's heap entry points at
+    // this exact object, and a copy would carry the intrusive heap
+    // index without the heap knowing about it.
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
 
     const std::string &name() const { return _name; }
     bool scheduled() const { return _heapIndex != notInHeap; }
@@ -59,6 +74,9 @@ class Event
     Tick _when = 0;
     /** Position in EventQueue::_heap; notInHeap when unscheduled. */
     std::size_t _heapIndex = notInHeap;
+    /** The queue holding this event while scheduled (recorded at
+     *  schedule() time), so ~Event() can deschedule itself. */
+    EventQueue *_queue = nullptr;
 };
 
 /**
@@ -72,6 +90,10 @@ class EventQueue
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Unbind still-scheduled events so their destructors do not
+     *  reach back into a dead queue (teardown-order safety). */
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -161,6 +183,12 @@ class EventQueue
     std::uint64_t _seq = 0;
     std::uint64_t _fired = 0;
 };
+
+inline Event::~Event()
+{
+    if (scheduled() && _queue)
+        _queue->deschedule(this);
+}
 
 } // namespace hypertee
 

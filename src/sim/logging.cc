@@ -1,5 +1,7 @@
 #include "sim/logging.hh"
 
+#include <atomic>
+
 namespace hypertee
 {
 namespace logging_detail
@@ -7,19 +9,21 @@ namespace logging_detail
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic: shard workers may inform() while the driver toggles
+// verbosity (benches silence logging around parallel sections).
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load();
 }
 
 void

@@ -207,12 +207,17 @@ class TraceSink
     }
 
     std::size_t eventCount() const;
-    /** Direct buffer access; only valid once recording has quiesced
-     *  (tests and the end-of-run export). */
-    const std::vector<TraceEvent> &events() const
+    /**
+     * A consistent snapshot of the recorded events, copied under the
+     * sink's lock so it is safe against concurrent recording. The
+     * name views inside point into the sink's string arena and stay
+     * valid until clear().
+     */
+    std::vector<TraceEvent>
+    events() const
     {
-        // Quiesced-only by contract, so no lock is taken here.
-        return _events; // htlint: allow(guarded-by)
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _events;
     }
 
     /** Forget all events, drops, and the timeline cursor. */

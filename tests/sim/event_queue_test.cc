@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -232,8 +235,7 @@ TEST(EventQueue, RescheduleStormDoesNotGrowStorage)
     EventQueue eq;
     constexpr std::size_t k = 8;
     std::vector<Event *> timers;
-    std::vector<Event> storage;
-    storage.reserve(k);
+    std::deque<Event> storage; // deque: Event is pinned (non-movable)
     for (std::size_t i = 0; i < k; ++i) {
         storage.emplace_back("timer", [] {});
         timers.push_back(&storage.back());
@@ -266,8 +268,7 @@ TEST(EventQueue, DescheduleHeavyDoesNotGrowStorage)
 TEST(EventQueue, RecordCountAlwaysMatchesLiveCount)
 {
     EventQueue eq;
-    std::vector<Event> events;
-    events.reserve(64);
+    std::deque<Event> events; // deque: Event is pinned (non-movable)
     for (std::size_t i = 0; i < 64; ++i)
         events.emplace_back("e", [] {});
     // A mixed schedule/deschedule/reschedule workload, checking the
@@ -311,6 +312,66 @@ TEST(EventQueue, FiringOrderMatchesScheduleOrderUnderChurn)
     eq.deschedule(&c); // forces a swap-with-last + sift
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 4}));
+}
+
+// ---- lifetime safety: no dangling heap entries in either
+// destruction order ----
+
+TEST(EventQueue, DestroyingScheduledEventCancelsIt)
+{
+    // The queue holds a non-owning pointer; if the event dies first,
+    // its destructor must pull the entry out of the heap or run()
+    // would fire into freed memory.
+    EventQueue eq;
+    bool other_fired = false;
+    Event keeper("keeper", [&] { other_fired = true; });
+    eq.schedule(&keeper, 200);
+    {
+        std::optional<Event> doomed;
+        doomed.emplace("doomed", [] { FAIL() << "fired after death"; });
+        eq.schedule(&*doomed, 100);
+        EXPECT_EQ(eq.size(), 2u);
+    } // doomed destroyed while still scheduled
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_TRUE(other_fired);
+    EXPECT_EQ(eq.eventsFired(), 1u);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueue, DestroyingQueueFirstLeavesEventsSafelyUnscheduled)
+{
+    // Reverse teardown order: the queue dies while events are still
+    // scheduled. The queue destructor unbinds them so the event
+    // destructors do not reach back into freed queue storage.
+    Event a("a", [] {});
+    Event b("b", [] {});
+    {
+        EventQueue eq;
+        eq.schedule(&a, 10);
+        eq.schedule(&b, 20);
+        EXPECT_TRUE(a.scheduled());
+    }
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_FALSE(b.scheduled());
+    // a and b destruct safely at end of scope.
+}
+
+TEST(EventQueue, FiredAndDescheduledEventsForgetTheirQueue)
+{
+    // An event that fired or was cancelled is unbound: destroying it
+    // after the queue is gone must not touch the dead queue.
+    auto eq = std::make_unique<EventQueue>();
+    Event fired("fired", [] {});
+    Event cancelled("cancelled", [] {});
+    eq->schedule(&fired, 5);
+    eq->schedule(&cancelled, 7);
+    eq->deschedule(&cancelled);
+    eq->run();
+    eq.reset();
+    EXPECT_FALSE(fired.scheduled());
+    EXPECT_FALSE(cancelled.scheduled());
+    // Both destruct after the queue; nothing to deschedule.
 }
 
 TEST(EventQueueDeath, SchedulingInThePastPanics)

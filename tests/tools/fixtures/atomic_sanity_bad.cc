@@ -1,0 +1,56 @@
+// Fixture: atomics used with the right types but the wrong
+// operations -- split load/store read-modify-writes, a relaxed store
+// publishing a readiness flag, and double-checked locking whose fast
+// path lacks acquire. Each shape loses a real hardware guarantee.
+#include <atomic>
+#include <mutex>
+
+namespace hypertee
+{
+namespace
+{
+
+std::atomic<unsigned long> opsCount{0};
+std::atomic<bool> dataReady{false};
+std::atomic<int> initState{0};
+std::mutex initMutex;
+int payload = 0;
+
+} // namespace
+
+void
+recordOp()
+{
+    opsCount = opsCount + 1; // BAD: load and store race separately
+}
+
+void
+bumpViaStore()
+{
+    opsCount.store(opsCount.load() + 1); // BAD: same split, spelled out
+}
+
+void
+publishPayload(int value)
+{
+    payload = value;
+    // BAD: relaxed store; the payload write above may not be visible.
+    dataReady.store(true, std::memory_order_relaxed);
+}
+
+int
+ensureInit()
+{
+    // BAD: relaxed fast-path load; needs acquire to see the
+    // initialization published under the lock.
+    if (initState.load(std::memory_order_relaxed) == 0) {
+        std::lock_guard<std::mutex> lock(initMutex);
+        if (initState.load() == 0) {
+            payload = 42;
+            initState.store(1);
+        }
+    }
+    return payload;
+}
+
+} // namespace hypertee

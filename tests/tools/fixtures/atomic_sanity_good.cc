@@ -1,0 +1,55 @@
+// Fixture: the compliant counterpart -- single-instruction RMWs, a
+// release/acquire flag handoff, acquire on the double-checked fast
+// path, and a CAS retry loop (whose load-then-compare_exchange shape
+// must NOT be mistaken for a split RMW).
+#include <atomic>
+#include <mutex>
+
+namespace hypertee
+{
+namespace
+{
+
+std::atomic<unsigned long> opsCount{0};
+std::atomic<bool> dataReady{false};
+std::atomic<int> initState{0};
+std::mutex initMutex;
+int payload = 0;
+
+} // namespace
+
+void
+recordOp()
+{
+    opsCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+bumpViaCas()
+{
+    unsigned long cur = opsCount.load(std::memory_order_relaxed);
+    while (!opsCount.compare_exchange_weak(cur, cur + 1)) {
+    }
+}
+
+void
+publishPayload(int value)
+{
+    payload = value;
+    dataReady.store(true, std::memory_order_release);
+}
+
+int
+ensureInit()
+{
+    if (initState.load(std::memory_order_acquire) == 0) {
+        std::lock_guard<std::mutex> lock(initMutex);
+        if (initState.load() == 0) {
+            payload = 42;
+            initState.store(1, std::memory_order_release);
+        }
+    }
+    return payload;
+}
+
+} // namespace hypertee

@@ -1,0 +1,30 @@
+// Fixture: a class owning two mutexes. The paired .cc fixtures
+// acquire them in conflicting orders across TU boundaries (one leg
+// nested lexically, the other reached through a call), which the
+// lock-order rule must stitch into a single deadlock cycle.
+#ifndef HTLINT_FIXTURE_LOCK_ORDER_HH
+#define HTLINT_FIXTURE_LOCK_ORDER_HH
+
+#include <mutex>
+
+namespace hypertee
+{
+
+class Ledger
+{
+  public:
+    void credit(int amount);
+    void debit(int amount);
+
+  private:
+    void appendJournal(int amount);
+
+    std::mutex _accounts;
+    std::mutex _journal;
+    long _balance = 0;
+    int _writes = 0;
+};
+
+} // namespace hypertee
+
+#endif // HTLINT_FIXTURE_LOCK_ORDER_HH

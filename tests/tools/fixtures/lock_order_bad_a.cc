@@ -1,0 +1,18 @@
+// Fixture: one leg of a cross-TU deadlock -- credit() nests _journal
+// inside _accounts. Harmless on its own; the conflicting order lives
+// in lock_order_bad_b.cc.
+#include "lock_order.hh"
+
+namespace hypertee
+{
+
+void
+Ledger::credit(int amount)
+{
+    std::lock_guard<std::mutex> accounts(_accounts);
+    _balance += amount;
+    std::lock_guard<std::mutex> journal(_journal);
+    ++_writes;
+}
+
+} // namespace hypertee

@@ -1,0 +1,24 @@
+// Fixture: the other leg of the deadlock -- debit() holds _journal
+// across a call to appendJournal(), which acquires _accounts. The
+// rule must follow the call to see the transitive _journal ->
+// _accounts edge that closes the cycle against lock_order_bad_a.cc.
+#include "lock_order.hh"
+
+namespace hypertee
+{
+
+void
+Ledger::debit(int amount)
+{
+    std::lock_guard<std::mutex> journal(_journal);
+    appendJournal(amount);
+}
+
+void
+Ledger::appendJournal(int amount)
+{
+    std::lock_guard<std::mutex> accounts(_accounts);
+    _balance -= amount;
+}
+
+} // namespace hypertee

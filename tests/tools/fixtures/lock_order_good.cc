@@ -1,0 +1,33 @@
+// Fixture: the compliant counterpart -- every path takes _accounts
+// before _journal (lexically in credit(), through the appendJournal()
+// call in debit()), so the acquisition graph has edges but no cycle.
+#include "lock_order.hh"
+
+namespace hypertee
+{
+
+void
+Ledger::credit(int amount)
+{
+    std::lock_guard<std::mutex> accounts(_accounts);
+    _balance += amount;
+    std::lock_guard<std::mutex> journal(_journal);
+    ++_writes;
+}
+
+void
+Ledger::debit(int amount)
+{
+    std::lock_guard<std::mutex> accounts(_accounts);
+    _balance -= amount;
+    appendJournal(amount);
+}
+
+void
+Ledger::appendJournal(int amount)
+{
+    std::lock_guard<std::mutex> journal(_journal);
+    ++_writes;
+}
+
+} // namespace hypertee

@@ -1,9 +1,9 @@
 // Fixture: a class with lock-discipline annotations. The annotated
 // fields live here; the accesses under test live in the paired .cc
 // fixtures, so the rule must carry the annotation across the TU
-// boundary.
-#ifndef HTLINT_FIXTURE_GUARDED_BY_HH
-#define HTLINT_FIXTURE_GUARDED_BY_HH
+// boundary and prove *Locked-helper accesses through their callers.
+#ifndef HTLINT_FIXTURE_LOCKSET_HH
+#define HTLINT_FIXTURE_LOCKSET_HH
 
 #include <mutex>
 #include <vector>
@@ -16,7 +16,6 @@ class EventLog
   public:
     void append(int value);
     std::size_t size() const;
-    void clearUnlocked(); // deliberate bad accessor in the .cc
 
   private:
     std::size_t countLocked() const;
@@ -29,4 +28,4 @@ class EventLog
 
 } // namespace hypertee
 
-#endif // HTLINT_FIXTURE_GUARDED_BY_HH
+#endif // HTLINT_FIXTURE_LOCKSET_HH

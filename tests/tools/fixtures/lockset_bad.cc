@@ -1,0 +1,29 @@
+// Fixture: guarded fields touched without the annotated mutex. The
+// direct accesses in append() fire on their own; countLocked() only
+// fires because its caller size() fails to hold the lock -- the
+// interprocedural half of the lockset rule.
+#include "lockset.hh"
+
+namespace hypertee
+{
+
+void
+EventLog::append(int value)
+{
+    _entries.push_back(value); // no lock: BAD
+    ++_appends;                // no lock: BAD
+}
+
+std::size_t
+EventLog::size() const
+{
+    return countLocked(); // forgets the lock the helper relies on
+}
+
+std::size_t
+EventLog::countLocked() const
+{
+    return _entries.size(); // BAD: the only caller is unlocked
+}
+
+} // namespace hypertee

@@ -1,8 +1,8 @@
 // Fixture: the compliant counterpart -- every access happens under
-// the annotated mutex, via a *Locked() helper that documents its
-// caller holds the lock, or in the constructor before the object is
-// shared.
-#include "guarded_by.hh"
+// the annotated mutex, either lexically or proven through the caller:
+// countLocked() never locks, but its only caller does, so the lockset
+// analysis accepts it without any name-pattern exemption.
+#include "lockset.hh"
 
 namespace hypertee
 {
@@ -25,7 +25,7 @@ EventLog::size() const
 std::size_t
 EventLog::countLocked() const
 {
-    return _entries.size(); // caller holds _mutex by convention
+    return _entries.size(); // caller-proven: size() holds _mutex
 }
 
 } // namespace hypertee

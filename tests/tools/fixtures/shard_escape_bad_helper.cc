@@ -1,0 +1,21 @@
+// Fixture: the escape itself -- a plain mutable global mutated by a
+// helper that shard code reaches through shard_escape_bad_root.cc.
+// Neither TU looks wrong alone; only the two-hop chain races.
+#include "shard_escape_tally.hh"
+
+namespace hypertee
+{
+namespace
+{
+
+unsigned long hitTally = 0;
+
+} // namespace
+
+void
+recordShardHit()
+{
+    ++hitTally; // BAD when reached from a shard: unsynchronized
+}
+
+} // namespace hypertee

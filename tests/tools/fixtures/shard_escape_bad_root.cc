@@ -1,0 +1,18 @@
+// Fixture: shard-executed entry point. The body looks innocent -- the
+// escape happens two hops away, in the helper TU, so the rule must
+// follow the call graph out of the shard root.
+#include "shard_escape_tally.hh"
+
+namespace hypertee
+{
+
+class ShardContext;
+
+void
+shardWorkerBody(ShardContext &ctx)
+{
+    (void)ctx;
+    recordShardHit();
+}
+
+} // namespace hypertee

@@ -1,0 +1,28 @@
+// Fixture: the compliant counterpart -- the same two-hop chain, but
+// the shared state is an atomic or sits behind a mutex, which the
+// rule recognizes as legitimate cross-shard protection.
+#include "shard_escape_tally.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace hypertee
+{
+namespace
+{
+
+std::atomic<unsigned long> hitTally{0};
+std::mutex tallyMutex;
+unsigned long lockedTally = 0;
+
+} // namespace
+
+void
+recordShardHit()
+{
+    hitTally.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(tallyMutex);
+    ++lockedTally;
+}
+
+} // namespace hypertee

@@ -1,0 +1,13 @@
+// Fixture: shared header for the shard-escape pair; the helper's
+// definition (safe or racy) lives in the paired .cc fixtures.
+#ifndef HTLINT_FIXTURE_SHARD_ESCAPE_TALLY_HH
+#define HTLINT_FIXTURE_SHARD_ESCAPE_TALLY_HH
+
+namespace hypertee
+{
+
+void recordShardHit();
+
+} // namespace hypertee
+
+#endif // HTLINT_FIXTURE_SHARD_ESCAPE_TALLY_HH

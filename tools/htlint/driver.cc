@@ -1,6 +1,8 @@
 #include "tools/htlint/driver.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -211,7 +213,7 @@ editDistance(const std::string &a, const std::string &b)
 const char usage[] =
     "usage: htlint [--rules=r1,r2] [--format=text|sarif]\n"
     "              [--baseline=FILE] [--write-baseline=FILE]\n"
-    "              [--jobs=N] [--no-default-excludes]\n"
+    "              [--jobs=N] [--no-default-excludes] [--stats]\n"
     "              [--list-rules] [--list-suppressions]\n"
     "              <files-or-dirs>...\n";
 
@@ -299,6 +301,8 @@ parseArgs(int argc, const char *const *argv, Options &opts,
             opts.listSuppressions = true;
         } else if (arg == "--no-default-excludes") {
             opts.defaultExcludes = false;
+        } else if (arg == "--stats") {
+            opts.stats = true;
         } else if (arg.rfind("--rules=", 0) == 0) {
             std::string list = arg.substr(8);
             std::size_t start = 0;
@@ -414,12 +418,19 @@ runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
             out << r.name << "\n    " << r.description << "\n";
         return 0;
     }
+    // Wall-clock is legal here (no-wallclock scopes to src/): the
+    // --stats phase report is how CI proves the full-tree scan stays
+    // fast as rules accumulate.
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
     std::vector<std::string> files =
         collectFiles(opts.paths, err, opts.defaultExcludes);
     if (files.empty()) {
         err << "htlint: no input files\n";
         return 2;
     }
+    const auto tCollect = Clock::now();
 
     // Load (lex + scope analysis) in parallel, then assemble the
     // project in deterministic file order.
@@ -444,6 +455,7 @@ runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
         for (std::thread &w : workers)
             w.join();
     }
+    const auto tLoad = Clock::now();
 
     Project proj;
     for (std::size_t i = 0; i < files.size(); ++i) {
@@ -488,7 +500,33 @@ runHtlint(const Options &opts, std::ostream &out, std::ostream &err)
         return 0;
     }
 
+    // Force the lazy phases individually so --stats attributes time
+    // to index / callgraph / rules instead of lumping them together.
+    proj.index();
+    const auto tIndex = Clock::now();
+    proj.callGraph();
+    const auto tGraph = Clock::now();
+
     std::vector<Diagnostic> diags = proj.run(opts.rules);
+    const auto tRules = Clock::now();
+
+    if (opts.stats) {
+        auto ms = [](Clock::time_point a, Clock::time_point b) {
+            return std::chrono::duration<double, std::milli>(b - a)
+                .count();
+        };
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "htlint: --stats: collect %.1f ms, load %.1f ms, "
+            "index %.1f ms, callgraph %.1f ms, rules %.1f ms, "
+            "total %.1f ms (%zu files, jobs=%d)\n",
+            ms(t0, tCollect), ms(tCollect, tLoad),
+            ms(tLoad, tIndex), ms(tIndex, tGraph),
+            ms(tGraph, tRules), ms(t0, tRules), files.size(),
+            opts.jobs);
+        err << buf;
+    }
 
     if (!opts.writeBaselinePath.empty()) {
         std::ofstream bl(opts.writeBaselinePath);

@@ -33,6 +33,9 @@ struct Options
     std::string writeBaselinePath;
     /** Parallel file-loading threads; 1 = serial. */
     int jobs = 1;
+    /** Print per-phase wall times (collect/load/index/callgraph/
+     *  analyze) to stderr after the scan. */
+    bool stats = false;
     /** Skip directories named "fixtures" (lint-fixture corpora). */
     bool defaultExcludes = true;
 };

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Whole-program concurrency analysis over the index/callgraph
+ * pipeline: must-hold lockset propagation (`lockset`), the global
+ * lock-acquisition-order graph (`lock-order`), atomics misuse
+ * (`atomic-sanity`), and mutable state escaping into shard-executed
+ * code (`shard-escape`).
+ *
+ * Everything is built on one shared model: per function, the list of
+ * mutex acquisitions (RAII guards and direct `.lock()` calls) with
+ * the token range each one is held over. The lockset rule asks "is
+ * this guarded field access inside such a range, or do *all* callers
+ * provably hold the mutex at the call site?"; the lock-order rule
+ * turns "acquired B while holding A" (directly or transitively
+ * through calls) into a directed graph and reports its cycles; the
+ * shard rule treats a held lock as legitimate protection.
+ *
+ * Like the rest of htlint this is lexer+scope based, and the call
+ * graph over-approximates: a spurious edge can make lock-order more
+ * conservative but can also *prove* a lockset via a caller that never
+ * really calls the helper -- acceptable for a linter whose findings
+ * are reviewed, and far stronger than the name-pattern (`*Locked`)
+ * exemptions it replaces.
+ */
+
+#ifndef HYPERTEE_TOOLS_HTLINT_LOCKS_HH
+#define HYPERTEE_TOOLS_HTLINT_LOCKS_HH
+
+#include <vector>
+
+#include "tools/htlint/rules.hh"
+
+namespace hypertee::htlint
+{
+
+/** `lockset`: guarded-by fields need a held or caller-proven lock. */
+void checkLockset(const Project &proj, std::vector<Diagnostic> &out);
+
+/** `lock-order`: cycles in the global acquisition-order graph. */
+void checkLockOrder(const Project &proj, std::vector<Diagnostic> &out);
+
+/** `atomic-sanity`: split RMWs, relaxed handoffs, DCL w/o acquire. */
+void checkAtomicSanity(const Project &proj,
+                       std::vector<Diagnostic> &out);
+
+/** `shard-escape`: shared mutable state reached from shard code. */
+void checkShardEscape(const Project &proj,
+                      std::vector<Diagnostic> &out);
+
+} // namespace hypertee::htlint
+
+#endif // HYPERTEE_TOOLS_HTLINT_LOCKS_HH

@@ -14,6 +14,7 @@
 
 #include "tools/htlint/callgraph.hh"
 #include "tools/htlint/index.hh"
+#include "tools/htlint/locks.hh"
 #include "tools/htlint/taint.hh"
 
 namespace hypertee::htlint
@@ -296,88 +297,6 @@ checkMediationPath(const Project &proj, std::vector<Diagnostic> &out)
                        " is reachable from a CS-side entry point "
                        "with no ownership-bitmap/range check on the "
                        "path: " + chain);
-        }
-    }
-}
-
-// ------------------------------------------------------------ guarded-by
-
-/**
- * Does the token range (open, @p before) of @p f take @p mutex_name?
- * Recognizes the RAII wrappers (std::lock_guard/scoped_lock/
- * unique_lock/shared_lock constructed on the mutex) and a direct
- * `mutex.lock()`.
- */
-bool
-locksMutex(const SourceFile &f, std::size_t open, std::size_t before,
-           const std::string &mutex_name)
-{
-    const auto &toks = f.tokens();
-    for (std::size_t k = open + 1; k < before && k < toks.size();
-         ++k) {
-        const Token &t = toks[k];
-        if (t.inDirective || t.kind != TokKind::Identifier)
-            continue;
-        if (t.text == "lock_guard" || t.text == "scoped_lock" ||
-            t.text == "unique_lock" || t.text == "shared_lock") {
-            for (std::size_t m = k + 1;
-                 m < before && m < k + 12 && m < toks.size(); ++m) {
-                if (toks[m].kind == TokKind::Identifier &&
-                    toks[m].text == mutex_name)
-                    return true;
-                if (toks[m].text == ";")
-                    break;
-            }
-        }
-        if (t.text == mutex_name && k + 2 < toks.size() &&
-            (toks[k + 1].text == "." || toks[k + 1].text == "->") &&
-            toks[k + 2].text == "lock")
-            return true;
-    }
-    return false;
-}
-
-void
-checkGuardedBy(const Project &proj, std::vector<Diagnostic> &out)
-{
-    const ProjectIndex &idx = proj.index();
-    const auto &files = proj.files();
-
-    for (const GuardedField &gf : idx.guardedFields()) {
-        if (gf.className.empty())
-            continue;
-        for (const auto &fptr : files) {
-            const SourceFile &f = *fptr;
-            const auto &toks = f.tokens();
-            for (std::size_t i = 0; i < toks.size(); ++i) {
-                const Token &t = toks[i];
-                if (t.inDirective ||
-                    t.kind != TokKind::Identifier ||
-                    t.text != gf.field)
-                    continue;
-                int fb = f.enclosingFunction(i);
-                if (fb < 0)
-                    continue; // declaration / member-init list
-                const Block &blk =
-                    f.blocks()[static_cast<std::size_t>(fb)];
-                if (blk.className != gf.className)
-                    continue; // another class's same-named member
-                if (blk.name == gf.className)
-                    continue; // ctor/dtor: no concurrent access yet
-                // By convention `fooLocked()` helpers run with the
-                // lock already held by their caller.
-                if (blk.name.size() > 6 &&
-                    blk.name.compare(blk.name.size() - 6, 6,
-                                     "Locked") == 0)
-                    continue;
-                if (locksMutex(f, blk.open, i, gf.mutexName))
-                    continue;
-                report(out, f, t.line, "guarded-by",
-                       gf.className + "::" + gf.field +
-                           " is guarded-by(" + gf.mutexName +
-                           ") but '" + blk.name +
-                           "' accesses it without taking the lock");
-            }
         }
     }
 }
@@ -1232,10 +1151,26 @@ allRules()
          "PhysicalMemory access outside src/mem/ must pass an "
          "ownership-bitmap/range check (whole-program)",
          nullptr, &checkMediationPath},
-        {"guarded-by",
+        {"lockset",
          "fields annotated '// htlint: guarded-by(m)' may only be "
-         "accessed in scopes that lock m (whole-program)",
-         nullptr, &checkGuardedBy},
+         "accessed where m is held -- lexically or proven through "
+         "every caller's lockset (whole-program)",
+         nullptr, &checkLockset},
+        {"lock-order",
+         "the global lock-acquisition-order graph (including "
+         "acquisitions reached through calls) must be acyclic -- "
+         "a cycle is a potential deadlock (whole-program)",
+         nullptr, &checkLockOrder},
+        {"atomic-sanity",
+         "no split load/store read-modify-writes on std::atomic, "
+         "no relaxed stores to readiness flags, no double-checked "
+         "locking without acquire (whole-program)",
+         nullptr, &checkAtomicSanity},
+        {"shard-escape",
+         "mutable state reachable from shard-executed code "
+         "(ShardContext/runShardedBench roots) must be "
+         "lock-guarded, atomic, or shard-owned (whole-program)",
+         nullptr, &checkShardEscape},
         {"seed-flow",
          "every Random must be constructed from ShardContext/"
          "shardSeed/CLI-seed derived values (whole-program)",
